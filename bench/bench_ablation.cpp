@@ -1,0 +1,83 @@
+// A1-A3 — ablations of the design choices DESIGN.md calls out:
+//   A1  Euler orientation: deterministic Cole-Vishkin marking vs the
+//       randomized remark (log* n factor).
+//   A2  Sparsifier conductance parameter phi: quality/size/rounds tradeoff.
+//   A3  Max-flow IPM: Boosting on vs off (congestion control).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/api.hpp"
+#include "graph/laplacian.hpp"
+#include "linalg/jacobi_eigen.hpp"
+
+int main() {
+  using namespace lapclique;
+
+  bench::header("A1", "Euler orientation: Cole-Vishkin vs randomized marking");
+  bench::row("%-14s | %6s | %10s | %10s | %8s | %8s", "family", "n",
+             "CV rounds", "rnd rounds", "CV lvls", "rnd lvls");
+  auto euler_ab = [](const char* name, const Graph& g) {
+    clique::Network ncv(std::max(g.num_vertices(), 2));
+    const auto cv = euler::eulerian_orientation(g, ncv);
+    clique::Network nr(std::max(g.num_vertices(), 2));
+    euler::EulerOrientOptions opt;
+    opt.marking = euler::MarkingRule::kRandomized;
+    const auto rnd = euler::eulerian_orientation(g, nr, nullptr, opt);
+    const bool ok = euler::is_eulerian_orientation(g, cv.orientation) &&
+                    euler::is_eulerian_orientation(g, rnd.orientation);
+    bench::row("%-14s | %6d | %10lld | %10lld | %8d | %8d%s", name,
+               g.num_vertices(), static_cast<long long>(cv.rounds),
+               static_cast<long long>(rnd.rounds), cv.levels, rnd.levels,
+               ok ? "" : "  [INVALID]");
+  };
+  for (int n : {64, 256, 1024, 4096}) euler_ab("cycle", graph::cycle(n));
+  for (int n : {128, 512}) {
+    euler_ab("circulant d=4", graph::circulant(n, std::vector<int>{1, 2}));
+  }
+  euler_ab("closed walks", graph::union_of_random_closed_walks(256, 24, 12, 7));
+
+  bench::row("%s", "");
+  bench::header("A2", "sparsifier phi: approximation / size / rounds tradeoff");
+  bench::row("%-8s | %8s | %8s | %8s | %8s", "phi", "|E(H)|", "alpha*",
+             "levels", "rounds");
+  {
+    const Graph g = graph::random_connected_gnm(48, 288, 3);
+    for (double phi : {0.02, 0.05, 0.1, 0.2, 0.4}) {
+      spectral::SparsifyOptions opt;
+      opt.decomp.phi = phi;
+      clique::Network net(48);
+      const auto r = spectral::deterministic_sparsify(g, opt, &net);
+      const double alpha = linalg::generalized_condition_number(
+          graph::laplacian(g), graph::laplacian(r.h));
+      bench::row("%-8.2f | %8d | %8.2f | %8d | %8lld", phi, r.h.num_edges(),
+                 alpha, r.stats.levels_used, static_cast<long long>(net.rounds()));
+    }
+  }
+
+  bench::row("%s", "");
+  bench::header("A3", "max-flow IPM: Boosting on vs off");
+  bench::row("%-10s | %12s | %12s | %10s | %10s", "instance", "on rounds",
+             "off rounds", "on finish", "off finish");
+  for (std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    const Digraph g = graph::random_flow_network(24, 96, 16, seed);
+    const auto oracle = flow::dinic_max_flow(g, 0, 23);
+    auto run = [&](bool boosting) {
+      flow::MaxFlowIpmOptions opt;
+      opt.iteration_scale = 0.02;
+      opt.max_iterations = 250;
+      opt.known_value = oracle.value;
+      opt.enable_boosting = boosting;
+      clique::Network net(24);
+      return flow::max_flow_clique(g, 0, 23, net, opt);
+    };
+    const auto on = run(true);
+    const auto off = run(false);
+    const bool ok = on.value == oracle.value && off.value == oracle.value;
+    bench::row("%-10llu | %12lld | %12lld | %10d | %10d%s",
+               static_cast<unsigned long long>(seed),
+               static_cast<long long>(on.rounds), static_cast<long long>(off.rounds),
+               on.finishing_augmenting_paths, off.finishing_augmenting_paths,
+               ok ? "" : "  [MISMATCH]");
+  }
+  return 0;
+}

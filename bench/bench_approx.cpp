@@ -1,0 +1,49 @@
+// E9 — §1.1 comparison row: the (1+eps)-approximate electrical-flow max
+// flow ([GKKL+18] family) next to the exact deterministic IPM.  Shape check:
+// the approximate route cost scales like 1/eps^2 iterations of one Laplacian
+// solve each, and its value lands within (1-O(eps)) of the oracle.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/api.hpp"
+#include "flow/approx_maxflow.hpp"
+
+int main() {
+  using namespace lapclique;
+  bench::header("E9 (Section 1.1 comparison)",
+                "(1+eps)-approx electrical max flow vs exact oracle");
+
+  bench::row("%-8s | %6s | %10s | %10s | %10s | %8s | %8s", "eps", "m",
+             "approx val", "exact val", "rounds", "iters", "probes");
+  for (double eps : {0.3, 0.15, 0.08}) {
+    const Graph g = graph::with_random_weights(
+        graph::random_connected_gnm(24, 96, 61), 8, 62);
+    const auto exact = flow::exact_max_flow_undirected(g, 0, 23);
+    clique::Network net(24);
+    flow::ApproxMaxFlowOptions opt;
+    opt.eps = eps;
+    opt.iteration_scale = 0.3;
+    const auto r = flow::approx_max_flow_undirected(g, 0, 23, net, opt);
+    bench::row("%-8.2f | %6d | %10.2f | %10lld | %10lld | %8d | %8d", eps,
+               g.num_edges(), r.value, static_cast<long long>(exact),
+               static_cast<long long>(r.rounds), r.iterations, r.probes);
+  }
+
+  bench::row("%s", "");
+  bench::row("%-8s | %6s | %10s | %10s | %10s", "m-sweep", "m", "approx val",
+             "exact val", "rounds");
+  for (int m : {48, 96, 192, 384}) {
+    const int n = std::max(12, m / 4);
+    const Graph g = graph::with_random_weights(
+        graph::random_connected_gnm(n, m, 63), 8, 64);
+    const auto exact = flow::exact_max_flow_undirected(g, 0, n - 1);
+    clique::Network net(n);
+    flow::ApproxMaxFlowOptions opt;
+    opt.eps = 0.15;
+    opt.iteration_scale = 0.2;
+    const auto r = flow::approx_max_flow_undirected(g, 0, n - 1, net, opt);
+    bench::row("%-8s | %6d | %10.2f | %10lld | %10lld", "", m, r.value,
+               static_cast<long long>(exact), static_cast<long long>(r.rounds));
+  }
+  return 0;
+}

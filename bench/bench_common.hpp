@@ -1,0 +1,23 @@
+// Shared table-printing helpers for the experiment binaries.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace lapclique::bench {
+
+inline void header(const char* exp_id, const char* claim) {
+  std::printf("=============================================================\n");
+  std::printf("%s  —  %s\n", exp_id, claim);
+  std::printf("=============================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace lapclique::bench

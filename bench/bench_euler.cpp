@@ -1,0 +1,46 @@
+// E3 — Theorem 1.4: Eulerian orientation in O(log n log* n) rounds.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/api.hpp"
+
+int main() {
+  using namespace lapclique;
+  bench::header("E3 (Theorem 1.4)",
+                "Eulerian orientation: O(log n log* n) rounds");
+
+  bench::row("%-22s | %6s | %8s | %8s | %7s | %14s", "family", "n", "m",
+             "rounds", "levels", "rounds/log2(n)");
+  auto run = [](const char* name, const Graph& g) {
+    clique::Network net(std::max(g.num_vertices(), 2));
+    const auto r = euler::eulerian_orientation(g, net);
+    if (!euler::is_eulerian_orientation(g, r.orientation)) {
+      bench::row("%-22s | INVALID ORIENTATION", name);
+      return;
+    }
+    bench::row("%-22s | %6d | %8d | %8lld | %7d | %14.1f", name,
+               g.num_vertices(), g.num_edges(), static_cast<long long>(r.rounds),
+               r.levels,
+               static_cast<double>(r.rounds) /
+                   std::log2(std::max(4, g.num_vertices())));
+  };
+
+  for (int n : {16, 64, 256, 1024, 4096}) {
+    run("single cycle", graph::cycle(n));
+  }
+  for (int n : {64, 256, 1024}) {
+    const std::vector<int> offs{1, 2};
+    run("circulant d=4", graph::circulant(n, offs));
+  }
+  for (int n : {64, 256, 1024}) {
+    run("doubled gnm", graph::doubled(graph::random_gnm(n, 2 * n, 5)));
+  }
+  for (int n : {64, 256}) {
+    run("closed walks", graph::union_of_random_closed_walks(n, n / 8, 12, 9));
+  }
+  {
+    run("doubled grid 16x16", graph::doubled(graph::grid(16, 16)));
+    run("doubled grid 32x32", graph::doubled(graph::grid(32, 32)));
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E1 — Theorem 1.1: Laplacian solving in n^{o(1)} log(U/eps) rounds.
+//
+// Sweep 1: rounds vs eps at fixed n  (claim: linear in log(1/eps)).
+// Sweep 2: per-solve Chebyshev rounds vs n  (claim: n^{o(1)} growth).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/api.hpp"
+
+int main() {
+  using namespace lapclique;
+  bench::header("E1 (Theorem 1.1)",
+                "Laplacian solver: n^{o(1)} log(U/eps) rounds, deterministic");
+
+  bench::row("%-28s | %10s | %12s | %14s", "sweep: eps (n=96, m=384)", "eps",
+             "rounds", "rounds/log(1/eps)");
+  {
+    const Graph g = graph::random_connected_gnm(96, 384, 11);
+    clique::Network net(96);
+    const solver::CliqueLaplacianSolver solver(g, {}, net);
+    std::vector<double> b(96, 0.0);
+    b[0] = 1.0;
+    b[95] = -1.0;
+    for (double eps : {1e-1, 1e-2, 1e-4, 1e-6, 1e-8, 1e-10}) {
+      net.reset_accounting();
+      (void)solver.solve(b, eps);
+      const double digits = std::log(1.0 / eps);
+      bench::row("%-28s | %10.0e | %12lld | %14.2f", "", eps,
+                 static_cast<long long>(net.rounds()),
+                 static_cast<double>(net.rounds()) / digits);
+    }
+  }
+
+  bench::row("%-28s | %6s | %12s | %12s | %14s", "sweep: n (eps=1e-6, m=4n)",
+             "n", "total", "chebyshev", "cheby/n ratio");
+  for (int n : {32, 64, 128, 256, 512}) {
+    const Graph g = graph::random_connected_gnm(n, 4 * n, 13);
+    clique::Network net(n);
+    const solver::CliqueLaplacianSolver solver(g, {}, net);
+    const std::int64_t setup = net.rounds();
+    std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+    b[0] = 1.0;
+    b[static_cast<std::size_t>(n - 1)] = -1.0;
+    net.reset_accounting();
+    (void)solver.solve(b, 1e-6);
+    const std::int64_t cheb = net.rounds();
+    bench::row("%-28s | %6d | %12lld | %12lld | %14.3f", "", n,
+               static_cast<long long>(setup + cheb), static_cast<long long>(cheb),
+               static_cast<double>(cheb) / n);
+  }
+
+  bench::row("%-28s | %6s | %12s", "sweep: U (n=96, eps=1e-6)", "U", "rounds");
+  for (std::int64_t u : {1, 16, 256, 4096, 65536}) {
+    const Graph g = graph::with_random_weights(
+        graph::random_connected_gnm(96, 384, 17), u, 19);
+    const auto rep = solve_laplacian(g, [] {
+      std::vector<double> b(96, 0.0);
+      b[0] = 1.0;
+      b[95] = -1.0;
+      return b;
+    }(), 1e-6);
+    bench::row("%-28s | %6lld | %12lld", "", static_cast<long long>(u),
+               static_cast<long long>(rep.rounds));
+  }
+  return 0;
+}

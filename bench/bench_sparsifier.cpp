@@ -1,0 +1,59 @@
+// E2 — Theorem 3.3: deterministic sparsifier size O(n log n log U) and
+// approximation quality across graph families and weight ranges.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/api.hpp"
+#include "graph/laplacian.hpp"
+#include "linalg/jacobi_eigen.hpp"
+
+int main() {
+  using namespace lapclique;
+  bench::header("E2 (Theorem 3.3)",
+                "deterministic sparsifier: |E(H)| = O(n log n log U), alpha bounded");
+
+  bench::row("%-18s | %6s | %8s | %8s | %12s | %8s", "family", "n", "m",
+             "|E(H)|", "|E|/(n lg n)", "alpha*");
+  auto run = [](const char* name, const Graph& g, bool measure_alpha) {
+    const auto rep = sparsify(g);
+    double alpha = -1;
+    if (measure_alpha && g.num_vertices() <= 64) {
+      alpha = linalg::generalized_condition_number(graph::laplacian(g),
+                                                   graph::laplacian(rep.h));
+    }
+    const double norm =
+        static_cast<double>(rep.h.num_edges()) /
+        (g.num_vertices() * std::log2(std::max(2, g.num_vertices())));
+    if (alpha >= 0) {
+      bench::row("%-18s | %6d | %8d | %8d | %12.2f | %8.2f", name,
+                 g.num_vertices(), g.num_edges(), rep.h.num_edges(), norm, alpha);
+    } else {
+      bench::row("%-18s | %6d | %8d | %8d | %12.2f | %8s", name,
+                 g.num_vertices(), g.num_edges(), rep.h.num_edges(), norm, "-");
+    }
+  };
+
+  for (int n : {32, 64, 128, 256}) {
+    run("complete", graph::complete(n), n <= 64);
+  }
+  for (int n : {32, 64, 128, 256}) {
+    run("gnm m=6n", graph::random_connected_gnm(n, 6 * n, 7), n <= 64);
+  }
+  run("barbell", graph::barbell(24), true);
+  {
+    const std::vector<int> offs{1, 2, 4, 8, 16};
+    run("circulant d=10", graph::circulant(128, offs), false);
+  }
+  bench::row("%s", "");
+  bench::row("%-18s | %6s | %8s | %8s", "weighted (n=64)", "U", "|E(H)|",
+             "classes");
+  for (std::int64_t u : {1, 256, 65536}) {
+    const Graph g = graph::with_random_weights(
+        graph::random_connected_gnm(64, 384, 3), u, 5);
+    const auto rep = sparsify(g);
+    bench::row("%-18s | %6lld | %8d | %8d", "", static_cast<long long>(u),
+               rep.h.num_edges(), rep.stats.weight_classes);
+  }
+  bench::row("%s", "(alpha* = exact generalized condition number, small n only)");
+  return 0;
+}

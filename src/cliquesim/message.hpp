@@ -1,0 +1,43 @@
+// Message words for the congested clique model.
+//
+// The model allows each ordered pair of nodes to exchange one O(log n)-bit
+// message per synchronous round.  Following the standard convention for
+// numerical congested-clique algorithms (and the paper's own usage, where
+// potentials and flow values travel in single messages), one message word
+// carries one fixed-width value: either a 64-bit integer or a double.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace lapclique::clique {
+
+/// One message word: a 64-bit payload interpretable as int64 or double.
+class Word {
+ public:
+  constexpr Word() = default;
+  constexpr explicit Word(std::int64_t v) : bits_(static_cast<std::uint64_t>(v)) {}
+  explicit Word(double v) : bits_(std::bit_cast<std::uint64_t>(v)) {}
+
+  [[nodiscard]] constexpr std::int64_t as_int() const {
+    return static_cast<std::int64_t>(bits_);
+  }
+  [[nodiscard]] double as_double() const { return std::bit_cast<double>(bits_); }
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+
+  friend constexpr bool operator==(Word a, Word b) { return a.bits_ == b.bits_; }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+/// A point-to-point message. `tag` disambiguates logical channels when an
+/// algorithm runs several conversations through one routing call.
+struct Msg {
+  int src = -1;
+  int dst = -1;
+  std::int64_t tag = 0;
+  Word payload;
+};
+
+}  // namespace lapclique::clique

@@ -1,0 +1,184 @@
+#include "cliquesim/network.hpp"
+
+#include <algorithm>
+
+namespace lapclique::clique {
+
+Network::Network(int n) : n_(n), inboxes_(static_cast<std::size_t>(std::max(n, 0))) {
+  if (n <= 0) throw std::invalid_argument("Network: n must be positive");
+}
+
+void Network::check_node(int v) const {
+  if (v < 0 || v >= n_) throw std::out_of_range("Network: node id out of range");
+}
+
+void Network::charge(std::int64_t rounds, std::int64_t words) {
+  if (rounds < 0 || words < 0) throw std::invalid_argument("Network::charge: negative");
+  record(rounds, words, 0);
+}
+
+void Network::record(std::int64_t rounds, std::int64_t words, std::int64_t max_load) {
+  rounds_ += rounds;
+  words_ += words;
+  ledger_.add(phase_, rounds);
+  op_log_.push_back(OpRecord{phase_, rounds, words, max_load});
+}
+
+void Network::deliver(const std::vector<Msg>& msgs) {
+  for (const Msg& m : msgs) {
+    check_node(m.src);
+    check_node(m.dst);
+    inboxes_[static_cast<std::size_t>(m.dst)].push_back(m);
+  }
+}
+
+void Network::exchange(const std::vector<Msg>& msgs) {
+  if (msgs.empty()) return;
+  // Rounds = max multiplicity over ordered (src,dst) pairs.
+  std::map<std::pair<int, int>, std::int64_t> mult;
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(n_), 0);
+  std::vector<std::int64_t> recv(static_cast<std::size_t>(n_), 0);
+  for (const Msg& m : msgs) {
+    check_node(m.src);
+    check_node(m.dst);
+    ++mult[{m.src, m.dst}];
+    ++sent[static_cast<std::size_t>(m.src)];
+    ++recv[static_cast<std::size_t>(m.dst)];
+  }
+  std::int64_t rounds = 0;
+  for (const auto& [pair, k] : mult) rounds = std::max(rounds, k);
+  const std::int64_t max_load =
+      std::max(*std::max_element(sent.begin(), sent.end()),
+               *std::max_element(recv.begin(), recv.end()));
+  deliver(msgs);
+  record(rounds, static_cast<std::int64_t>(msgs.size()), max_load);
+}
+
+void Network::lenzen_route(const std::vector<Msg>& msgs) {
+  if (msgs.empty()) return;
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(n_), 0);
+  std::vector<std::int64_t> recv(static_cast<std::size_t>(n_), 0);
+  for (const Msg& m : msgs) {
+    check_node(m.src);
+    check_node(m.dst);
+    ++sent[static_cast<std::size_t>(m.src)];
+    ++recv[static_cast<std::size_t>(m.dst)];
+  }
+  const std::int64_t max_load =
+      std::max(*std::max_element(sent.begin(), sent.end()),
+               *std::max_element(recv.begin(), recv.end()));
+  // Load c = ceil(max_load / n); Lenzen routes a c-load instance in O(c).
+  const std::int64_t c = (max_load + n_ - 1) / n_;
+  if (routing_mode_ == RoutingMode::kExecuted) {
+    const std::int64_t used = execute_route(msgs, c);
+    record(used, static_cast<std::int64_t>(msgs.size()), max_load);
+    return;
+  }
+  deliver(msgs);
+  record(lenzen_constant_ * c, static_cast<std::int64_t>(msgs.size()), max_load);
+}
+
+std::int64_t Network::execute_route(const std::vector<Msg>& msgs, std::int64_t c) {
+  // Deterministic spread-then-deliver routing with verified sub-rounds:
+  //   0. every source sorts its outbox by destination (internal) and the
+  //      global rank order is fixed by Lenzen's O(1)-round sorting
+  //      primitive, charged as 4 rounds;
+  //   1. spread: source s sends its k-th message to intermediate
+  //      (s + k) mod n — at most ceil(load_s / n) <= c messages per ordered
+  //      pair, so the phase runs in <= c verified sub-rounds;
+  //   2. deliver: each intermediate forwards its messages to their true
+  //      destinations, scheduled greedily so no ordered pair repeats
+  //      within a sub-round.
+  // Phase 2 of the full Lenzen construction has a proven O(c) bound via an
+  // extra balancing redistribution; our greedy schedule matches O(c) on
+  // every workload exercised in this repository and *reports the rounds it
+  // actually used*, so the accounting stays honest even on adversarial
+  // batches where greedy needs more.  Every sub-round respects the
+  // one-word-per-ordered-pair limit by construction of the schedule.
+  std::vector<std::size_t> order(msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&msgs](std::size_t a, std::size_t b) {
+    const Msg& x = msgs[a];
+    const Msg& y = msgs[b];
+    if (x.src != y.src) return x.src < y.src;
+    if (x.dst != y.dst) return x.dst < y.dst;
+    if (x.tag != y.tag) return x.tag < y.tag;
+    return x.payload.bits() < y.payload.bits();
+  });
+  std::int64_t rounds = 4;  // the sorting primitive
+
+  // Schedule one phase of moves into sub-rounds (no ordered pair repeats
+  // within one sub-round); returns the number of sub-rounds used.
+  const auto run_phase = [](const std::vector<std::pair<int, int>>& moves) {
+    std::map<std::pair<int, int>, std::int64_t> next_free;
+    std::int64_t used = 0;
+    for (const auto& mv : moves) {
+      if (mv.first == mv.second) continue;  // staying put is free
+      const std::int64_t slot = next_free[mv]++;
+      used = std::max(used, slot + 1);
+    }
+    return used;
+  };
+
+  // Phase 1: per-source round-robin over the source's destination-sorted
+  // outbox.
+  std::vector<int> intermediate(msgs.size(), -1);
+  std::vector<std::pair<int, int>> phase1;
+  phase1.reserve(msgs.size());
+  {
+    int prev_src = -1;
+    std::size_t k = 0;
+    for (std::size_t idx : order) {
+      if (msgs[idx].src != prev_src) {
+        prev_src = msgs[idx].src;
+        k = 0;
+      }
+      const int j = static_cast<int>(
+          (static_cast<std::size_t>(msgs[idx].src) + k++) %
+          static_cast<std::size_t>(n_));
+      intermediate[idx] = j;
+      phase1.emplace_back(msgs[idx].src, j);
+    }
+  }
+  const std::int64_t r1 = run_phase(phase1);
+  if (r1 > c) {
+    throw std::logic_error("execute_route: spread phase exceeded its c bound");
+  }
+  rounds += std::max<std::int64_t>(r1, 1);
+
+  std::vector<std::pair<int, int>> phase2;
+  phase2.reserve(msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    phase2.emplace_back(intermediate[i], msgs[i].dst);
+  }
+  rounds += std::max<std::int64_t>(run_phase(phase2), 1);
+
+  deliver(msgs);
+  return rounds;
+}
+
+void Network::set_lenzen_constant(int c) {
+  if (c <= 0) throw std::invalid_argument("lenzen constant must be positive");
+  lenzen_constant_ = c;
+}
+
+std::vector<Msg> Network::drain_inbox(int node) {
+  check_node(node);
+  std::vector<Msg> out;
+  out.swap(inboxes_[static_cast<std::size_t>(node)]);
+  return out;
+}
+
+const std::vector<Msg>& Network::inbox(int node) const {
+  check_node(node);
+  return inboxes_[static_cast<std::size_t>(node)];
+}
+
+void Network::reset_accounting() {
+  rounds_ = 0;
+  words_ = 0;
+  ledger_ = PhaseLedger{};
+  op_log_.clear();
+}
+
+}  // namespace lapclique::clique

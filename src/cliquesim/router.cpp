@@ -1,0 +1,20 @@
+#include "cliquesim/router.hpp"
+
+namespace lapclique::clique {
+
+void Router::send(int src, int dst, std::int64_t tag, Word payload) {
+  outbox_.push_back(Msg{src, dst, tag, payload});
+}
+
+std::vector<std::vector<Msg>> Router::flush() {
+  std::vector<std::vector<Msg>> inboxes(static_cast<std::size_t>(net_->size()));
+  if (outbox_.empty()) return inboxes;
+  net_->lenzen_route(outbox_);
+  outbox_.clear();
+  for (int v = 0; v < net_->size(); ++v) {
+    inboxes[static_cast<std::size_t>(v)] = net_->drain_inbox(v);
+  }
+  return inboxes;
+}
+
+}  // namespace lapclique::clique

@@ -1,0 +1,41 @@
+// A batching helper over Network::lenzen_route.
+//
+// Distributed algorithms in this repo are written as per-node step functions:
+// during a step, node code *stages* outgoing messages on the Router; a flush
+// delivers the whole batch through Lenzen routing in the charged number of
+// rounds and the next step reads inboxes.  This mirrors how the paper invokes
+// [Len13] in Theorem 1.4 ("these messages can still be delivered ... in at
+// most 16 rounds").
+#pragma once
+
+#include <vector>
+
+#include "cliquesim/network.hpp"
+
+namespace lapclique::clique {
+
+class Router {
+ public:
+  explicit Router(Network& net) : net_(&net) {}
+
+  /// Stage a message from `src` to `dst`; delivered at the next flush().
+  void send(int src, int dst, std::int64_t tag, Word payload);
+  void send(int src, int dst, std::int64_t tag, std::int64_t v) {
+    send(src, dst, tag, Word(v));
+  }
+  void send(int src, int dst, std::int64_t tag, double v) {
+    send(src, dst, tag, Word(v));
+  }
+
+  [[nodiscard]] std::size_t staged() const { return outbox_.size(); }
+
+  /// Deliver all staged messages via Lenzen routing (one synchronous
+  /// super-step).  Returns per-node inboxes, indexed by destination.
+  std::vector<std::vector<Msg>> flush();
+
+ private:
+  Network* net_;
+  std::vector<Msg> outbox_;
+};
+
+}  // namespace lapclique::clique

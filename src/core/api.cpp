@@ -1,0 +1,77 @@
+#include "core/api.hpp"
+
+namespace lapclique {
+
+solver::CliqueSolveReport solve_laplacian(const Graph& g, std::span<const double> b,
+                                          double eps,
+                                          const solver::LaplacianSolverOptions& opt) {
+  return solver::solve_laplacian_clique(g, b, eps, opt);
+}
+
+SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  SparsifyReport rep;
+  spectral::SparsifyResult r = spectral::deterministic_sparsify(g, opt, &net);
+  rep.h = std::move(r.h);
+  rep.stats = r.stats;
+  rep.rounds = net.rounds();
+  return rep;
+}
+
+OrientationReport eulerian_orientation(const Graph& g) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  OrientationReport rep;
+  const euler::OrientationResult r = euler::eulerian_orientation(g, net);
+  rep.orientation = r.orientation;
+  rep.rounds = r.rounds;
+  rep.levels = r.levels;
+  return rep;
+}
+
+RoundFlowReport round_flow(const Digraph& g, const graph::Flow& f, int s, int t,
+                           const euler::FlowRoundingOptions& opt) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  RoundFlowReport rep;
+  const euler::FlowRoundingResult r = euler::round_flow(g, f, s, t, net, opt);
+  rep.flow = r.flow;
+  rep.rounds = r.rounds;
+  rep.phases = r.phases;
+  return rep;
+}
+
+flow::MaxFlowIpmReport max_flow(const Digraph& g, int s, int t,
+                                const flow::MaxFlowIpmOptions& opt) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  return flow::max_flow_clique(g, s, t, net, opt);
+}
+
+flow::MinCostIpmReport min_cost_flow(const Digraph& g,
+                                     std::span<const std::int64_t> sigma,
+                                     const flow::MinCostIpmOptions& opt) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  return flow::min_cost_flow_clique(g, sigma, net, opt);
+}
+
+flow::MinCostMaxFlowReport min_cost_max_flow(const Digraph& g, int s, int t,
+                                             const flow::MinCostIpmOptions& opt) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  return flow::min_cost_max_flow_clique(g, s, t, net, opt);
+}
+
+flow::ApproxMaxFlowReport approx_max_flow(const Graph& g, int s, int t,
+                                          const flow::ApproxMaxFlowOptions& opt) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  return flow::approx_max_flow_undirected(g, s, t, net, opt);
+}
+
+mst::MstResult minimum_spanning_forest(const Graph& g) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  return mst::boruvka_clique(g, net);
+}
+
+solver::ResistanceReport effective_resistance(const Graph& g, int u, int v,
+                                              double eps) {
+  return solver::effective_resistance_clique(g, u, v, eps);
+}
+
+}  // namespace lapclique

@@ -1,0 +1,31 @@
+// Dinic's maximum flow — the sequential correctness oracle every distributed
+// flow result is checked against, and the internal solver of the trivial
+// "gather everything" baseline (§1.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace lapclique::flow {
+
+struct MaxFlowResult {
+  std::int64_t value = 0;
+  std::vector<std::int64_t> flow;  ///< per arc of the input digraph
+};
+
+MaxFlowResult dinic_max_flow(const graph::Digraph& g, int s, int t);
+
+/// Max flow when starting from a feasible integral flow `warm` (used to
+/// finish the IPM's rounded flow with augmenting paths).  Returns the final
+/// flow and the number of augmenting paths needed.
+struct AugmentingFinish {
+  std::int64_t value = 0;
+  std::vector<std::int64_t> flow;
+  int augmenting_paths = 0;
+};
+AugmentingFinish finish_with_augmenting_paths(const graph::Digraph& g, int s, int t,
+                                              const std::vector<std::int64_t>& warm);
+
+}  // namespace lapclique::flow

@@ -1,0 +1,58 @@
+// Shortest paths / reachability in the congested clique.
+//
+// SUBSTITUTION (DESIGN.md §3): the paper invokes [CKKL+19] for
+// (1+o(1))-approximate weighted directed APSP in O(n^0.158) rounds, which
+// rests on distributed fast matrix multiplication.  We compute the answers
+// with classical algorithms and charge either
+//   * kCkklBound  — ceil(n^0.158) rounds per invocation (the paper's
+//     accounting; default), or
+//   * kNaive      — the rounds a Bellman-Ford/BFS clique implementation
+//     takes (#iterations, each one broadcast round).
+// Benches report both accountings side by side.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cliquesim/network.hpp"
+#include "graph/digraph.hpp"
+
+namespace lapclique::flow {
+
+enum class SsspAccounting { kCkklBound, kNaive };
+
+struct SsspOptions {
+  SsspAccounting accounting = SsspAccounting::kCkklBound;
+  double ckkl_exponent = 0.158;
+};
+
+struct SsspResult {
+  std::vector<double> dist;   ///< +inf when unreachable
+  std::vector<int> parent_arc;  ///< arc id entering v on a shortest path (-1 at source)
+  std::int64_t rounds_charged = 0;
+};
+
+/// Single-source shortest paths over arcs with residual capacity > 0 and
+/// per-arc lengths `length` (lengths may be negative as long as no negative
+/// cycle is reachable; Bellman-Ford underneath).
+SsspResult sssp(const graph::Digraph& g, int source,
+                const std::vector<double>& length,
+                const std::vector<char>& arc_usable, clique::Network& net,
+                const SsspOptions& opt = {});
+
+/// Multi-source variant (distance from the nearest source).
+SsspResult multi_source_sssp(const graph::Digraph& g,
+                             const std::vector<int>& sources,
+                             const std::vector<double>& length,
+                             const std::vector<char>& arc_usable,
+                             clique::Network& net, const SsspOptions& opt = {});
+
+/// s-t augmenting path in the residual network of an integral flow; each
+/// entry of the result is (arc id, forward?).  Charges one reachability
+/// computation.  Returns nullopt if t is unreachable.
+std::optional<std::vector<std::pair<int, bool>>> residual_augmenting_path(
+    const graph::Digraph& g, const std::vector<std::int64_t>& flow, int s, int t,
+    clique::Network& net, const SsspOptions& opt = {});
+
+}  // namespace lapclique::flow

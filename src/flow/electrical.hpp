@@ -1,0 +1,70 @@
+// Electrical flows: the inner problem of both interior point methods.
+// Given per-edge resistances r_e and a demand vector chi, solve the
+// Laplacian system L(G) phi = chi where L uses conductances 1/r_e, then read
+// off f_e = (phi_v - phi_u) / r_e for e = (u, v) (Algorithm 3, line 2-3).
+//
+// Two solver modes:
+//  * Sparsified — the full Theorem 1.1 pipeline (deterministic sparsifier +
+//    preconditioned Chebyshev); this is what the round accounting of the
+//    flow theorems is calibrated from.
+//  * Direct — exact internal LDL^T solve.  The IPMs use this for the bulk of
+//    their iterations for wall-clock reasons while charging the Theorem 1.1
+//    round cost measured from a calibration solve (see DESIGN.md §3: round
+//    complexity of a Thm 1.1 solve depends on the topology/eps, not on the
+//    resistance values, so the charge is exact, not an estimate).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cliquesim/network.hpp"
+#include "linalg/cholesky.hpp"
+#include "solver/laplacian_solver.hpp"
+
+namespace lapclique::flow {
+
+enum class ElectricalMode { kDirect, kSparsified };
+
+struct ElectricalEdge {
+  int u = -1;
+  int v = -1;
+  double resistance = 1.0;
+};
+
+struct ElectricalOptions {
+  ElectricalMode mode = ElectricalMode::kDirect;
+  double eps = 1e-10;  ///< for the sparsified mode
+  solver::LaplacianSolverOptions solver;
+};
+
+class ElectricalSolver {
+ public:
+  /// Builds the conductance Laplacian for the given resistances.
+  ElectricalSolver(int n, std::vector<ElectricalEdge> edges,
+                   const ElectricalOptions& opt = {});
+
+  /// phi with L phi = chi (chi must sum to ~0).  If `net` is given and mode
+  /// is Sparsified, Theorem 1.1 rounds are charged on it.
+  [[nodiscard]] linalg::Vec potentials(std::span<const double> chi,
+                                       clique::Network* net = nullptr) const;
+
+  /// Induced flow: f_e = (phi_v - phi_u) / r_e.
+  [[nodiscard]] std::vector<double> induced_flow(std::span<const double> phi) const;
+
+  [[nodiscard]] int size() const { return n_; }
+  /// Rounds one Theorem 1.1 solve would charge at this topology/eps
+  /// (available after the first potentials() call in Sparsified mode, or via
+  /// calibrate()).
+  [[nodiscard]] std::int64_t calibrate(double eps) const;
+
+ private:
+  int n_;
+  std::vector<ElectricalEdge> edges_;
+  ElectricalOptions opt_;
+  linalg::CsrMatrix laplacian_;
+  linalg::LaplacianFactor factor_;          // Direct mode
+  std::unique_ptr<solver::LaplacianSolver> solver_;  // Sparsified mode
+  graph::Graph conductance_graph_;
+};
+
+}  // namespace lapclique::flow

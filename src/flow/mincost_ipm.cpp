@@ -1,0 +1,595 @@
+#include "flow/mincost_ipm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "euler/flow_round.hpp"
+
+namespace lapclique::flow {
+
+using graph::Digraph;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The lifted instance: G1 = original arcs + auxiliary feasibility arcs,
+/// then the bipartite b-matching encoding (Algorithm 7).
+struct Lifted {
+  Digraph g1;                       ///< original + aux arcs (unit capacity)
+  std::vector<char> is_aux;         ///< per G1 arc
+  std::vector<std::int64_t> sigma_my;  ///< demands on G1 vertices (inflow-positive)
+  int v_aux = -1;
+
+  // Bipartite state: P = V(G1), Q = arcs of G1.  Edge 2q is the tail side
+  // (cost c_q, "arc used"), edge 2q+1 the head side (cost 0, "arc unused").
+  int np = 0;
+  int nq = 0;
+  std::vector<double> f;   ///< per bipartite edge
+  std::vector<double> s;   ///< slacks
+  std::vector<double> nu;  ///< central-path weights
+  std::vector<double> y;   ///< potentials: P vertices then Q vertices
+  std::vector<std::int64_t> b;  ///< demands: P then Q
+  double mu_hat = 0;
+  double c_inf = 1;
+
+  [[nodiscard]] int bip_vertices() const { return np + nq; }
+  [[nodiscard]] int p_of_edge(int e) const {
+    const int q = e / 2;
+    return e % 2 == 0 ? g1.arc(q).from : g1.arc(q).to;
+  }
+  [[nodiscard]] int q_of_edge(int e) const { return np + e / 2; }
+  [[nodiscard]] double cost_of_edge(int e) const {
+    return e % 2 == 0 ? static_cast<double>(g1.arc(e / 2).cost) : 0.0;
+  }
+};
+
+Lifted build_lifted(const Digraph& g, std::span<const std::int64_t> sigma) {
+  Lifted lf;
+  const int n = g.num_vertices();
+  lf.v_aux = n;
+  lf.g1 = Digraph(n + 1);
+  std::int64_t c1 = 0;
+  for (int a = 0; a < g.num_arcs(); ++a) c1 += std::abs(g.arc(a).cost);
+  c1 = std::max<std::int64_t>(c1, 1);
+
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    lf.g1.add_arc(g.arc(a).from, g.arc(a).to, 1, g.arc(a).cost);
+    lf.is_aux.push_back(0);
+  }
+  // Algorithm 7 lines 2-6 with sigma_cmsv = -sigma (outflow-positive there).
+  // 2*t(v) = 2*sigma_cmsv(v) + deg_in - deg_out must be evened out by
+  // parallel aux arcs of cost ||c||_1.
+  for (int v = 0; v < n; ++v) {
+    const std::int64_t t2 = -2 * sigma[static_cast<std::size_t>(v)] +
+                            g.in_degree(v) - g.out_degree(v);
+    if (t2 > 0) {
+      for (std::int64_t k = 0; k < t2; ++k) {
+        lf.g1.add_arc(v, lf.v_aux, 1, c1);
+        lf.is_aux.push_back(1);
+      }
+    } else if (t2 < 0) {
+      for (std::int64_t k = 0; k < -t2; ++k) {
+        lf.g1.add_arc(lf.v_aux, v, 1, c1);
+        lf.is_aux.push_back(1);
+      }
+    }
+  }
+  lf.sigma_my.assign(sigma.begin(), sigma.end());
+  lf.sigma_my.push_back(0);  // v_aux wants zero excess; optima leave it idle
+
+  // Bipartite initialization (Algorithm 7 lines 8-13).
+  lf.np = lf.g1.num_vertices();
+  lf.nq = lf.g1.num_arcs();
+  const int me = 2 * lf.nq;
+  lf.f.assign(static_cast<std::size_t>(me), 0.5);
+  lf.b.assign(static_cast<std::size_t>(lf.np + lf.nq), 0);
+  for (int u = 0; u < lf.np; ++u) {
+    // b(u) = sigma_cmsv(u) + deg_in^{G1}(u) = -sigma_my(u) + deg_in.
+    lf.b[static_cast<std::size_t>(u)] =
+        -lf.sigma_my[static_cast<std::size_t>(u)] + lf.g1.in_degree(u);
+  }
+  for (int q = 0; q < lf.nq; ++q) lf.b[static_cast<std::size_t>(lf.np + q)] = 1;
+
+  lf.c_inf = 1;
+  for (int a = 0; a < lf.g1.num_arcs(); ++a) {
+    lf.c_inf = std::max(lf.c_inf, static_cast<double>(std::abs(lf.g1.arc(a).cost)));
+  }
+  lf.y.assign(static_cast<std::size_t>(lf.np + lf.nq), 0.0);
+  for (int u = 0; u < lf.np; ++u) lf.y[static_cast<std::size_t>(u)] = lf.c_inf;
+  lf.s.assign(static_cast<std::size_t>(me), 0.0);
+  lf.nu.assign(static_cast<std::size_t>(me), 0.0);
+  for (int e = 0; e < me; ++e) {
+    const int u = lf.p_of_edge(e);
+    const int qv = lf.q_of_edge(e);
+    lf.s[static_cast<std::size_t>(e)] = lf.cost_of_edge(e) +
+                                        lf.y[static_cast<std::size_t>(u)] -
+                                        lf.y[static_cast<std::size_t>(qv)];
+    lf.nu[static_cast<std::size_t>(e)] =
+        lf.s[static_cast<std::size_t>(e)] / (2.0 * lf.c_inf);
+  }
+  lf.mu_hat = lf.c_inf;
+  return lf;
+}
+
+/// One electrical solve over the bipartite graph + the v0 preconditioning
+/// star (Algorithm 6 lines 2, 4-5).
+struct BipartiteElectrical {
+  // Edge list: bipartite edges first, then np star edges (v0 = np+nq).
+  std::vector<ElectricalEdge> edges;
+  int nv = 0;
+};
+
+BipartiteElectrical make_electrical(const Lifted& lf,
+                                    const std::vector<double>& resist_bip) {
+  BipartiteElectrical be;
+  be.nv = lf.np + lf.nq + 1;
+  const int v0 = lf.np + lf.nq;
+  be.edges.reserve(resist_bip.size() + static_cast<std::size_t>(lf.np));
+  for (std::size_t e = 0; e < resist_bip.size(); ++e) {
+    be.edges.push_back(ElectricalEdge{lf.p_of_edge(static_cast<int>(e)),
+                                      lf.q_of_edge(static_cast<int>(e)),
+                                      resist_bip[e]});
+  }
+  const auto m = static_cast<double>(resist_bip.size());
+  const double eta = 1.0 / 14.0;
+  for (int u = 0; u < lf.np; ++u) {
+    double a = 0;
+    for (int e = 0; e < 2 * lf.nq; ++e) {
+      if (lf.p_of_edge(e) == u) {
+        a += lf.nu[static_cast<std::size_t>(e)] +
+             lf.nu[static_cast<std::size_t>(e ^ 1)];
+      }
+    }
+    const double r = std::pow(m, 1.0 + 2.0 * eta) / std::max(a, 1e-9);
+    be.edges.push_back(ElectricalEdge{v0, u, r});
+  }
+  return be;
+}
+
+}  // namespace
+
+MinCostIpmReport min_cost_flow_clique(const Digraph& g,
+                                      std::span<const std::int64_t> sigma,
+                                      clique::Network& net,
+                                      const MinCostIpmOptions& opt) {
+  if (static_cast<int>(sigma.size()) != g.num_vertices()) {
+    throw std::invalid_argument("min_cost_flow_clique: sigma size mismatch");
+  }
+  if (std::accumulate(sigma.begin(), sigma.end(), std::int64_t{0}) != 0) {
+    throw std::invalid_argument("min_cost_flow_clique: demands must sum to zero");
+  }
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    if (g.arc(a).cap != 1) {
+      throw std::invalid_argument("min_cost_flow_clique: capacities must be 1");
+    }
+  }
+  net.set_phase("mincost/setup");
+  const std::int64_t rounds_before = net.rounds();
+  MinCostIpmReport rep;
+  rep.flow.assign(static_cast<std::size_t>(g.num_arcs()), 0);
+
+  Lifted lf = build_lifted(g, sigma);
+  const int me = 2 * lf.nq;
+  const auto m = static_cast<double>(std::max(me, 2));
+  net.charge(1);
+
+  // Demand vector for the electrical solves: the bipartite flow goes P -> Q,
+  // so P vertices are producers (-b) and Q vertices consumers (+b).
+  linalg::Vec chi(static_cast<std::size_t>(lf.np + lf.nq + 1), 0.0);
+  for (int u = 0; u < lf.np; ++u) {
+    chi[static_cast<std::size_t>(u)] = -static_cast<double>(lf.b[static_cast<std::size_t>(u)]);
+  }
+  for (int q = 0; q < lf.nq; ++q) {
+    chi[static_cast<std::size_t>(lf.np + q)] =
+        static_cast<double>(lf.b[static_cast<std::size_t>(lf.np + q)]);
+  }
+
+  // Calibrate the Theorem 1.1 round charge at this topology.
+  net.set_phase("mincost/calibration");
+  {
+    std::vector<double> r0(static_cast<std::size_t>(me));
+    for (int e = 0; e < me; ++e) {
+      r0[static_cast<std::size_t>(e)] = lf.nu[static_cast<std::size_t>(e)] /
+                                        (lf.f[static_cast<std::size_t>(e)] *
+                                         lf.f[static_cast<std::size_t>(e)]);
+    }
+    BipartiteElectrical be = make_electrical(lf, r0);
+    ElectricalOptions eopt;
+    eopt.mode = ElectricalMode::kSparsified;
+    rep.rounds_per_solve =
+        ElectricalSolver(be.nv, std::move(be.edges), eopt).calibrate(opt.solve_eps);
+    net.charge(rep.rounds_per_solve);
+  }
+
+  // Main loop (Algorithm 6) with the CMSV budget and early exit on mu_hat.
+  net.set_phase("mincost/ipm");
+  const double eta = opt.eta;
+  const double logw = std::log2(lf.c_inf + 2.0);
+  const double c_rho = 400.0 * std::sqrt(3.0) * std::cbrt(std::max(logw, 1.0));
+  const double c_t = 3.0 * c_rho * std::max(logw, 1.0);
+  const std::int64_t outer = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(
+             opt.iteration_scale * c_t * std::pow(m, 0.5 - 3.0 * eta))));
+  const std::int64_t inner = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(std::pow(m, 2.0 * eta))));
+  const double rho_threshold = c_rho * std::pow(m, 0.5 - eta);
+  const double mu_exit = 1.0 / (8.0 * m * lf.c_inf);
+
+  std::vector<double> rho(static_cast<std::size_t>(me), 0.0);
+  std::int64_t total_progress = 0;
+  bool done = false;
+  for (std::int64_t i = 0; i < outer && !done; ++i) {
+    for (std::int64_t j = 0; j < inner && !done; ++j) {
+      // Perturbation while the nu-weighted congestion is too large (Alg 8).
+      // Doubling nu_e doubles the squeezed edge's resistance, so the next
+      // electrical flow (hence rho) on it roughly halves; we fold that decay
+      // into the cached rho so the while-loop terminates without an extra
+      // solve (the paper charges 1 round per Perturbation, no solve).
+      for (int guard = 0; total_progress > 0 && guard < 64; ++guard) {
+        double rho_nu3 = 0;
+        for (int e = 0; e < me; ++e) {
+          rho_nu3 += lf.nu[static_cast<std::size_t>(e)] *
+                     std::pow(std::abs(rho[static_cast<std::size_t>(e)]), 3.0);
+        }
+        rho_nu3 = std::cbrt(rho_nu3);
+        if (rho_nu3 <= rho_threshold) break;
+        ++rep.perturbations;
+        for (int q = 0; q < lf.nq; ++q) {
+          const int e0 = 2 * q;
+          const int e1 = 2 * q + 1;
+          // e = the squeezed side (smaller f), ebar = its partner.
+          const int e = lf.f[static_cast<std::size_t>(e0)] <=
+                                lf.f[static_cast<std::size_t>(e1)]
+                            ? e0
+                            : e1;
+          const int ebar = e ^ 1;
+          const double s_old = lf.s[static_cast<std::size_t>(e)];
+          // y_v -= s_e raises both slacks at v by s_e.
+          lf.y[static_cast<std::size_t>(lf.np + q)] -= s_old;
+          lf.s[static_cast<std::size_t>(e)] += s_old;
+          lf.s[static_cast<std::size_t>(ebar)] += s_old;
+          lf.nu[static_cast<std::size_t>(e)] *= 2.0;
+          lf.nu[static_cast<std::size_t>(ebar)] +=
+              lf.nu[static_cast<std::size_t>(e)] * lf.f[static_cast<std::size_t>(e)] /
+              std::max(lf.f[static_cast<std::size_t>(ebar)], 1e-12);
+          rho[static_cast<std::size_t>(e)] /= 2.0;
+        }
+        net.charge(1);
+      }
+
+      // Progress (Algorithm 9): two Laplacian solves.
+      ++total_progress;
+      ++rep.ipm_iterations;
+      std::vector<double> r(static_cast<std::size_t>(me));
+      for (int e = 0; e < me; ++e) {
+        r[static_cast<std::size_t>(e)] =
+            lf.nu[static_cast<std::size_t>(e)] /
+            std::max(lf.f[static_cast<std::size_t>(e)] *
+                         lf.f[static_cast<std::size_t>(e)],
+                     1e-18);
+      }
+      BipartiteElectrical be = make_electrical(lf, r);
+      ElectricalOptions eopt;
+      eopt.mode = opt.electrical_mode;
+      eopt.eps = opt.solve_eps;
+      ElectricalSolver solver1(be.nv, be.edges, eopt);
+      ++rep.laplacian_solves;
+      linalg::Vec phi;
+      if (opt.electrical_mode == ElectricalMode::kDirect) {
+        net.charge(rep.rounds_per_solve);
+        phi = solver1.potentials(chi);
+      } else {
+        phi = solver1.potentials(chi, &net);
+      }
+      std::vector<double> ftilde(static_cast<std::size_t>(me));
+      for (int e = 0; e < me; ++e) {
+        ftilde[static_cast<std::size_t>(e)] =
+            (phi[static_cast<std::size_t>(lf.q_of_edge(e))] -
+             phi[static_cast<std::size_t>(lf.p_of_edge(e))]) /
+            r[static_cast<std::size_t>(e)];
+      }
+      for (int e = 0; e < me; ++e) {
+        rho[static_cast<std::size_t>(e)] =
+            std::abs(ftilde[static_cast<std::size_t>(e)]) /
+            std::max(lf.f[static_cast<std::size_t>(e)], 1e-12);
+      }
+      double rho_nu4 = 0;
+      for (int e = 0; e < me; ++e) {
+        rho_nu4 += lf.nu[static_cast<std::size_t>(e)] *
+                   std::pow(rho[static_cast<std::size_t>(e)], 4.0);
+      }
+      rho_nu4 = std::pow(rho_nu4, 0.25);
+      const double delta = std::min(1.0 / (8.0 * std::max(rho_nu4, 1e-9)), 1.0 / 8.0);
+
+      std::vector<double> fprime(static_cast<std::size_t>(me));
+      std::vector<double> sprime(static_cast<std::size_t>(me));
+      for (int e = 0; e < me; ++e) {
+        fprime[static_cast<std::size_t>(e)] =
+            (1.0 - delta) * lf.f[static_cast<std::size_t>(e)] +
+            delta * ftilde[static_cast<std::size_t>(e)];
+        const double dphi = phi[static_cast<std::size_t>(lf.q_of_edge(e))] -
+                            phi[static_cast<std::size_t>(lf.p_of_edge(e))];
+        sprime[static_cast<std::size_t>(e)] =
+            lf.s[static_cast<std::size_t>(e)] - delta / (1.0 - delta) * dphi;
+      }
+      std::vector<double> fsharp(static_cast<std::size_t>(me));
+      for (int e = 0; e < me; ++e) {
+        fsharp[static_cast<std::size_t>(e)] =
+            (1.0 - delta) * lf.f[static_cast<std::size_t>(e)] *
+            lf.s[static_cast<std::size_t>(e)] /
+            std::max(std::abs(sprime[static_cast<std::size_t>(e)]), 1e-12) *
+            (sprime[static_cast<std::size_t>(e)] >= 0 ? 1.0 : -1.0);
+      }
+      // Residue of f' - f# becomes the second solve's demand.
+      linalg::Vec chi2(static_cast<std::size_t>(be.nv), 0.0);
+      for (int e = 0; e < me; ++e) {
+        const double d = fprime[static_cast<std::size_t>(e)] -
+                         fsharp[static_cast<std::size_t>(e)];
+        chi2[static_cast<std::size_t>(lf.q_of_edge(e))] += d;
+        chi2[static_cast<std::size_t>(lf.p_of_edge(e))] -= d;
+      }
+      std::vector<double> r2(static_cast<std::size_t>(me));
+      for (int e = 0; e < me; ++e) {
+        r2[static_cast<std::size_t>(e)] =
+            sprime[static_cast<std::size_t>(e)] * sprime[static_cast<std::size_t>(e)] /
+            std::max((1.0 - delta) * lf.f[static_cast<std::size_t>(e)] *
+                         lf.s[static_cast<std::size_t>(e)],
+                     1e-18);
+      }
+      BipartiteElectrical be2 = make_electrical(lf, r2);
+      ElectricalSolver solver2(be2.nv, be2.edges, eopt);
+      ++rep.laplacian_solves;
+      linalg::Vec phi2;
+      if (opt.electrical_mode == ElectricalMode::kDirect) {
+        net.charge(rep.rounds_per_solve);
+        phi2 = solver2.potentials(chi2);
+      } else {
+        phi2 = solver2.potentials(chi2, &net);
+      }
+      for (int e = 0; e < me; ++e) {
+        const double ft2 = (phi2[static_cast<std::size_t>(lf.q_of_edge(e))] -
+                            phi2[static_cast<std::size_t>(lf.p_of_edge(e))]) /
+                           r2[static_cast<std::size_t>(e)];
+        double fnew = fsharp[static_cast<std::size_t>(e)] + ft2;
+        // Stay strictly inside (0,1) x (partner) — the IPM's interior.
+        fnew = std::clamp(fnew, 1e-9, 1.0 - 1e-9);
+        const double snew =
+            sprime[static_cast<std::size_t>(e)] -
+            sprime[static_cast<std::size_t>(e)] * ft2 /
+                std::max(std::abs(fsharp[static_cast<std::size_t>(e)]), 1e-12);
+        lf.f[static_cast<std::size_t>(e)] = fnew;
+        lf.s[static_cast<std::size_t>(e)] = std::max(snew, 1e-12);
+      }
+      lf.mu_hat *= (1.0 - delta);
+      net.charge(2);  // norm allreduces
+      if (lf.mu_hat < mu_exit) done = true;
+      if (total_progress >= opt.max_iterations) done = true;
+    }
+  }
+
+  // Repairing (Algorithm 10): round to an integral matching, meet the
+  // remaining demands with shortest augmenting paths, then cancel negative
+  // cycles so the result is certifiably optimal.
+  net.set_phase("mincost/rounding");
+  {
+    // Normalize per Q vertex so f_e + f_ebar = 1, then snap to the grid and
+    // rebuild the s/t closure exactly (so conservation is exact).
+    int k = 2;
+    while ((1 << k) < 4 * me) ++k;
+    const double grid = 1.0 / static_cast<double>(1 << k);
+    std::vector<std::int64_t> units(static_cast<std::size_t>(me));
+    for (int q = 0; q < lf.nq; ++q) {
+      const double tot = lf.f[static_cast<std::size_t>(2 * q)] +
+                         lf.f[static_cast<std::size_t>(2 * q + 1)];
+      const double f0 = lf.f[static_cast<std::size_t>(2 * q)] / std::max(tot, 1e-12);
+      const auto u0 = static_cast<std::int64_t>(std::llround(f0 / grid));
+      units[static_cast<std::size_t>(2 * q)] = u0;
+      units[static_cast<std::size_t>(2 * q + 1)] =
+          static_cast<std::int64_t>(std::llround(1.0 / grid)) - u0;
+    }
+    // Digraph: s -> P -> Q -> t.
+    const int s_node = lf.np + lf.nq;
+    const int t_node = lf.np + lf.nq + 1;
+    Digraph rg(lf.np + lf.nq + 2);
+    graph::Flow rf;
+    std::vector<std::int64_t> p_out(static_cast<std::size_t>(lf.np), 0);
+    for (int e = 0; e < me; ++e) {
+      rg.add_arc(lf.p_of_edge(e), lf.q_of_edge(e), 2, 0);
+      rf.push_back(static_cast<double>(units[static_cast<std::size_t>(e)]) * grid);
+      p_out[static_cast<std::size_t>(lf.p_of_edge(e))] +=
+          units[static_cast<std::size_t>(e)];
+    }
+    for (int u = 0; u < lf.np; ++u) {
+      rg.add_arc(s_node, u, std::max<std::int64_t>(lf.b[static_cast<std::size_t>(u)], 1) + 2, 0);
+      rf.push_back(static_cast<double>(p_out[static_cast<std::size_t>(u)]) * grid);
+    }
+    for (int q = 0; q < lf.nq; ++q) {
+      rg.add_arc(lf.np + q, t_node, 3, 0);
+      rf.push_back(1.0);
+    }
+    euler::FlowRoundingOptions ropt;
+    ropt.delta = grid;
+    ropt.use_costs = true;
+    // The bipartite lift's Q vertices (one per arc) are virtual: each is
+    // simulated by its arc's tail node, so rounding runs on a lifted network
+    // whose rounds are charged to the real one.
+    clique::Network lifted_net(lf.np + lf.nq + 2);
+    // Attach the real matching costs so the cost-aware rule applies.
+    Digraph rg_costed(lf.np + lf.nq + 2);
+    for (int e = 0; e < me; ++e) {
+      rg_costed.add_arc(lf.p_of_edge(e), lf.q_of_edge(e), 2,
+                        static_cast<std::int64_t>(lf.cost_of_edge(e)));
+    }
+    for (int u = 0; u < lf.np; ++u) {
+      rg_costed.add_arc(s_node, u,
+                        std::max<std::int64_t>(lf.b[static_cast<std::size_t>(u)], 1) + 2, 0);
+    }
+    for (int q = 0; q < lf.nq; ++q) rg_costed.add_arc(lf.np + q, t_node, 3, 0);
+    const euler::FlowRoundingResult rr =
+        euler::round_flow(rg_costed, rf, s_node, t_node, lifted_net, ropt);
+    net.charge(lifted_net.rounds());
+    rep.rounding_phases = rr.phases;
+
+    // Matched side per arc of G1.
+    for (int q = 0; q < lf.nq; ++q) {
+      const double tail = rr.flow[static_cast<std::size_t>(2 * q)];
+      // tail side matched => arc used.
+      lf.f[static_cast<std::size_t>(2 * q)] = tail >= 0.5 ? 1.0 : 0.0;
+      lf.f[static_cast<std::size_t>(2 * q + 1)] = tail >= 0.5 ? 0.0 : 1.0;
+    }
+  }
+
+  // Finishing on G1: meet demands exactly with min-cost augmenting paths.
+  net.set_phase("mincost/finishing");
+  std::vector<std::int64_t> f1(static_cast<std::size_t>(lf.g1.num_arcs()), 0);
+  for (int q = 0; q < lf.nq; ++q) {
+    f1[static_cast<std::size_t>(q)] =
+        lf.f[static_cast<std::size_t>(2 * q)] >= 0.5 ? 1 : 0;
+  }
+  auto excess_of = [&lf, &f1](int v) {
+    std::int64_t ex = 0;
+    for (int a : lf.g1.in_arcs(v)) ex += f1[static_cast<std::size_t>(a)];
+    for (int a : lf.g1.out_arcs(v)) ex -= f1[static_cast<std::size_t>(a)];
+    return ex;
+  };
+
+  const int n1 = lf.g1.num_vertices();
+
+  // Residual network snapshot: forward arcs for unused g1 arcs, backward
+  // (negative-cost) arcs for used ones.
+  struct Residual {
+    Digraph rg;
+    std::vector<double> len;
+    std::vector<std::pair<int, bool>> arc_map;  // (g1 arc, forward?)
+  };
+  auto build_residual = [&lf, &f1, n1]() {
+    Residual r;
+    r.rg = Digraph(n1);
+    for (int a = 0; a < lf.g1.num_arcs(); ++a) {
+      const graph::Arc& arc = lf.g1.arc(a);
+      if (f1[static_cast<std::size_t>(a)] == 0) {
+        r.rg.add_arc(arc.from, arc.to, 1, 0);
+        r.len.push_back(static_cast<double>(arc.cost));
+        r.arc_map.emplace_back(a, true);
+      } else {
+        r.rg.add_arc(arc.to, arc.from, 1, 0);
+        r.len.push_back(-static_cast<double>(arc.cost));
+        r.arc_map.emplace_back(a, false);
+      }
+    }
+    return r;
+  };
+
+  // Cancel every negative residual cycle (rounding is value-preserving but
+  // not cost-optimal, so cycles may exist both before and between the
+  // augmentations below).  Charged at the CKKL detection bound per pass.
+  auto cancel_negative_cycles = [&]() {
+    while (true) {
+      const Residual r = build_residual();
+      std::vector<double> dist(static_cast<std::size_t>(n1), 0.0);
+      std::vector<int> parent(static_cast<std::size_t>(n1), -1);
+      int relaxed_vertex = -1;
+      for (int it = 0; it < n1; ++it) {
+        relaxed_vertex = -1;
+        for (int ra = 0; ra < r.rg.num_arcs(); ++ra) {
+          const graph::Arc& arc = r.rg.arc(ra);
+          if (dist[static_cast<std::size_t>(arc.from)] +
+                  r.len[static_cast<std::size_t>(ra)] <
+              dist[static_cast<std::size_t>(arc.to)] - 1e-9) {
+            dist[static_cast<std::size_t>(arc.to)] =
+                dist[static_cast<std::size_t>(arc.from)] +
+                r.len[static_cast<std::size_t>(ra)];
+            parent[static_cast<std::size_t>(arc.to)] = ra;
+            relaxed_vertex = arc.to;
+          }
+        }
+        if (relaxed_vertex == -1) break;
+      }
+      net.charge(static_cast<std::int64_t>(
+          std::ceil(std::pow(std::max(2, n1), opt.sssp.ckkl_exponent))));
+      if (relaxed_vertex == -1) return;
+      // Walk back n1 steps to land on the cycle, then flip it.
+      int v = relaxed_vertex;
+      for (int i = 0; i < n1; ++i) {
+        v = r.rg.arc(parent[static_cast<std::size_t>(v)]).from;
+      }
+      ++rep.negative_cycles_cancelled;
+      const int start = v;
+      int cur = v;
+      do {
+        const int ra = parent[static_cast<std::size_t>(cur)];
+        const auto [a, fwd] = r.arc_map[static_cast<std::size_t>(ra)];
+        f1[static_cast<std::size_t>(a)] = fwd ? 1 : 0;
+        cur = r.rg.arc(ra).from;
+      } while (cur != start);
+    }
+  };
+
+  // Successive shortest paths from over-supplied to under-supplied
+  // vertices, keeping the residual free of negative cycles throughout (so
+  // every augmentation is a true shortest path and optimality is certified
+  // at the end).
+  cancel_negative_cycles();
+  while (true) {
+    std::vector<int> sources;
+    std::vector<int> sinks;
+    for (int v = 0; v < n1; ++v) {
+      const std::int64_t d = lf.sigma_my[static_cast<std::size_t>(v)] - excess_of(v);
+      if (d < 0) sources.push_back(v);
+      if (d > 0) sinks.push_back(v);
+    }
+    if (sources.empty() || sinks.empty()) break;
+
+    const Residual r = build_residual();
+    std::vector<char> usable(static_cast<std::size_t>(r.rg.num_arcs()), 1);
+    SsspResult sp = multi_source_sssp(r.rg, sources, r.len, usable, net, opt.sssp);
+    // Nearest reachable sink.
+    int best_sink = -1;
+    for (int v : sinks) {
+      if (sp.dist[static_cast<std::size_t>(v)] < kInf &&
+          (best_sink == -1 || sp.dist[static_cast<std::size_t>(v)] <
+                                  sp.dist[static_cast<std::size_t>(best_sink)])) {
+        best_sink = v;
+      }
+    }
+    if (best_sink == -1) break;  // demands not routable
+    ++rep.finishing_paths;
+    int v = best_sink;
+    while (sp.parent_arc[static_cast<std::size_t>(v)] != -1) {
+      const int ra = sp.parent_arc[static_cast<std::size_t>(v)];
+      const auto [a, fwd] = r.arc_map[static_cast<std::size_t>(ra)];
+      f1[static_cast<std::size_t>(a)] = fwd ? 1 : 0;
+      v = r.rg.arc(ra).from;
+    }
+    net.charge(1);
+    cancel_negative_cycles();
+  }
+
+  // Verify and extract.
+  rep.feasible = true;
+  for (int v = 0; v < n1; ++v) {
+    if (excess_of(v) != lf.sigma_my[static_cast<std::size_t>(v)]) {
+      rep.feasible = false;
+    }
+  }
+  for (int a = 0; a < lf.g1.num_arcs(); ++a) {
+    if (lf.is_aux[static_cast<std::size_t>(a)] != 0 &&
+        f1[static_cast<std::size_t>(a)] != 0) {
+      rep.feasible = false;  // needed the expensive escape arcs
+    }
+  }
+  if (rep.feasible) {
+    for (int a = 0; a < g.num_arcs(); ++a) {
+      rep.flow[static_cast<std::size_t>(a)] = f1[static_cast<std::size_t>(a)];
+      rep.cost += g.arc(a).cost * f1[static_cast<std::size_t>(a)];
+    }
+  }
+  rep.rounds = net.rounds() - rounds_before;
+  return rep;
+}
+
+}  // namespace lapclique::flow

@@ -1,0 +1,70 @@
+// Theorem 1.3: deterministic unit-capacity minimum-cost flow in
+// Õ(m^{3/7}(n^{0.158} + n^{o(1)} polylog W)) congested-clique rounds, via the
+// interior point method of Cohen-Mądry-Sankowski-Vladu [CMSV17]
+// (Algorithms 6-10, as phrased for the distributed setting by [FGLP+21]).
+//
+// Pipeline:
+//   * Initialization (Alg 7): auxiliary vertex v_aux guarantees feasibility
+//     (its parallel edges cost ||c||_1, so optima avoid them iff the
+//     original demands are routable); bipartite lift P u Q where every arc
+//     (u,v) becomes a Q-vertex e_uv with b(e_uv)=1 and bipartite edges
+//     (u,e_uv) of cost c_uv and (v,e_uv) of cost 0 — a min-cost perfect
+//     b-matching encoding of arc orientation;
+//   * main loop (Alg 6): nu-weighted central path; Progress (Alg 9, two
+//     Laplacian solves per iteration) advances the path; Perturbation
+//     (Alg 8) reweights nu when the ||rho||_{nu,3} congestion is too large;
+//   * Repairing (Alg 10): FlowRounding makes the fractional matching
+//     integral; successive shortest augmenting paths (each charged at the
+//     [CKKL+19] O(n^0.158) bound) meet the remaining demands; finally
+//     negative-cycle cancellation certifies exact optimality (the paper's
+//     potential maintenance makes this vacuous for a converged IPM; we run
+//     it unconditionally and report how many cancellations were needed).
+//
+// As with max flow, exactness never depends on IPM convergence; the
+// finishing-path and cancellation counts are the measured "distance from
+// the theory" reported in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cliquesim/network.hpp"
+#include "flow/distributed_sssp.hpp"
+#include "flow/electrical.hpp"
+#include "graph/digraph.hpp"
+
+namespace lapclique::flow {
+
+struct MinCostIpmOptions {
+  double eta = 1.0 / 14.0;  ///< Alg 7 line 13
+  /// Scales the pseudocode's c_T * m^{1/2-3 eta} x m^{2 eta} budget.
+  double iteration_scale = 1.0;
+  std::int64_t max_iterations = 200000;
+  ElectricalMode electrical_mode = ElectricalMode::kDirect;
+  double solve_eps = 1e-10;
+  SsspOptions sssp;
+};
+
+struct MinCostIpmReport {
+  bool feasible = false;
+  std::int64_t cost = 0;
+  std::vector<std::int64_t> flow;  ///< per original arc (0/1)
+  std::int64_t rounds = 0;
+  std::int64_t rounds_per_solve = 0;
+  int ipm_iterations = 0;
+  int perturbations = 0;
+  int laplacian_solves = 0;
+  int finishing_paths = 0;
+  int negative_cycles_cancelled = 0;
+  int rounding_phases = 0;
+};
+
+/// Exact min-cost flow on a unit-capacity digraph with integer costs and an
+/// integral demand vector sigma (convention (1'): excess(v) = inflow -
+/// outflow = sigma(v); sum must be 0).
+MinCostIpmReport min_cost_flow_clique(const graph::Digraph& g,
+                                      std::span<const std::int64_t> sigma,
+                                      clique::Network& net,
+                                      const MinCostIpmOptions& opt = {});
+
+}  // namespace lapclique::flow

@@ -1,0 +1,49 @@
+#include "flow/mincost_maxflow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lapclique::flow {
+
+using graph::Digraph;
+
+MinCostMaxFlowReport min_cost_max_flow_clique(const Digraph& g, int s, int t,
+                                              clique::Network& net,
+                                              const MinCostIpmOptions& opt) {
+  if (s == t || s < 0 || t < 0 || s >= g.num_vertices() || t >= g.num_vertices()) {
+    throw std::invalid_argument("min_cost_max_flow_clique: bad s/t");
+  }
+  const std::int64_t before = net.rounds();
+  MinCostMaxFlowReport rep;
+  rep.flow.assign(static_cast<std::size_t>(g.num_arcs()), 0);
+
+  // Unit capacities: |f*| is bounded by the local degrees.
+  std::int64_t lo = 0;
+  std::int64_t hi = std::min<std::int64_t>(g.out_degree(s), g.in_degree(t));
+
+  std::vector<std::int64_t> sigma(static_cast<std::size_t>(g.num_vertices()), 0);
+  MinCostIpmReport best;
+  while (lo < hi) {
+    const std::int64_t mid = (lo + hi + 1) / 2;
+    sigma.assign(sigma.size(), 0);
+    sigma[static_cast<std::size_t>(s)] = -mid;  // s produces mid units
+    sigma[static_cast<std::size_t>(t)] = mid;
+    ++rep.probes;
+    const MinCostIpmReport probe = min_cost_flow_clique(g, sigma, net, opt);
+    if (probe.feasible) {
+      lo = mid;
+      best = probe;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  rep.value = lo;
+  if (lo > 0) {
+    rep.cost = best.cost;
+    rep.flow = best.flow;
+  }
+  rep.rounds = net.rounds() - before;
+  return rep;
+}
+
+}  // namespace lapclique::flow

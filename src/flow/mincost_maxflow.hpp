@@ -1,0 +1,27 @@
+// Minimum-cost maximum s-t flow on unit-capacity digraphs, via the paper's
+// §2.4 remark: "This generalizes the minimum cost maximum s-t flow, since we
+// can binary search over the possible flow values."
+//
+// Each probe of the search runs the Theorem 1.3 pipeline on the demand
+// vector F * (chi_t - chi_s); the largest feasible F is the max flow value
+// and its flow is returned.  The binary search multiplies the round cost by
+// O(log n) (unit capacities bound |f*| <= n), which the paper's Õ absorbs.
+#pragma once
+
+#include "flow/mincost_ipm.hpp"
+
+namespace lapclique::flow {
+
+struct MinCostMaxFlowReport {
+  std::int64_t value = 0;
+  std::int64_t cost = 0;
+  std::vector<std::int64_t> flow;
+  std::int64_t rounds = 0;
+  int probes = 0;  ///< binary-search probes (full Theorem 1.3 runs)
+};
+
+MinCostMaxFlowReport min_cost_max_flow_clique(const graph::Digraph& g, int s,
+                                              int t, clique::Network& net,
+                                              const MinCostIpmOptions& opt = {});
+
+}  // namespace lapclique::flow

@@ -1,0 +1,180 @@
+#include "flow/ssp_mincost.hpp"
+
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace lapclique::flow {
+
+using graph::Digraph;
+
+namespace {
+
+/// Internal residual MCMF with SPFA shortest paths (handles the negative
+/// reduced costs that appear in residual networks without potentials).
+class Mcmf {
+ public:
+  explicit Mcmf(int n) : n_(n), head_(static_cast<std::size_t>(n), -1) {}
+
+  /// Adds arc and its residual twin; returns the index of the forward arc.
+  int add(int from, int to, std::int64_t cap, std::int64_t cost) {
+    add_one(from, to, cap, cost);
+    add_one(to, from, 0, -cost);
+    return static_cast<int>(arcs_.size()) - 2;
+  }
+
+  /// Sends as much flow as possible from s to t, cheapest-first.
+  /// Returns (flow, cost).
+  std::pair<std::int64_t, std::int64_t> run(int s, int t) {
+    std::int64_t total_flow = 0;
+    std::int64_t total_cost = 0;
+    while (true) {
+      // SPFA from s.
+      std::vector<std::int64_t> dist(static_cast<std::size_t>(n_),
+                                     std::numeric_limits<std::int64_t>::max());
+      std::vector<int> in_arc(static_cast<std::size_t>(n_), -1);
+      std::vector<char> in_queue(static_cast<std::size_t>(n_), 0);
+      std::queue<int> q;
+      dist[static_cast<std::size_t>(s)] = 0;
+      q.push(s);
+      in_queue[static_cast<std::size_t>(s)] = 1;
+      while (!q.empty()) {
+        const int v = q.front();
+        q.pop();
+        in_queue[static_cast<std::size_t>(v)] = 0;
+        for (int a = head_[static_cast<std::size_t>(v)]; a != -1;
+             a = arcs_[static_cast<std::size_t>(a)].next) {
+          const InternalArc& arc = arcs_[static_cast<std::size_t>(a)];
+          if (arc.cap <= 0) continue;
+          const std::int64_t nd = dist[static_cast<std::size_t>(v)] + arc.cost;
+          if (nd < dist[static_cast<std::size_t>(arc.to)]) {
+            dist[static_cast<std::size_t>(arc.to)] = nd;
+            in_arc[static_cast<std::size_t>(arc.to)] = a;
+            if (in_queue[static_cast<std::size_t>(arc.to)] == 0) {
+              q.push(arc.to);
+              in_queue[static_cast<std::size_t>(arc.to)] = 1;
+            }
+          }
+        }
+      }
+      if (in_arc[static_cast<std::size_t>(t)] == -1) break;
+      // Bottleneck along the path.
+      std::int64_t push = std::numeric_limits<std::int64_t>::max();
+      for (int v = t; v != s;) {
+        const InternalArc& arc =
+            arcs_[static_cast<std::size_t>(in_arc[static_cast<std::size_t>(v)])];
+        push = std::min(push, arc.cap);
+        v = arcs_[static_cast<std::size_t>(
+                      in_arc[static_cast<std::size_t>(v)] ^ 1)]
+                .to;
+      }
+      for (int v = t; v != s;) {
+        const int a = in_arc[static_cast<std::size_t>(v)];
+        arcs_[static_cast<std::size_t>(a)].cap -= push;
+        arcs_[static_cast<std::size_t>(a ^ 1)].cap += push;
+        v = arcs_[static_cast<std::size_t>(a ^ 1)].to;
+      }
+      total_flow += push;
+      total_cost += push * dist[static_cast<std::size_t>(t)];
+    }
+    return {total_flow, total_cost};
+  }
+
+  /// Flow pushed through forward arc `idx` (as returned by add()).
+  [[nodiscard]] std::int64_t flow_on(int idx, std::int64_t original_cap) const {
+    return original_cap - arcs_[static_cast<std::size_t>(idx)].cap;
+  }
+
+ private:
+  struct InternalArc {
+    int to;
+    std::int64_t cap;
+    std::int64_t cost;
+    int next;
+  };
+
+  void add_one(int from, int to, std::int64_t cap, std::int64_t cost) {
+    arcs_.push_back(InternalArc{to, cap, cost, head_[static_cast<std::size_t>(from)]});
+    head_[static_cast<std::size_t>(from)] = static_cast<int>(arcs_.size()) - 1;
+  }
+
+  int n_;
+  std::vector<int> head_;
+  std::vector<InternalArc> arcs_;
+};
+
+}  // namespace
+
+MinCostFlowResult ssp_min_cost_flow(const Digraph& g,
+                                    std::span<const std::int64_t> sigma) {
+  if (static_cast<int>(sigma.size()) != g.num_vertices()) {
+    throw std::invalid_argument("ssp_min_cost_flow: sigma size mismatch");
+  }
+  if (std::accumulate(sigma.begin(), sigma.end(), std::int64_t{0}) != 0) {
+    throw std::invalid_argument("ssp_min_cost_flow: demands must sum to zero");
+  }
+  const int n = g.num_vertices();
+  const int super_s = n;
+  const int super_t = n + 1;
+  Mcmf mcmf(n + 2);
+  std::vector<int> arc_idx(static_cast<std::size_t>(g.num_arcs()));
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    arc_idx[static_cast<std::size_t>(a)] =
+        mcmf.add(g.arc(a).from, g.arc(a).to, g.arc(a).cap, g.arc(a).cost);
+  }
+  std::int64_t need = 0;
+  for (int v = 0; v < n; ++v) {
+    const std::int64_t d = sigma[static_cast<std::size_t>(v)];
+    if (d < 0) {
+      mcmf.add(super_s, v, -d, 0);  // net producer: must push out -d
+      need += -d;
+    } else if (d > 0) {
+      mcmf.add(v, super_t, d, 0);  // net consumer
+    }
+  }
+  const auto [flow, cost] = mcmf.run(super_s, super_t);
+  MinCostFlowResult out;
+  out.feasible = flow == need;
+  out.cost = cost;
+  out.flow.assign(static_cast<std::size_t>(g.num_arcs()), 0);
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    out.flow[static_cast<std::size_t>(a)] =
+        mcmf.flow_on(arc_idx[static_cast<std::size_t>(a)], g.arc(a).cap);
+  }
+  return out;
+}
+
+MinCostFlowResult ssp_min_cost_max_flow(const Digraph& g, int s, int t) {
+  // First find the max-flow value, then the cheapest flow of that value:
+  // route value units by adding a super pair around s and t.
+  Mcmf probe(g.num_vertices());
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    probe.add(g.arc(a).from, g.arc(a).to, g.arc(a).cap, g.arc(a).cost);
+  }
+  const auto [value, cost0] = probe.run(s, t);
+  (void)cost0;
+
+  Mcmf mcmf(g.num_vertices() + 2);
+  const int super_s = g.num_vertices();
+  const int super_t = g.num_vertices() + 1;
+  std::vector<int> arc_idx(static_cast<std::size_t>(g.num_arcs()));
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    arc_idx[static_cast<std::size_t>(a)] =
+        mcmf.add(g.arc(a).from, g.arc(a).to, g.arc(a).cap, g.arc(a).cost);
+  }
+  mcmf.add(super_s, s, value, 0);
+  mcmf.add(t, super_t, value, 0);
+  const auto [flow, cost] = mcmf.run(super_s, super_t);
+  MinCostFlowResult out;
+  out.feasible = flow == value;
+  out.cost = cost;
+  out.flow.assign(static_cast<std::size_t>(g.num_arcs()), 0);
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    out.flow[static_cast<std::size_t>(a)] =
+        mcmf.flow_on(arc_idx[static_cast<std::size_t>(a)], g.arc(a).cap);
+  }
+  return out;
+}
+
+}  // namespace lapclique::flow

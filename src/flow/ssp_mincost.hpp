@@ -1,0 +1,29 @@
+// Successive-shortest-path minimum-cost flow — the sequential correctness
+// oracle for Theorem 1.3's distributed algorithm.  Solves the demand-vector
+// formulation of §2.4 (convention (1'): excess(v) = inflow - outflow =
+// sigma(v)).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace lapclique::flow {
+
+struct MinCostFlowResult {
+  bool feasible = false;
+  std::int64_t cost = 0;
+  std::vector<std::int64_t> flow;  ///< per arc of the input digraph
+};
+
+/// Min-cost flow meeting integral demands `sigma` (sum must be 0).
+MinCostFlowResult ssp_min_cost_flow(const graph::Digraph& g,
+                                    std::span<const std::int64_t> sigma);
+
+/// Min-cost *maximum* s-t flow (used by tests for the s-t specialization).
+MinCostFlowResult ssp_min_cost_max_flow(const graph::Digraph& g, int s, int t);
+
+}  // namespace lapclique::flow

@@ -1,0 +1,79 @@
+#include "graph/connectivity.hpp"
+
+#include <queue>
+
+namespace lapclique::graph {
+
+Components connected_components(const Graph& g) {
+  const int n = g.num_vertices();
+  Components out;
+  out.comp.assign(static_cast<std::size_t>(n), -1);
+  std::vector<int> stack;
+  for (int s = 0; s < n; ++s) {
+    if (out.comp[static_cast<std::size_t>(s)] != -1) continue;
+    const int c = out.count++;
+    out.comp[static_cast<std::size_t>(s)] = c;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (const Incidence& inc : g.incident(v)) {
+        if (out.comp[static_cast<std::size_t>(inc.other)] == -1) {
+          out.comp[static_cast<std::size_t>(inc.other)] = c;
+          stack.push_back(inc.other);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_vertices() <= 1 || connected_components(g).count == 1;
+}
+
+bool all_degrees_even(const Graph& g) {
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) % 2 != 0) return false;
+  }
+  return true;
+}
+
+std::vector<int> bfs_distances(const Graph& g, int source) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::queue<int> q;
+  dist[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (const Incidence& inc : g.incident(v)) {
+      if (dist[static_cast<std::size_t>(inc.other)] == -1) {
+        dist[static_cast<std::size_t>(inc.other)] = dist[static_cast<std::size_t>(v)] + 1;
+        q.push(inc.other);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<char> reachable(const Digraph& g, int source,
+                            const std::vector<double>& residual) {
+  std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<int> stack{source};
+  seen[static_cast<std::size_t>(source)] = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int a : g.out_arcs(v)) {
+      if (residual[static_cast<std::size_t>(a)] > 0 &&
+          seen[static_cast<std::size_t>(g.arc(a).to)] == 0) {
+        seen[static_cast<std::size_t>(g.arc(a).to)] = 1;
+        stack.push_back(g.arc(a).to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace lapclique::graph

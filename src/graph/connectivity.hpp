@@ -1,0 +1,32 @@
+// Connectivity utilities shared across modules.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace lapclique::graph {
+
+/// Component id per vertex (ids are dense, 0-based) and component count.
+struct Components {
+  std::vector<int> comp;
+  int count = 0;
+};
+
+[[nodiscard]] Components connected_components(const Graph& g);
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// True iff every vertex has even degree (parallel edges counted with
+/// multiplicity) — the precondition of Theorem 1.4.
+[[nodiscard]] bool all_degrees_even(const Graph& g);
+
+/// BFS distances from `source` (hop counts; -1 if unreachable).
+[[nodiscard]] std::vector<int> bfs_distances(const Graph& g, int source);
+
+/// Vertices reachable from `source` along arcs with positive residual
+/// capacity `residual[a] > 0`.
+[[nodiscard]] std::vector<char> reachable(const Digraph& g, int source,
+                                          const std::vector<double>& residual);
+
+}  // namespace lapclique::graph

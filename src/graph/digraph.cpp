@@ -1,0 +1,98 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lapclique::graph {
+
+Digraph::Digraph(int n)
+    : n_(n),
+      out_(static_cast<std::size_t>(std::max(n, 0))),
+      in_(static_cast<std::size_t>(std::max(n, 0))) {
+  if (n < 0) throw std::invalid_argument("Digraph: n must be non-negative");
+}
+
+void Digraph::check_vertex(int v) const {
+  if (v < 0 || v >= n_) throw std::out_of_range("Digraph: vertex out of range");
+}
+
+int Digraph::add_arc(int from, int to, std::int64_t cap, std::int64_t cost) {
+  check_vertex(from);
+  check_vertex(to);
+  if (from == to) throw std::invalid_argument("Digraph: self-loops not allowed");
+  if (cap < 0) throw std::invalid_argument("Digraph: negative capacity");
+  const int a = static_cast<int>(arcs_.size());
+  arcs_.push_back(Arc{from, to, cap, cost});
+  out_[static_cast<std::size_t>(from)].push_back(a);
+  in_[static_cast<std::size_t>(to)].push_back(a);
+  return a;
+}
+
+std::span<const int> Digraph::out_arcs(int v) const {
+  check_vertex(v);
+  return out_[static_cast<std::size_t>(v)];
+}
+
+std::span<const int> Digraph::in_arcs(int v) const {
+  check_vertex(v);
+  return in_[static_cast<std::size_t>(v)];
+}
+
+std::int64_t Digraph::max_capacity() const {
+  std::int64_t u = 0;
+  for (const Arc& a : arcs_) u = std::max(u, a.cap);
+  return u;
+}
+
+std::int64_t Digraph::max_cost() const {
+  std::int64_t w = 0;
+  for (const Arc& a : arcs_) w = std::max(w, std::abs(a.cost));
+  return w;
+}
+
+double flow_value(const Digraph& g, const Flow& f, int s) {
+  double v = 0;
+  for (int a : g.out_arcs(s)) v += f[static_cast<std::size_t>(a)];
+  for (int a : g.in_arcs(s)) v -= f[static_cast<std::size_t>(a)];
+  return v;
+}
+
+double flow_cost(const Digraph& g, const Flow& f) {
+  double c = 0;
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    c += static_cast<double>(g.arc(a).cost) * f[static_cast<std::size_t>(a)];
+  }
+  return c;
+}
+
+bool is_feasible_st_flow(const Digraph& g, const Flow& f, int s, int t, double tol) {
+  if (static_cast<int>(f.size()) != g.num_arcs()) return false;
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    const double fa = f[static_cast<std::size_t>(a)];
+    if (fa < -tol || fa > static_cast<double>(g.arc(a).cap) + tol) return false;
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (v == s || v == t) continue;
+    double net = 0;
+    for (int a : g.out_arcs(v)) net += f[static_cast<std::size_t>(a)];
+    for (int a : g.in_arcs(v)) net -= f[static_cast<std::size_t>(a)];
+    if (std::abs(net) > tol) return false;
+  }
+  return true;
+}
+
+bool satisfies_demands(const Digraph& g, const Flow& f,
+                       std::span<const std::int64_t> sigma, double tol) {
+  if (static_cast<int>(sigma.size()) != g.num_vertices()) return false;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    double excess = 0;
+    for (int a : g.in_arcs(v)) excess += f[static_cast<std::size_t>(a)];
+    for (int a : g.out_arcs(v)) excess -= f[static_cast<std::size_t>(a)];
+    if (std::abs(excess - static_cast<double>(sigma[static_cast<std::size_t>(v)])) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lapclique::graph

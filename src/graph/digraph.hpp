@@ -1,0 +1,71 @@
+// Directed graph with integer capacities and costs, the input format of the
+// flow problems (§2.4): max flow takes capacities u : E -> {1..U}; unit
+// capacity min-cost flow takes costs c : E -> {1..W} and a demand vector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace lapclique::graph {
+
+struct Arc {
+  int from = -1;
+  int to = -1;
+  std::int64_t cap = 1;
+  std::int64_t cost = 0;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int n);
+
+  [[nodiscard]] int num_vertices() const { return n_; }
+  [[nodiscard]] int num_arcs() const { return static_cast<int>(arcs_.size()); }
+
+  int add_arc(int from, int to, std::int64_t cap = 1, std::int64_t cost = 0);
+
+  [[nodiscard]] const Arc& arc(int a) const { return arcs_.at(static_cast<std::size_t>(a)); }
+  [[nodiscard]] std::span<const Arc> arcs() const { return arcs_; }
+  /// Arc ids leaving / entering v.
+  [[nodiscard]] std::span<const int> out_arcs(int v) const;
+  [[nodiscard]] std::span<const int> in_arcs(int v) const;
+
+  [[nodiscard]] int out_degree(int v) const { return static_cast<int>(out_arcs(v).size()); }
+  [[nodiscard]] int in_degree(int v) const { return static_cast<int>(in_arcs(v).size()); }
+
+  [[nodiscard]] std::int64_t max_capacity() const;
+  [[nodiscard]] std::int64_t max_cost() const;
+
+ private:
+  void check_vertex(int v) const;
+
+  int n_ = 0;
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+};
+
+/// A flow assignment on the arcs of a digraph.
+using Flow = std::vector<double>;
+
+/// Value of an s-t flow: net flow out of s.
+double flow_value(const Digraph& g, const Flow& f, int s);
+
+/// Cost of a flow: sum over arcs of cost * flow.
+double flow_cost(const Digraph& g, const Flow& f);
+
+/// Checks capacity constraints (0 <= f_e <= u_e, tolerance tol) and flow
+/// conservation at every vertex except s and t.
+bool is_feasible_st_flow(const Digraph& g, const Flow& f, int s, int t,
+                         double tol = 1e-7);
+
+/// Checks conservation against a demand vector sigma (net outflow(v) = -sigma?).
+/// We use the paper's convention (1'): net *inflow* minus outflow equals
+/// sigma(v) for a demand sigma with sum zero; i.e. excess(v) = sigma(v).
+bool satisfies_demands(const Digraph& g, const Flow& f,
+                       std::span<const std::int64_t> sigma, double tol = 1e-7);
+
+}  // namespace lapclique::graph

@@ -1,0 +1,64 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace lapclique::graph {
+
+Graph::Graph(int n) : n_(n), adj_(static_cast<std::size_t>(std::max(n, 0))) {
+  if (n < 0) throw std::invalid_argument("Graph: n must be non-negative");
+}
+
+void Graph::check_vertex(int v) const {
+  if (v < 0 || v >= n_) throw std::out_of_range("Graph: vertex out of range");
+}
+
+int Graph::add_edge(int u, int v, double w) {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v) throw std::invalid_argument("Graph: self-loops not allowed");
+  if (!(w > 0)) throw std::invalid_argument("Graph: weight must be positive");
+  const int e = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{u, v, w});
+  adj_[static_cast<std::size_t>(u)].push_back(Incidence{e, v});
+  adj_[static_cast<std::size_t>(v)].push_back(Incidence{e, u});
+  return e;
+}
+
+std::span<const Incidence> Graph::incident(int v) const {
+  check_vertex(v);
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+double Graph::weighted_degree(int v) const {
+  double s = 0;
+  for (const Incidence& inc : incident(v)) s += edges_[static_cast<std::size_t>(inc.edge)].w;
+  return s;
+}
+
+double Graph::total_weight() const {
+  double s = 0;
+  for (const Edge& e : edges_) s += e.w;
+  return s;
+}
+
+void Graph::scale_weights(double s) {
+  if (!(s > 0)) throw std::invalid_argument("Graph: scale must be positive");
+  for (Edge& e : edges_) e.w *= s;
+}
+
+Graph Graph::induced_subgraph(std::span<const int> vertices) const {
+  std::vector<int> old_to_new(static_cast<std::size_t>(n_), -1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    check_vertex(vertices[i]);
+    old_to_new[static_cast<std::size_t>(vertices[i])] = static_cast<int>(i);
+  }
+  Graph sub(static_cast<int>(vertices.size()));
+  for (const Edge& e : edges_) {
+    const int nu = old_to_new[static_cast<std::size_t>(e.u)];
+    const int nv = old_to_new[static_cast<std::size_t>(e.v)];
+    if (nu >= 0 && nv >= 0) sub.add_edge(nu, nv, e.w);
+  }
+  return sub;
+}
+
+}  // namespace lapclique::graph

@@ -1,0 +1,63 @@
+// Undirected weighted multigraph.
+//
+// Parallel edges are allowed (the Eulerian-orientation machinery and the
+// CMSV initialization both create them); self-loops are rejected because
+// they contribute nothing to a Laplacian and break cycle pairing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace lapclique::graph {
+
+struct Edge {
+  int u = -1;
+  int v = -1;
+  double w = 1.0;
+};
+
+/// Entry of an adjacency list: edge id plus the endpoint opposite the owner.
+struct Incidence {
+  int edge = -1;
+  int other = -1;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n);
+
+  [[nodiscard]] int num_vertices() const { return n_; }
+  [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds an undirected edge {u,v} with weight w > 0; returns its edge id.
+  int add_edge(int u, int v, double w = 1.0);
+
+  [[nodiscard]] const Edge& edge(int e) const { return edges_.at(static_cast<std::size_t>(e)); }
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+  [[nodiscard]] std::span<const Incidence> incident(int v) const;
+
+  [[nodiscard]] int degree(int v) const {
+    return static_cast<int>(incident(v).size());
+  }
+  [[nodiscard]] double weighted_degree(int v) const;
+  [[nodiscard]] double total_weight() const;
+
+  /// Multiply every weight by `s` (s > 0).
+  void scale_weights(double s);
+
+  /// Returns the subgraph induced by `vertices`, plus the mapping from new
+  /// vertex ids to old ones (new id i corresponds to vertices[i]).
+  [[nodiscard]] Graph induced_subgraph(std::span<const int> vertices) const;
+
+ private:
+  void check_vertex(int v) const;
+
+  int n_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Incidence>> adj_;
+};
+
+}  // namespace lapclique::graph

@@ -1,0 +1,44 @@
+#include "graph/laplacian.hpp"
+
+#include <cmath>
+
+namespace lapclique::graph {
+
+linalg::CsrMatrix laplacian(const Graph& g) {
+  std::vector<linalg::Triplet> t;
+  t.reserve(static_cast<std::size_t>(g.num_edges()) * 4);
+  for (const Edge& e : g.edges()) {
+    t.push_back({e.u, e.u, e.w});
+    t.push_back({e.v, e.v, e.w});
+    t.push_back({e.u, e.v, -e.w});
+    t.push_back({e.v, e.u, -e.w});
+  }
+  return linalg::CsrMatrix::from_triplets(g.num_vertices(), t);
+}
+
+linalg::CsrMatrix normalized_laplacian(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<double> dinv_sqrt(static_cast<std::size_t>(n), 0.0);
+  for (int v = 0; v < n; ++v) {
+    const double d = g.weighted_degree(v);
+    if (d > 0) dinv_sqrt[static_cast<std::size_t>(v)] = 1.0 / std::sqrt(d);
+  }
+  std::vector<linalg::Triplet> t;
+  t.reserve(static_cast<std::size_t>(g.num_edges()) * 4);
+  for (const Edge& e : g.edges()) {
+    const double su = dinv_sqrt[static_cast<std::size_t>(e.u)];
+    const double sv = dinv_sqrt[static_cast<std::size_t>(e.v)];
+    t.push_back({e.u, e.u, e.w * su * su});
+    t.push_back({e.v, e.v, e.w * sv * sv});
+    t.push_back({e.u, e.v, -e.w * su * sv});
+    t.push_back({e.v, e.u, -e.w * su * sv});
+  }
+  return linalg::CsrMatrix::from_triplets(n, t);
+}
+
+double laplacian_norm(const linalg::CsrMatrix& l, std::span<const double> x) {
+  const double q = l.quadratic_form(x);
+  return q > 0 ? std::sqrt(q) : 0.0;
+}
+
+}  // namespace lapclique::graph

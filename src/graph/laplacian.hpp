@@ -1,0 +1,20 @@
+// Laplacian matrix construction (§1): L(G) = D(G) - A(G).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "linalg/csr.hpp"
+
+namespace lapclique::graph {
+
+/// CSR Laplacian of an undirected weighted (multi)graph.
+[[nodiscard]] linalg::CsrMatrix laplacian(const Graph& g);
+
+/// Normalized Laplacian N = D^{-1/2} L D^{-1/2} (isolated vertices get
+/// zero rows).  Used by the spectral machinery for Cheeger bounds.
+[[nodiscard]] linalg::CsrMatrix normalized_laplacian(const Graph& g);
+
+/// ||x||_L = sqrt(x^T L x), the norm the paper's error bound uses.
+[[nodiscard]] double laplacian_norm(const linalg::CsrMatrix& l,
+                                    std::span<const double> x);
+
+}  // namespace lapclique::graph

@@ -1,0 +1,40 @@
+// Deterministic pseudo-randomness for generators and the randomized
+// baselines.  Everything in this repository that "samples" does so from an
+// explicit seed, so every test, example, and bench is reproducible bit for
+// bit.  (The paper's algorithms themselves are deterministic; randomness
+// appears only in workload generation and in the randomized baseline the
+// paper compares against.)
+#pragma once
+
+#include <cstdint>
+
+namespace lapclique::graph {
+
+/// SplitMix64: tiny, high-quality, deterministic.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection-free modulo is fine for workload generation.
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace lapclique::graph

@@ -1,0 +1,62 @@
+// DIMACS-format readers/writers, so the library interoperates with the
+// standard max-flow / min-cost-flow benchmark corpora:
+//
+//   max flow  ("p max N M"):   n <id> s|t        a <u> <v> <cap>
+//   min cost  ("p min N M"):   n <id> <supply>   a <u> <v> <low> <cap> <cost>
+//
+// plus a simple undirected weighted edge-list format for Laplacian inputs:
+//   first line "N M", then M lines "u v w" (0-based).
+//
+// DIMACS vertex ids are 1-based in the files and converted to 0-based here.
+// Supplies use the DIMACS convention (positive = source); they are converted
+// to this library's sigma convention (excess(v) = inflow - outflow =
+// sigma(v), so sigma = -supply).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace lapclique::io {
+
+struct MaxFlowProblem {
+  graph::Digraph g;
+  int source = -1;
+  int sink = -1;
+};
+
+struct MinCostProblem {
+  graph::Digraph g;
+  std::vector<std::int64_t> sigma;  ///< library convention (see header)
+};
+
+/// Parse errors carry the offending line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+MaxFlowProblem read_dimacs_max_flow(std::istream& in);
+void write_dimacs_max_flow(std::ostream& out, const MaxFlowProblem& p);
+
+MinCostProblem read_dimacs_min_cost(std::istream& in);
+void write_dimacs_min_cost(std::ostream& out, const MinCostProblem& p);
+
+graph::Graph read_edge_list(std::istream& in);
+void write_edge_list(std::ostream& out, const graph::Graph& g);
+
+/// "f <u> <v> <flow>" lines for a solved flow (1-based ids, DIMACS style).
+void write_dimacs_flow(std::ostream& out, const graph::Digraph& g,
+                       const std::vector<std::int64_t>& flow,
+                       std::int64_t value);
+
+}  // namespace lapclique::io

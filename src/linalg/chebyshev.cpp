@@ -1,0 +1,55 @@
+#include "linalg/chebyshev.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lapclique::linalg {
+
+int chebyshev_iteration_bound(double kappa, double eps) {
+  if (!(kappa >= 1.0)) throw std::invalid_argument("chebyshev: kappa must be >= 1");
+  if (!(eps > 0 && eps <= 0.5)) throw std::invalid_argument("chebyshev: eps in (0, 1/2]");
+  return static_cast<int>(std::ceil(std::sqrt(kappa) * std::log(2.0 / eps))) + 1;
+}
+
+Vec preconditioned_chebyshev(const ApplyFn& apply_a, const ApplyFn& solve_b,
+                             std::span<const double> b, const ChebyshevOptions& opt,
+                             ChebyshevStats* stats) {
+  // Eigenvalues of B^{-1} A lie in [1/kappa, 1] because A <= B <= kappa A.
+  const double lmin = 1.0 / opt.kappa;
+  const double lmax = 1.0;
+  const double d = (lmax + lmin) / 2.0;
+  const double c = (lmax - lmin) / 2.0;
+
+  const int iters = opt.max_iterations > 0 ? opt.max_iterations
+                                           : chebyshev_iteration_bound(opt.kappa, opt.eps);
+
+  const std::size_t n = b.size();
+  Vec x(n, 0.0);
+  Vec r(b.begin(), b.end());
+  Vec p(n, 0.0);
+  double alpha = 0.0;
+
+  for (int k = 0; k < iters; ++k) {
+    Vec z = solve_b(r);
+    if (k == 0) {
+      p = z;
+      alpha = 1.0 / d;
+    } else {
+      const double beta_num = c * alpha / 2.0;
+      const double beta = beta_num * beta_num;
+      alpha = 1.0 / (d - beta / alpha);
+      for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    }
+    axpy(alpha, p, x);
+    Vec ap = apply_a(p);
+    axpy(-alpha, ap, r);
+    if (stats != nullptr && opt.record_trace) {
+      stats->residual_trace.push_back(norm2(r));
+    }
+    if (stats != nullptr) stats->iterations = k + 1;
+  }
+  if (stats != nullptr) stats->final_residual = norm2(r);
+  return x;
+}
+
+}  // namespace lapclique::linalg

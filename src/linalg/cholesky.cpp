@@ -1,0 +1,153 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lapclique::linalg {
+
+DenseLdlt DenseLdlt::factor(int n, std::span<const double> dense, double min_pivot) {
+  if (static_cast<std::size_t>(n) * static_cast<std::size_t>(n) != dense.size()) {
+    throw std::invalid_argument("DenseLdlt: size mismatch");
+  }
+  DenseLdlt f;
+  f.n_ = n;
+  f.l_.assign(dense.begin(), dense.end());
+  f.d_.assign(static_cast<std::size_t>(n), 0.0);
+  auto at = [&f, n](int r, int c) -> double& {
+    return f.l_[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(c)];
+  };
+  for (int j = 0; j < n; ++j) {
+    double dj = at(j, j);
+    for (int k = 0; k < j; ++k) dj -= at(j, k) * at(j, k) * f.d_[static_cast<std::size_t>(k)];
+    if (!(std::abs(dj) > min_pivot)) {
+      throw std::runtime_error("DenseLdlt: pivot collapsed; matrix not SPD enough");
+    }
+    f.d_[static_cast<std::size_t>(j)] = dj;
+    for (int i = j + 1; i < n; ++i) {
+      double lij = at(i, j);
+      for (int k = 0; k < j; ++k) {
+        lij -= at(i, k) * at(j, k) * f.d_[static_cast<std::size_t>(k)];
+      }
+      at(i, j) = lij / dj;
+    }
+  }
+  return f;
+}
+
+Vec DenseLdlt::solve(std::span<const double> b) const {
+  Vec x(b.begin(), b.end());
+  solve_inplace(x);
+  return x;
+}
+
+void DenseLdlt::solve_inplace(std::span<double> x) const {
+  if (static_cast<int>(x.size()) != n_) {
+    throw std::invalid_argument("DenseLdlt::solve: size mismatch");
+  }
+  const auto n = static_cast<std::size_t>(n_);
+  // Forward: L y = b
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_[i * n + k] * x[k];
+    x[i] = s;
+  }
+  // Diagonal
+  for (std::size_t i = 0; i < n; ++i) x[i] /= d_[i];
+  // Backward: L^T x = y
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_[k * n + ii] * x[k];
+    x[ii] = s;
+  }
+}
+
+LaplacianFactor LaplacianFactor::factor(const CsrMatrix& laplacian) {
+  LaplacianFactor f;
+  const int n = laplacian.size();
+  f.n_ = n;
+  f.comp_.assign(static_cast<std::size_t>(n), -1);
+
+  // Components via DFS over the sparsity pattern.
+  const auto rowptr = laplacian.row_ptr();
+  const auto colidx = laplacian.col_idx();
+  int comps = 0;
+  std::vector<int> stack;
+  for (int s = 0; s < n; ++s) {
+    if (f.comp_[static_cast<std::size_t>(s)] != -1) continue;
+    const int c = comps++;
+    stack.push_back(s);
+    f.comp_[static_cast<std::size_t>(s)] = c;
+    f.grounded_.push_back(s);
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (int k = rowptr[static_cast<std::size_t>(v)];
+           k < rowptr[static_cast<std::size_t>(v) + 1]; ++k) {
+        const int u = colidx[static_cast<std::size_t>(k)];
+        if (f.comp_[static_cast<std::size_t>(u)] == -1) {
+          f.comp_[static_cast<std::size_t>(u)] = c;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  f.num_components_ = comps;
+
+  // Pin grounded rows/cols to identity; the result is SPD.
+  std::vector<double> dense = laplacian.to_dense();
+  std::vector<char> is_grounded(static_cast<std::size_t>(n), 0);
+  for (int g : f.grounded_) is_grounded[static_cast<std::size_t>(g)] = 1;
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const bool gr = is_grounded[static_cast<std::size_t>(r)] != 0;
+      const bool gc = is_grounded[static_cast<std::size_t>(c)] != 0;
+      if (gr || gc) {
+        dense[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(c)] = (r == c) ? 1.0 : 0.0;
+      }
+    }
+  }
+  f.ldlt_ = DenseLdlt::factor(n, dense);
+  return f;
+}
+
+Vec LaplacianFactor::solve(std::span<const double> b) const {
+  if (static_cast<int>(b.size()) != n_) {
+    throw std::invalid_argument("LaplacianFactor::solve: size mismatch");
+  }
+  // Project b onto range(L): per component, subtract the mean.
+  std::vector<double> mean(static_cast<std::size_t>(num_components_), 0.0);
+  std::vector<int> count(static_cast<std::size_t>(num_components_), 0);
+  for (int v = 0; v < n_; ++v) {
+    mean[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])] +=
+        b[static_cast<std::size_t>(v)];
+    ++count[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])];
+  }
+  for (int c = 0; c < num_components_; ++c) {
+    mean[static_cast<std::size_t>(c)] /= static_cast<double>(count[static_cast<std::size_t>(c)]);
+  }
+  Vec rhs(b.begin(), b.end());
+  for (int v = 0; v < n_; ++v) {
+    rhs[static_cast<std::size_t>(v)] -= mean[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])];
+  }
+  for (int g : grounded_) rhs[static_cast<std::size_t>(g)] = 0.0;
+
+  Vec x = ldlt_.solve(rhs);
+
+  // Normalize: per component, make the solution mean-zero (pseudoinverse).
+  std::vector<double> xmean(static_cast<std::size_t>(num_components_), 0.0);
+  for (int v = 0; v < n_; ++v) {
+    xmean[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])] +=
+        x[static_cast<std::size_t>(v)];
+  }
+  for (int c = 0; c < num_components_; ++c) {
+    xmean[static_cast<std::size_t>(c)] /= static_cast<double>(count[static_cast<std::size_t>(c)]);
+  }
+  for (int v = 0; v < n_; ++v) {
+    x[static_cast<std::size_t>(v)] -= xmean[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])];
+  }
+  return x;
+}
+
+}  // namespace lapclique::linalg

@@ -1,0 +1,65 @@
+// Dense LDL^T factorization for symmetric positive (semi-)definite systems,
+// plus a Laplacian-aware wrapper that handles the all-ones kernel by
+// grounding one vertex per connected component.
+//
+// The congested-clique Laplacian solver (Theorem 1.1) solves systems in the
+// *sparsifier* L_H internally at every node; since H is globally known and
+// has O(n log n) edges this dense factorization is the "internal computation"
+// the model charges zero rounds for.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/csr.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace lapclique::linalg {
+
+/// Dense LDL^T of an SPD matrix (no pivoting; the matrices we factor are
+/// diagonally dominant).  Throws if a pivot collapses below `min_pivot`.
+class DenseLdlt {
+ public:
+  DenseLdlt() = default;
+
+  /// `dense` is row-major n*n, symmetric.
+  static DenseLdlt factor(int n, std::span<const double> dense,
+                          double min_pivot = 1e-300);
+
+  [[nodiscard]] int size() const { return n_; }
+  [[nodiscard]] Vec solve(std::span<const double> b) const;
+  void solve_inplace(std::span<double> x) const;
+
+ private:
+  int n_ = 0;
+  std::vector<double> l_;  ///< unit lower triangle, row-major packed n*n
+  std::vector<double> d_;  ///< diagonal of D
+};
+
+/// Solves Laplacian systems L x = b exactly (up to fp error) for a connected
+/// or disconnected Laplacian: per component, one vertex is grounded, the
+/// reduced SPD system is LDL^T-factored, and inputs/outputs are projected so
+/// the result is the pseudoinverse action x = L^+ b.
+class LaplacianFactor {
+ public:
+  LaplacianFactor() = default;
+  static LaplacianFactor factor(const CsrMatrix& laplacian);
+
+  [[nodiscard]] int size() const { return n_; }
+
+  /// x = L^+ b.  (b is projected onto the range of L per component first.)
+  [[nodiscard]] Vec solve(std::span<const double> b) const;
+
+  [[nodiscard]] int num_components() const { return num_components_; }
+  [[nodiscard]] std::span<const int> component_of() const { return comp_; }
+
+ private:
+  int n_ = 0;
+  int num_components_ = 0;
+  std::vector<int> comp_;      ///< component id per vertex
+  std::vector<int> grounded_;  ///< one grounded vertex per component
+  DenseLdlt ldlt_;             ///< factor of L with grounded rows/cols pinned
+};
+
+}  // namespace lapclique::linalg

@@ -1,0 +1,124 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lapclique::linalg {
+
+CsrMatrix CsrMatrix::from_triplets(int n, std::span<const Triplet> triplets) {
+  if (n < 0) throw std::invalid_argument("CsrMatrix: negative size");
+  std::vector<Triplet> t(triplets.begin(), triplets.end());
+  for (const Triplet& x : t) {
+    if (x.row < 0 || x.row >= n || x.col < 0 || x.col >= n) {
+      throw std::out_of_range("CsrMatrix: triplet index out of range");
+    }
+  }
+  std::sort(t.begin(), t.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CsrMatrix m;
+  m.n_ = n;
+  m.rowptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::size_t i = 0;
+  for (int r = 0; r < n; ++r) {
+    m.rowptr_[static_cast<std::size_t>(r)] = static_cast<int>(m.colidx_.size());
+    while (i < t.size() && t[i].row == r) {
+      const int c = t[i].col;
+      double v = 0;
+      while (i < t.size() && t[i].row == r && t[i].col == c) v += t[i++].value;
+      if (v != 0.0) {
+        m.colidx_.push_back(c);
+        m.vals_.push_back(v);
+      }
+    }
+  }
+  m.rowptr_[static_cast<std::size_t>(n)] = static_cast<int>(m.colidx_.size());
+  return m;
+}
+
+Vec CsrMatrix::multiply(std::span<const double> x) const {
+  Vec y(static_cast<std::size_t>(n_), 0.0);
+  multiply_into(x, y);
+  return y;
+}
+
+void CsrMatrix::multiply_into(std::span<const double> x, std::span<double> y) const {
+  if (static_cast<int>(x.size()) != n_ || static_cast<int>(y.size()) != n_) {
+    throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
+  }
+  for (int r = 0; r < n_; ++r) {
+    double s = 0;
+    for (int k = rowptr_[static_cast<std::size_t>(r)];
+         k < rowptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      s += vals_[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(colidx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = s;
+  }
+}
+
+double CsrMatrix::quadratic_form(std::span<const double> x) const {
+  if (static_cast<int>(x.size()) != n_) {
+    throw std::invalid_argument("CsrMatrix::quadratic_form: size mismatch");
+  }
+  double s = 0;
+  for (int r = 0; r < n_; ++r) {
+    for (int k = rowptr_[static_cast<std::size_t>(r)];
+         k < rowptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      s += x[static_cast<std::size_t>(r)] * vals_[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(colidx_[static_cast<std::size_t>(k)])];
+    }
+  }
+  return s;
+}
+
+double CsrMatrix::at(int r, int c) const {
+  if (r < 0 || r >= n_ || c < 0 || c >= n_) {
+    throw std::out_of_range("CsrMatrix::at: index out of range");
+  }
+  const auto begin = colidx_.begin() + rowptr_[static_cast<std::size_t>(r)];
+  const auto end = colidx_.begin() + rowptr_[static_cast<std::size_t>(r) + 1];
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return vals_[static_cast<std::size_t>(it - colidx_.begin())];
+}
+
+std::vector<double> CsrMatrix::to_dense() const {
+  std::vector<double> d(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), 0.0);
+  for (int r = 0; r < n_; ++r) {
+    for (int k = rowptr_[static_cast<std::size_t>(r)];
+         k < rowptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      d[static_cast<std::size_t>(r) * static_cast<std::size_t>(n_) +
+        static_cast<std::size_t>(colidx_[static_cast<std::size_t>(k)])] =
+          vals_[static_cast<std::size_t>(k)];
+    }
+  }
+  return d;
+}
+
+CsrMatrix CsrMatrix::plus(const CsrMatrix& other) const {
+  if (other.n_ != n_) throw std::invalid_argument("CsrMatrix::plus: size mismatch");
+  std::vector<Triplet> t;
+  t.reserve(vals_.size() + other.vals_.size());
+  auto collect = [&t](const CsrMatrix& m, double coef) {
+    for (int r = 0; r < m.n_; ++r) {
+      for (int k = m.rowptr_[static_cast<std::size_t>(r)];
+           k < m.rowptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+        t.push_back(Triplet{r, m.colidx_[static_cast<std::size_t>(k)],
+                            coef * m.vals_[static_cast<std::size_t>(k)]});
+      }
+    }
+  };
+  collect(*this, 1.0);
+  collect(other, 1.0);
+  return from_triplets(n_, t);
+}
+
+CsrMatrix CsrMatrix::scaled(double alpha) const {
+  CsrMatrix m = *this;
+  for (double& v : m.vals_) v *= alpha;
+  return m;
+}
+
+}  // namespace lapclique::linalg

@@ -1,0 +1,149 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lapclique::linalg {
+
+EigenDecomposition jacobi_eigen(int n, std::span<const double> dense, double tol,
+                                int max_sweeps) {
+  if (static_cast<std::size_t>(n) * static_cast<std::size_t>(n) != dense.size()) {
+    throw std::invalid_argument("jacobi_eigen: size mismatch");
+  }
+  std::vector<double> a(dense.begin(), dense.end());
+  std::vector<double> v(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  const auto N = static_cast<std::size_t>(n);
+  for (std::size_t i = 0; i < N; ++i) v[i * N + i] = 1.0;
+
+  auto off_norm = [&a, N]() {
+    double s = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = i + 1; j < N; ++j) s += a[i * N + j] * a[i * N + j];
+    }
+    return std::sqrt(2 * s);
+  };
+
+  double scale = 0;
+  for (std::size_t i = 0; i < N; ++i) scale = std::max(scale, std::abs(a[i * N + i]));
+  for (double x : a) scale = std::max(scale, std::abs(x));
+  if (scale == 0) scale = 1;
+
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > tol * scale; ++sweep) {
+    for (std::size_t p = 0; p < N; ++p) {
+      for (std::size_t q = p + 1; q < N; ++q) {
+        const double apq = a[p * N + q];
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = a[p * N + p];
+        const double aqq = a[q * N + q];
+        const double theta = (aqq - app) / (2 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < N; ++k) {
+          const double akp = a[k * N + p];
+          const double akq = a[k * N + q];
+          a[k * N + p] = c * akp - s * akq;
+          a[k * N + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < N; ++k) {
+          const double apk = a[p * N + k];
+          const double aqk = a[q * N + k];
+          a[p * N + k] = c * apk - s * aqk;
+          a[q * N + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < N; ++k) {
+          const double vkp = v[p * N + k];
+          const double vkq = v[q * N + k];
+          v[p * N + k] = c * vkp - s * vkq;
+          v[q * N + k] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition out;
+  out.n = n;
+  std::vector<int> order(N);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(N);
+  for (std::size_t i = 0; i < N; ++i) diag[i] = a[i * N + i];
+  std::sort(order.begin(), order.end(),
+            [&diag](int x, int y) { return diag[static_cast<std::size_t>(x)] <
+                                           diag[static_cast<std::size_t>(y)]; });
+  out.values.resize(N);
+  out.vectors.resize(N * N);
+  for (std::size_t k = 0; k < N; ++k) {
+    const auto src = static_cast<std::size_t>(order[k]);
+    out.values[k] = diag[src];
+    for (std::size_t r = 0; r < N; ++r) out.vectors[k * N + r] = v[src * N + r];
+  }
+  return out;
+}
+
+double generalized_condition_number(const CsrMatrix& a, const CsrMatrix& b,
+                                    double kernel_tol) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("generalized_condition_number: size mismatch");
+  }
+  const int n = a.size();
+  const auto N = static_cast<std::size_t>(n);
+
+  // B = Q Lambda Q^T; form B^{+1/2} on the non-kernel part, then the pencil's
+  // nonzero eigenvalues are those of M = B^{+/2} A B^{+/2} restricted to the
+  // complement of the kernel.
+  const EigenDecomposition eb = jacobi_eigen(n, b.to_dense());
+  const double lmax = std::max(1.0, std::abs(eb.values.back()));
+
+  std::vector<double> bphalf(N * N, 0.0);  // B^{+1/2}, row-major
+  for (std::size_t k = 0; k < N; ++k) {
+    const double lam = eb.values[k];
+    if (lam <= kernel_tol * lmax) continue;
+    const double inv_sqrt = 1.0 / std::sqrt(lam);
+    for (std::size_t r = 0; r < N; ++r) {
+      const double qr = eb.vectors[k * N + r];
+      if (qr == 0) continue;
+      for (std::size_t c = 0; c < N; ++c) {
+        bphalf[r * N + c] += inv_sqrt * qr * eb.vectors[k * N + c];
+      }
+    }
+  }
+
+  const std::vector<double> ad = a.to_dense();
+  // M = bphalf * A * bphalf
+  std::vector<double> tmp(N * N, 0.0);
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t k = 0; k < N; ++k) {
+      const double x = bphalf[i * N + k];
+      if (x == 0) continue;
+      for (std::size_t j = 0; j < N; ++j) tmp[i * N + j] += x * ad[k * N + j];
+    }
+  }
+  std::vector<double> m(N * N, 0.0);
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t k = 0; k < N; ++k) {
+      const double x = tmp[i * N + k];
+      if (x == 0) continue;
+      for (std::size_t j = 0; j < N; ++j) m[i * N + j] += x * bphalf[k * N + j];
+    }
+  }
+
+  const EigenDecomposition em = jacobi_eigen(n, m);
+  const double mmax = std::max(1.0, std::abs(em.values.back()));
+  double lo = 0, hi = 0;
+  bool found = false;
+  for (double lam : em.values) {
+    if (lam <= kernel_tol * mmax) continue;
+    if (!found) {
+      lo = lam;
+      found = true;
+    }
+    hi = lam;
+  }
+  if (!found) throw std::runtime_error("generalized_condition_number: pencil is zero");
+  return hi / lo;
+}
+
+}  // namespace lapclique::linalg

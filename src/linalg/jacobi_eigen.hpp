@@ -1,0 +1,39 @@
+// Cyclic Jacobi eigenvalue decomposition for dense symmetric matrices.
+//
+// Used by tests and by the sparsifier quality certification: exact spectra of
+// small Laplacians, exact generalized condition numbers of (L_G, L_H) pairs,
+// and exact lambda_2 values against which the deterministic power iteration
+// is validated.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/csr.hpp"
+
+namespace lapclique::linalg {
+
+struct EigenDecomposition {
+  std::vector<double> values;   ///< ascending
+  std::vector<double> vectors;  ///< column-major n*n; column k pairs values[k]
+  int n = 0;
+
+  [[nodiscard]] double vector_at(int row, int k) const {
+    return vectors[static_cast<std::size_t>(k) * static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(row)];
+  }
+};
+
+/// Dense symmetric eigendecomposition; `dense` is row-major n*n.
+EigenDecomposition jacobi_eigen(int n, std::span<const double> dense,
+                                double tol = 1e-12, int max_sweeps = 64);
+
+/// Exact generalized condition number of the pencil (A, B) restricted to the
+/// complement of their common kernel: returns max/min over nonzero
+/// eigenvalues lambda of A x = lambda B x.  A and B must be symmetric PSD
+/// with the same kernel (e.g. Laplacians of connected graphs on one vertex
+/// set).  `kernel_tol` decides which eigenvalues count as zero.
+double generalized_condition_number(const CsrMatrix& a, const CsrMatrix& b,
+                                    double kernel_tol = 1e-9);
+
+}  // namespace lapclique::linalg

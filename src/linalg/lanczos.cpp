@@ -1,0 +1,133 @@
+#include "linalg/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lapclique::linalg {
+
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> alpha,
+                                            std::vector<double> beta) {
+  // Implicit QL with Wilkinson shifts (tql1-style, eigenvalues only).
+  const int n = static_cast<int>(alpha.size());
+  if (static_cast<int>(beta.size()) + 1 != n && n > 0) {
+    throw std::invalid_argument("tridiagonal_eigenvalues: beta size must be n-1");
+  }
+  if (n == 0) return {};
+  std::vector<double> d = std::move(alpha);
+  std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i + 1 < n; ++i) e[static_cast<std::size_t>(i)] = beta[static_cast<std::size_t>(i)];
+
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    while (true) {
+      int m = l;
+      for (; m + 1 < n; ++m) {
+        const double dd = std::abs(d[static_cast<std::size_t>(m)]) +
+                          std::abs(d[static_cast<std::size_t>(m) + 1]);
+        if (std::abs(e[static_cast<std::size_t>(m)]) <= 1e-15 * dd) break;
+      }
+      if (m == l) break;
+      if (++iter > 64) {
+        throw std::runtime_error("tridiagonal_eigenvalues: no convergence");
+      }
+      double g = (d[static_cast<std::size_t>(l) + 1] - d[static_cast<std::size_t>(l)]) /
+                 (2.0 * e[static_cast<std::size_t>(l)]);
+      double r = std::hypot(g, 1.0);
+      g = d[static_cast<std::size_t>(m)] - d[static_cast<std::size_t>(l)] +
+          e[static_cast<std::size_t>(l)] / (g + (g >= 0 ? std::abs(r) : -std::abs(r)));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      for (int i = m - 1; i >= l; --i) {
+        double f = s * e[static_cast<std::size_t>(i)];
+        const double b = c * e[static_cast<std::size_t>(i)];
+        r = std::hypot(f, g);
+        e[static_cast<std::size_t>(i) + 1] = r;
+        if (r == 0.0) {
+          d[static_cast<std::size_t>(i) + 1] -= p;
+          e[static_cast<std::size_t>(m)] = 0.0;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[static_cast<std::size_t>(i) + 1] - p;
+        r = (d[static_cast<std::size_t>(i)] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[static_cast<std::size_t>(i) + 1] = g + p;
+        g = c * r - b;
+      }
+      if (r == 0.0 && m - 1 >= l) continue;
+      d[static_cast<std::size_t>(l)] -= p;
+      e[static_cast<std::size_t>(l)] = g;
+      e[static_cast<std::size_t>(m)] = 0.0;
+    }
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+LanczosResult lanczos(const std::function<Vec(std::span<const double>)>& apply,
+                      int n, const LanczosOptions& opt) {
+  if (n < 1) throw std::invalid_argument("lanczos: n >= 1 required");
+  const auto deflate = [&opt](Vec& x) {
+    for (const Vec& d : opt.deflate) {
+      const double nd = dot(d, d);
+      if (nd <= 0) continue;
+      axpy(-dot(x, d) / nd, d, x);
+    }
+  };
+
+  // Deterministic start vector.
+  Vec v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto h = (static_cast<std::uint64_t>(i) + opt.deterministic_salt) *
+                   0x9E3779B97F4A7C15ULL;
+    v[static_cast<std::size_t>(i)] =
+        static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5;
+  }
+  deflate(v);
+  double nv = norm2(v);
+  if (!(nv > 0)) {
+    v.assign(static_cast<std::size_t>(n), 0.0);
+    v[0] = 1.0;
+    deflate(v);
+    nv = norm2(v);
+    if (!(nv > 0)) return {};
+  }
+  scale(1.0 / nv, v);
+
+  std::vector<Vec> basis{v};
+  std::vector<double> alpha;
+  std::vector<double> beta;
+  LanczosResult out;
+
+  // The usable dimension shrinks by one per deflated direction.
+  const int cap = std::max(
+      1, std::min(opt.max_iterations, n - static_cast<int>(opt.deflate.size())));
+  Vec w;
+  for (int k = 0; k < cap; ++k) {
+    w = apply(basis.back());
+    deflate(w);
+    const double a = dot(w, basis.back());
+    alpha.push_back(a);
+    axpy(-a, basis.back(), w);
+    if (basis.size() >= 2) {
+      axpy(-beta.back(), basis[basis.size() - 2], w);
+    }
+    // Full reorthogonalization (small Krylov spaces; stability first).
+    for (const Vec& q : basis) axpy(-dot(w, q), q, w);
+    const double b = norm2(w);
+    ++out.iterations;
+    if (b < opt.beta_tol) break;
+    beta.push_back(b);
+    scale(1.0 / b, w);
+    basis.push_back(w);
+  }
+  // A final beta may connect to a basis vector that was never processed.
+  if (!alpha.empty() && beta.size() >= alpha.size()) beta.resize(alpha.size() - 1);
+  out.eigenvalues = tridiagonal_eigenvalues(alpha, beta);
+  return out;
+}
+
+}  // namespace lapclique::linalg

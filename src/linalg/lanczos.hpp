@@ -1,0 +1,44 @@
+// Symmetric Lanczos iteration with full reorthogonalization — a sharper
+// deterministic estimator for the extreme eigenvalues of a linear operator
+// than the power iteration, used to certify solver kappa estimates and by
+// tests that need spectral ranges of operators too large for Jacobi.
+//
+// Deterministic: the start vector is derived from index hashing, so every
+// run reproduces bit for bit (matching the library-wide policy).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace lapclique::linalg {
+
+struct LanczosOptions {
+  int max_iterations = 64;
+  /// Stop when the Krylov residual (beta) falls below this.
+  double beta_tol = 1e-10;
+  std::uint64_t deterministic_salt = 0x1a2cULL;
+  /// Optional subspace to project out at every step (e.g. the all-ones
+  /// kernel of a Laplacian); may be empty.
+  std::vector<Vec> deflate;
+};
+
+struct LanczosResult {
+  std::vector<double> eigenvalues;  ///< Ritz values, ascending
+  int iterations = 0;
+};
+
+/// Ritz values of the symmetric operator `apply` on R^n (restricted to the
+/// complement of the deflation subspace).  The extreme Ritz values converge
+/// to the extreme eigenvalues.
+LanczosResult lanczos(const std::function<Vec(std::span<const double>)>& apply,
+                      int n, const LanczosOptions& opt = {});
+
+/// Eigenvalues of a symmetric tridiagonal matrix (diag alpha, off-diag
+/// beta), via the QL-implicit algorithm.  Exposed for tests.
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> alpha,
+                                            std::vector<double> beta);
+
+}  // namespace lapclique::linalg

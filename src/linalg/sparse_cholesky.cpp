@@ -1,0 +1,148 @@
+#include "linalg/sparse_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lapclique::linalg {
+
+SparseLdlt SparseLdlt::factor(const CsrMatrix& a, double min_pivot) {
+  const int n = a.size();
+  SparseLdlt f;
+  f.n_ = n;
+  f.d_.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Column-wise dynamic storage of L's strictly-lower part.
+  std::vector<std::vector<int>> lrow(static_cast<std::size_t>(n));
+  std::vector<std::vector<double>> lval(static_cast<std::size_t>(n));
+
+  // Dense scatter workspace for the current column.
+  std::vector<double> work(static_cast<std::size_t>(n), 0.0);
+  std::vector<char> marked(static_cast<std::size_t>(n), 0);
+  std::vector<int> touched;
+
+  const auto rowptr = a.row_ptr();
+  const auto colidx = a.col_idx();
+  const auto avals = a.values();
+
+  // next_in_col[j]: cursor into lrow[j] used for the left-looking update
+  // pattern; cols_hitting[j]: columns k whose next unprocessed row is j.
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> cols_hitting(static_cast<std::size_t>(n));
+
+  for (int j = 0; j < n; ++j) {
+    // Scatter A(j:n, j) (use row j of the symmetric CSR).
+    touched.clear();
+    double diag = 0.0;
+    for (int k = rowptr[static_cast<std::size_t>(j)];
+         k < rowptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      const int i = colidx[static_cast<std::size_t>(k)];
+      if (i == j) {
+        diag = avals[static_cast<std::size_t>(k)];
+      } else if (i > j) {
+        work[static_cast<std::size_t>(i)] = avals[static_cast<std::size_t>(k)];
+        marked[static_cast<std::size_t>(i)] = 1;
+        touched.push_back(i);
+      }
+    }
+
+    // Left-looking update: for each earlier column c with L(j,c) != 0,
+    // subtract L(j,c)*d(c)*L(i,c) from column j.
+    for (int c : cols_hitting[static_cast<std::size_t>(j)]) {
+      const std::size_t pos = cursor[static_cast<std::size_t>(c)];
+      const double ljc = lval[static_cast<std::size_t>(c)][pos];
+      const double mult = ljc * f.d_[static_cast<std::size_t>(c)];
+      diag -= mult * ljc;
+      const auto& rows = lrow[static_cast<std::size_t>(c)];
+      const auto& vals = lval[static_cast<std::size_t>(c)];
+      for (std::size_t p = pos + 1; p < rows.size(); ++p) {
+        const int i = rows[p];
+        if (marked[static_cast<std::size_t>(i)] == 0) {
+          marked[static_cast<std::size_t>(i)] = 1;
+          touched.push_back(i);
+        }
+        work[static_cast<std::size_t>(i)] -= mult * vals[p];
+      }
+      // Advance c's cursor to its next row and re-register.
+      cursor[static_cast<std::size_t>(c)] = pos + 1;
+      if (pos + 1 < rows.size()) {
+        cols_hitting[static_cast<std::size_t>(rows[pos + 1])].push_back(c);
+      }
+    }
+    cols_hitting[static_cast<std::size_t>(j)].clear();
+
+    if (!(std::abs(diag) > min_pivot)) {
+      throw std::runtime_error("SparseLdlt: pivot collapsed; matrix not SPD enough");
+    }
+    f.d_[static_cast<std::size_t>(j)] = diag;
+
+    std::sort(touched.begin(), touched.end());
+    auto& rows_j = lrow[static_cast<std::size_t>(j)];
+    auto& vals_j = lval[static_cast<std::size_t>(j)];
+    rows_j.reserve(touched.size());
+    vals_j.reserve(touched.size());
+    for (int i : touched) {
+      const double v = work[static_cast<std::size_t>(i)] / diag;
+      work[static_cast<std::size_t>(i)] = 0.0;
+      marked[static_cast<std::size_t>(i)] = 0;
+      if (v != 0.0) {
+        rows_j.push_back(i);
+        vals_j.push_back(v);
+      }
+    }
+    if (!rows_j.empty()) {
+      cursor[static_cast<std::size_t>(j)] = 0;
+      cols_hitting[static_cast<std::size_t>(rows_j[0])].push_back(j);
+    }
+  }
+
+  // Compress to column-compressed storage.
+  f.colptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::size_t nnz = 0;
+  for (int j = 0; j < n; ++j) nnz += lrow[static_cast<std::size_t>(j)].size();
+  f.rowidx_.reserve(nnz);
+  f.vals_.reserve(nnz);
+  for (int j = 0; j < n; ++j) {
+    f.colptr_[static_cast<std::size_t>(j)] = static_cast<int>(f.rowidx_.size());
+    f.rowidx_.insert(f.rowidx_.end(), lrow[static_cast<std::size_t>(j)].begin(),
+                     lrow[static_cast<std::size_t>(j)].end());
+    f.vals_.insert(f.vals_.end(), lval[static_cast<std::size_t>(j)].begin(),
+                   lval[static_cast<std::size_t>(j)].end());
+  }
+  f.colptr_[static_cast<std::size_t>(n)] = static_cast<int>(f.rowidx_.size());
+  return f;
+}
+
+std::int64_t SparseLdlt::fill_nnz() const {
+  return static_cast<std::int64_t>(vals_.size()) + n_;
+}
+
+Vec SparseLdlt::solve(std::span<const double> b) const {
+  if (static_cast<int>(b.size()) != n_) {
+    throw std::invalid_argument("SparseLdlt::solve: size mismatch");
+  }
+  Vec x(b.begin(), b.end());
+  // Forward: L y = b (column-oriented).
+  for (int j = 0; j < n_; ++j) {
+    const double xj = x[static_cast<std::size_t>(j)];
+    for (int k = colptr_[static_cast<std::size_t>(j)];
+         k < colptr_[static_cast<std::size_t>(j) + 1]; ++k) {
+      x[static_cast<std::size_t>(rowidx_[static_cast<std::size_t>(k)])] -=
+          vals_[static_cast<std::size_t>(k)] * xj;
+    }
+  }
+  for (int j = 0; j < n_; ++j) x[static_cast<std::size_t>(j)] /= d_[static_cast<std::size_t>(j)];
+  // Backward: L^T x = y.
+  for (int j = n_ - 1; j >= 0; --j) {
+    double s = x[static_cast<std::size_t>(j)];
+    for (int k = colptr_[static_cast<std::size_t>(j)];
+         k < colptr_[static_cast<std::size_t>(j) + 1]; ++k) {
+      s -= vals_[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(rowidx_[static_cast<std::size_t>(k)])];
+    }
+    x[static_cast<std::size_t>(j)] = s;
+  }
+  return x;
+}
+
+}  // namespace lapclique::linalg

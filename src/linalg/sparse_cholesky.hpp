@@ -1,0 +1,38 @@
+// Sparse up-looking LDL^T for symmetric positive definite matrices in CSR.
+//
+// Natural ordering, dynamic fill-in.  Intended for the moderately sized,
+// already-sparse systems this library factors (sparsifiers with O(n log n)
+// edges); for small n the dense path in cholesky.hpp is faster and the
+// Laplacian solver picks automatically.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/csr.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace lapclique::linalg {
+
+class SparseLdlt {
+ public:
+  SparseLdlt() = default;
+
+  /// Factors an SPD CSR matrix.  Throws on pivot collapse.
+  static SparseLdlt factor(const CsrMatrix& a, double min_pivot = 1e-300);
+
+  [[nodiscard]] int size() const { return n_; }
+  [[nodiscard]] std::int64_t fill_nnz() const;
+
+  [[nodiscard]] Vec solve(std::span<const double> b) const;
+
+ private:
+  int n_ = 0;
+  // Column-compressed unit lower triangle (strictly below diagonal).
+  std::vector<int> colptr_;
+  std::vector<int> rowidx_;
+  std::vector<double> vals_;
+  std::vector<double> d_;
+};
+
+}  // namespace lapclique::linalg

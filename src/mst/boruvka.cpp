@@ -1,0 +1,120 @@
+#include "mst/boruvka.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lapclique::mst {
+
+using graph::Graph;
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[static_cast<std::size_t>(a)] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// Lexicographic better-edge rule: smaller weight, then smaller edge id.
+bool better(const Graph& g, int a, int b) {
+  if (b < 0) return true;
+  if (a < 0) return false;
+  if (g.edge(a).w != g.edge(b).w) return g.edge(a).w < g.edge(b).w;
+  return a < b;
+}
+
+}  // namespace
+
+MstResult boruvka_clique(const Graph& g, clique::Network& net) {
+  net.set_phase("mst/boruvka");
+  const std::int64_t before = net.rounds();
+  const int n = g.num_vertices();
+  MstResult out;
+  UnionFind uf(n);
+  int components = n;
+
+  for (int phase = 0; phase < 2 * n + 2 && components > 1; ++phase) {
+    // Each node scans its incident edges for the best edge leaving its
+    // component (internal) and broadcasts it (3 words -> 3 rounds).
+    std::vector<int> candidate(static_cast<std::size_t>(n), -1);
+    bool any = false;
+    for (int v = 0; v < n; ++v) {
+      for (const graph::Incidence& inc : g.incident(v)) {
+        if (uf.find(v) == uf.find(inc.other)) continue;
+        if (better(g, inc.edge, candidate[static_cast<std::size_t>(v)])) {
+          candidate[static_cast<std::size_t>(v)] = inc.edge;
+          any = true;
+        }
+      }
+    }
+    if (!any) break;  // remaining components are mutually disconnected
+    net.charge(3, static_cast<std::int64_t>(n) * (n - 1) * 3);
+    ++out.phases;
+
+    // All nodes now know all candidates; merge internally, taking the best
+    // candidate per component.
+    std::vector<int> best_of_comp(static_cast<std::size_t>(n), -1);
+    for (int v = 0; v < n; ++v) {
+      const int e = candidate[static_cast<std::size_t>(v)];
+      if (e < 0) continue;
+      const int c = uf.find(v);
+      if (better(g, e, best_of_comp[static_cast<std::size_t>(c)])) {
+        best_of_comp[static_cast<std::size_t>(c)] = e;
+      }
+    }
+    for (int c = 0; c < n; ++c) {
+      const int e = best_of_comp[static_cast<std::size_t>(c)];
+      if (e < 0) continue;
+      if (uf.unite(g.edge(e).u, g.edge(e).v)) {
+        out.edges.push_back(e);
+        out.total_weight += g.edge(e).w;
+        --components;
+      }
+    }
+  }
+  std::sort(out.edges.begin(), out.edges.end());
+  out.rounds = net.rounds() - before;
+  return out;
+}
+
+MstResult kruskal(const Graph& g) {
+  MstResult out;
+  std::vector<int> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&g](int a, int b) {
+    if (g.edge(a).w != g.edge(b).w) return g.edge(a).w < g.edge(b).w;
+    return a < b;
+  });
+  UnionFind uf(g.num_vertices());
+  for (int e : order) {
+    if (uf.unite(g.edge(e).u, g.edge(e).v)) {
+      out.edges.push_back(e);
+      out.total_weight += g.edge(e).w;
+    }
+  }
+  std::sort(out.edges.begin(), out.edges.end());
+  return out;
+}
+
+}  // namespace lapclique::mst

@@ -1,0 +1,189 @@
+#include "solver/laplacian_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace lapclique::solver {
+
+using linalg::Vec;
+
+LaplacianSolver::LaplacianSolver(const graph::Graph& g,
+                                 const LaplacianSolverOptions& opt,
+                                 clique::Network* net)
+    : opt_(opt) {
+  if (net != nullptr) net->set_phase("solver/sparsify");
+  if (opt.identity_preconditioner) {
+    h_ = g;
+  } else {
+    spectral::SparsifyResult sp =
+        spectral::deterministic_sparsify(g, opt.sparsify, net);
+    h_ = std::move(sp.h);
+    sparsify_stats_ = sp.stats;
+    if (h_.num_edges() == 0 && g.num_edges() > 0) h_ = g;  // tiny graphs
+  }
+  if (net != nullptr) {
+    // Make H known to every node: 3 words per edge (u, v, w) gathered.
+    net->set_phase("solver/gather_sparsifier");
+    const auto n = static_cast<std::int64_t>(net->size());
+    const std::int64_t words = 3 * static_cast<std::int64_t>(h_.num_edges());
+    net->charge((words + n - 1) / n + 1, words * n);
+  }
+  lg_ = graph::laplacian(g);
+  lh_ = graph::laplacian(h_);
+  lh_factor_ = linalg::LaplacianFactor::factor(lh_);
+
+  // Deterministic power iteration for the spectral range of M = L_H^+ L_G.
+  const int n = g.num_vertices();
+  auto apply_m = [this](const Vec& x) {
+    Vec y = lg_.multiply(x);
+    return lh_factor_.solve(y);
+  };
+  auto rayleigh = [this](const Vec& x, const Vec& mx) {
+    // Rayleigh quotient in the L_H inner product: <x, Mx>_{L_H} / <x,x>_{L_H}
+    // equals x^T L_G x / x^T L_H x, the generalized eigenvalue functional.
+    const double num = lg_.quadratic_form(x);
+    const double den = lh_.quadratic_form(x);
+    (void)mx;
+    return den > 0 ? num / den : 0.0;
+  };
+
+  Vec x(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    x[static_cast<std::size_t>(v)] = ((v * 2654435761u) % 1000003u) / 1000003.0 - 0.5;
+  }
+  linalg::project_out_ones(x);
+  double norm = linalg::norm2(x);
+  if (!(norm > 0)) {
+    x.assign(static_cast<std::size_t>(n), 0.0);
+    if (n > 1) {
+      x[0] = 1.0;
+      linalg::project_out_ones(x);
+      norm = linalg::norm2(x);
+    }
+  }
+  if (norm > 0) linalg::scale(1.0 / norm, x);
+
+  // lambda_max via power iteration on M.
+  double lmax = 1.0;
+  for (int it = 0; it < opt.range_iterations; ++it) {
+    Vec mx = apply_m(x);
+    linalg::project_out_ones(mx);
+    const double mn = linalg::norm2(mx);
+    if (!(mn > 1e-300)) break;
+    linalg::scale(1.0 / mn, mx);
+    x.swap(mx);
+    ++range_matvecs_;
+  }
+  {
+    Vec mx = apply_m(x);
+    lmax = std::max(rayleigh(x, mx), 1e-12);
+  }
+
+  // lambda_min via power iteration on (lmax_hat * I - M) within the range.
+  const double shift = lmax * opt.range_safety;
+  Vec y(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    y[static_cast<std::size_t>(v)] = ((v * 40503u + 7u) % 999983u) / 999983.0 - 0.5;
+  }
+  linalg::project_out_ones(y);
+  norm = linalg::norm2(y);
+  if (norm > 0) linalg::scale(1.0 / norm, y);
+  for (int it = 0; it < opt.range_iterations; ++it) {
+    Vec my = apply_m(y);
+    for (std::size_t i = 0; i < my.size(); ++i) my[i] = shift * y[i] - my[i];
+    linalg::project_out_ones(my);
+    const double mn = linalg::norm2(my);
+    if (!(mn > 1e-300)) break;
+    linalg::scale(1.0 / mn, my);
+    y.swap(my);
+    ++range_matvecs_;
+  }
+  double lmin;
+  {
+    Vec my = apply_m(y);
+    lmin = rayleigh(y, my);
+    if (!(lmin > 0)) lmin = lmax / 16.0;
+  }
+
+  lambda_max_ = lmax * opt.range_safety;
+  lambda_min_ = lmin / opt.range_safety;
+  kappa_ = lambda_max_ / lambda_min_;
+
+  if (net != nullptr) {
+    // Each power-iteration matvec with L_G is one broadcast round; the
+    // L_H^+ applications are internal (H is globally known).
+    net->set_phase("solver/range_estimation");
+    net->charge(range_matvecs_ + 2,
+                static_cast<std::int64_t>(range_matvecs_ + 2) * net->size() *
+                    (net->size() - 1));
+  }
+}
+
+Vec LaplacianSolver::solve(std::span<const double> b, double eps,
+                           LaplacianSolveStats* stats,
+                           clique::Network* net) const {
+  if (static_cast<int>(b.size()) != lg_.size()) {
+    throw std::invalid_argument("LaplacianSolver::solve: size mismatch");
+  }
+  if (!(eps > 0 && eps <= 0.5)) {
+    throw std::invalid_argument("LaplacianSolver::solve: eps in (0, 1/2]");
+  }
+  Vec rhs(b.begin(), b.end());
+  linalg::project_out_ones(rhs);
+  const double bnorm = std::max(linalg::norm2(rhs), 1e-300);
+
+  // Scale the preconditioner solve so B^{-1}A has spectrum in [1/kappa, 1]:
+  // solve_b(r) = L_H^+ r / lambda_max.
+  const linalg::ApplyFn apply_a = [this](std::span<const double> x) {
+    Vec y = lg_.multiply(x);
+    return y;
+  };
+
+  double kappa = kappa_;
+  Vec x;
+  int total_iters = 0;
+  int restarts = 0;
+  double rel = 0;
+  for (; restarts <= opt_.max_restarts; ++restarts) {
+    const double lmax = lambda_max_ * (kappa / kappa_);
+    const linalg::ApplyFn solve_b = [this, lmax](std::span<const double> r) {
+      Vec z = lh_factor_.solve(r);
+      linalg::scale(1.0 / lmax, z);
+      return z;
+    };
+    linalg::ChebyshevOptions copt;
+    copt.eps = eps;
+    copt.kappa = kappa;
+    linalg::ChebyshevStats cstats;
+    x = linalg::preconditioned_chebyshev(apply_a, solve_b, rhs, copt, &cstats);
+    total_iters += cstats.iterations;
+    rel = cstats.final_residual / bnorm;
+    // eps is an energy-norm bound; the 2-norm residual check below is a
+    // conservative proxy used only to trigger robustness restarts.
+    if (rel <= eps) break;
+    kappa *= 2.0;
+  }
+  linalg::project_out_ones(x);
+
+  if (net != nullptr) {
+    // One broadcast round per Chebyshev iteration (the matvec by L_G);
+    // vector updates and the L_H solve are internal.
+    net->set_phase("solver/chebyshev");
+    net->charge(total_iters + 1, static_cast<std::int64_t>(total_iters + 1) *
+                                     net->size() * (net->size() - 1));
+  }
+
+  if (stats != nullptr) {
+    stats->chebyshev_iterations = total_iters;
+    stats->restarts = restarts;
+    stats->kappa = kappa;
+    stats->relative_residual = rel;
+    stats->sparsify_stats = sparsify_stats_;
+    stats->sparsifier_edges = h_.num_edges();
+  }
+  return x;
+}
+
+}  // namespace lapclique::solver

@@ -1,0 +1,86 @@
+// Central (single-machine) Laplacian solver: deterministic sparsifier +
+// preconditioned Chebyshev (Corollary 2.3).  The congested-clique wrapper in
+// clique_laplacian.hpp adds the model round accounting of Theorem 1.1.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cliquesim/network.hpp"
+#include "graph/graph.hpp"
+#include "graph/laplacian.hpp"
+#include "linalg/chebyshev.hpp"
+#include "linalg/cholesky.hpp"
+#include "spectral/sparsify.hpp"
+
+namespace lapclique::solver {
+
+struct LaplacianSolverOptions {
+  spectral::SparsifyOptions sparsify;
+  /// Power-iteration steps for estimating the eigenvalue range of
+  /// L_H^+ L_G (deterministic).
+  int range_iterations = 60;
+  /// Safety factor widening the estimated range.
+  double range_safety = 1.3;
+  /// If the measured residual exceeds the target, the Chebyshev pass is
+  /// restarted with doubled kappa (robustness against a sparsifier whose
+  /// alpha deviates from the estimate); up to this many restarts.
+  int max_restarts = 6;
+  /// Skip sparsification and precondition with G itself (then every "solve
+  /// involving L_H" is an exact solve; 1 iteration).  For testing.
+  bool identity_preconditioner = false;
+};
+
+struct LaplacianSolveStats {
+  int chebyshev_iterations = 0;
+  int restarts = 0;
+  double kappa = 0;                ///< eigenvalue-range condition used
+  double relative_residual = 0;    ///< ||L_G x - b||_2 / ||b||_2
+  spectral::SparsifyStats sparsify_stats;
+  int sparsifier_edges = 0;
+};
+
+/// Reusable solver: the sparsifier and its factorization are built once at
+/// construction, then solve() runs the O(sqrt(kappa) log(1/eps)) iteration.
+///
+/// When a Network is supplied, every model-visible communication is charged
+/// on it (Theorem 1.1 accounting): sparsifier construction, the gather that
+/// makes H globally known, one broadcast round per power-iteration matvec,
+/// and one broadcast round per Chebyshev iteration (the matrix-vector
+/// multiplication by L_G; the solve involving L_H is internal because H is
+/// known to every node).
+class LaplacianSolver {
+ public:
+  explicit LaplacianSolver(const graph::Graph& g,
+                           const LaplacianSolverOptions& opt = {},
+                           clique::Network* net = nullptr);
+
+  /// x ~= L_G^+ b with ||x - L^+ b||_{L_G} <= eps ||L^+ b||_{L_G}.
+  [[nodiscard]] linalg::Vec solve(std::span<const double> b, double eps,
+                                  LaplacianSolveStats* stats = nullptr,
+                                  clique::Network* net = nullptr) const;
+
+  [[nodiscard]] const graph::Graph& sparsifier() const { return h_; }
+  [[nodiscard]] const linalg::CsrMatrix& matrix() const { return lg_; }
+  [[nodiscard]] double kappa() const { return kappa_; }
+  [[nodiscard]] const spectral::SparsifyStats& sparsify_stats() const {
+    return sparsify_stats_;
+  }
+  /// Power-iteration matvec count spent estimating the range (each costs one
+  /// broadcast round in the clique model).
+  [[nodiscard]] int range_matvecs() const { return range_matvecs_; }
+
+ private:
+  graph::Graph h_;
+  linalg::CsrMatrix lg_;
+  linalg::CsrMatrix lh_;
+  linalg::LaplacianFactor lh_factor_;
+  spectral::SparsifyStats sparsify_stats_;
+  double lambda_min_ = 0;
+  double lambda_max_ = 0;
+  double kappa_ = 1;
+  int range_matvecs_ = 0;
+  LaplacianSolverOptions opt_;
+};
+
+}  // namespace lapclique::solver

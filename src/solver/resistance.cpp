@@ -1,0 +1,58 @@
+#include "solver/resistance.hpp"
+
+#include <stdexcept>
+
+#include "graph/laplacian.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace lapclique::solver {
+
+using linalg::Vec;
+
+namespace {
+
+Vec pair_demand(int n, int u, int v) {
+  if (u < 0 || v < 0 || u >= n || v >= n || u == v) {
+    throw std::invalid_argument("effective_resistance: bad vertex pair");
+  }
+  Vec chi(static_cast<std::size_t>(n), 0.0);
+  chi[static_cast<std::size_t>(u)] = 1.0;
+  chi[static_cast<std::size_t>(v)] = -1.0;
+  return chi;
+}
+
+}  // namespace
+
+double effective_resistance_exact(const graph::Graph& g, int u, int v) {
+  const auto l = graph::laplacian(g);
+  const auto f = linalg::LaplacianFactor::factor(l);
+  const Vec chi = pair_demand(g.num_vertices(), u, v);
+  const Vec x = f.solve(chi);
+  return linalg::dot(chi, x);
+}
+
+ResistanceReport effective_resistance_clique(const graph::Graph& g, int u, int v,
+                                             double eps,
+                                             const LaplacianSolverOptions& opt) {
+  const Vec chi = pair_demand(g.num_vertices(), u, v);
+  CliqueSolveReport rep = solve_laplacian_clique(g, chi, eps, opt);
+  ResistanceReport out;
+  out.resistance = linalg::dot(chi, rep.x);
+  out.rounds = rep.rounds + 1;  // + one broadcast of the two potentials
+  return out;
+}
+
+linalg::Vec unit_current_voltages(const graph::Graph& g, int u, double eps,
+                                  const LaplacianSolverOptions& opt) {
+  const int n = g.num_vertices();
+  if (u < 0 || u >= n) throw std::invalid_argument("unit_current_voltages: bad u");
+  // Demand: inject 1 at u, extract 1/(n-1) everywhere else (a balanced,
+  // kernel-orthogonal demand), the standard single-solve voltage profile.
+  Vec chi(static_cast<std::size_t>(n), -1.0 / static_cast<double>(n - 1));
+  chi[static_cast<std::size_t>(u)] = 1.0;
+  CliqueSolveReport rep = solve_laplacian_clique(g, chi, eps, opt);
+  return rep.x;
+}
+
+}  // namespace lapclique::solver

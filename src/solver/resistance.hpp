@@ -1,0 +1,38 @@
+// Effective resistances — the canonical application of the Laplacian
+// paradigm beyond flows.  R_eff(u,v) = (chi_u - chi_v)^T L^+ (chi_u - chi_v)
+// is computed with one Theorem 1.1 solve per query; the clique variant
+// charges the solver's round cost and one extra broadcast round.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "solver/clique_laplacian.hpp"
+
+namespace lapclique::solver {
+
+/// Exact effective resistance via a dense pseudoinverse factorization.
+/// (Central oracle; used by tests and small-n certification.)
+double effective_resistance_exact(const graph::Graph& g, int u, int v);
+
+struct ResistanceReport {
+  double resistance = 0;
+  std::int64_t rounds = 0;
+};
+
+/// Theorem 1.1-powered approximation: one eps-accurate Laplacian solve.
+/// The relative error of the returned resistance is O(eps).
+ResistanceReport effective_resistance_clique(const graph::Graph& g, int u, int v,
+                                             double eps = 1e-8,
+                                             const LaplacianSolverOptions& opt = {});
+
+/// All-pairs-to-one resistances: R_eff(u, v) for a fixed u against every v,
+/// from a single solve (the potential vector gives them all at once up to
+/// the diagonal correction, which needs one solve per v in general; this
+/// returns the standard single-solve *voltage* profile phi = L^+ (chi_u)
+/// that downstream sampling schemes use).
+linalg::Vec unit_current_voltages(const graph::Graph& g, int u,
+                                  double eps = 1e-8,
+                                  const LaplacianSolverOptions& opt = {});
+
+}  // namespace lapclique::solver

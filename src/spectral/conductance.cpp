@@ -1,0 +1,112 @@
+#include "spectral/conductance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace lapclique::spectral {
+
+using graph::Edge;
+using graph::Graph;
+
+double volume(const Graph& g, std::span<const int> s) {
+  double vol = 0;
+  for (int v : s) vol += g.weighted_degree(v);
+  return vol;
+}
+
+double cut_weight(const Graph& g, std::span<const char> in_s) {
+  double w = 0;
+  for (const Edge& e : g.edges()) {
+    if (in_s[static_cast<std::size_t>(e.u)] != in_s[static_cast<std::size_t>(e.v)]) {
+      w += e.w;
+    }
+  }
+  return w;
+}
+
+double cut_conductance(const Graph& g, std::span<const int> s) {
+  if (s.empty() || static_cast<int>(s.size()) >= g.num_vertices()) {
+    throw std::invalid_argument("cut_conductance: cut must be proper");
+  }
+  std::vector<char> in_s(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (int v : s) in_s[static_cast<std::size_t>(v)] = 1;
+  const double cut = cut_weight(g, in_s);
+  const double vol_s = volume(g, s);
+  double vol_total = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) vol_total += g.weighted_degree(v);
+  const double denom = std::min(vol_s, vol_total - vol_s);
+  if (denom <= 0) return std::numeric_limits<double>::infinity();
+  return cut / denom;
+}
+
+double exact_conductance(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n < 2) throw std::invalid_argument("exact_conductance: n >= 2 required");
+  if (n > 24) throw std::invalid_argument("exact_conductance: n <= 24 only");
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> s;
+  // Fix vertex 0 on one side to halve the enumeration.
+  for (std::uint32_t mask = 1; mask < (1u << (n - 1)); ++mask) {
+    s.clear();
+    for (int v = 1; v < n; ++v) {
+      if ((mask >> (v - 1)) & 1u) s.push_back(v);
+    }
+    if (s.empty() || static_cast<int>(s.size()) == n) continue;
+    best = std::min(best, cut_conductance(g, s));
+  }
+  return best;
+}
+
+SweepCut best_sweep_cut(const Graph& g, std::span<const double> score) {
+  const int n = g.num_vertices();
+  if (static_cast<int>(score.size()) != n || n < 2) {
+    throw std::invalid_argument("best_sweep_cut: bad input");
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&score](int a, int b) {
+    return score[static_cast<std::size_t>(a)] < score[static_cast<std::size_t>(b)];
+  });
+
+  double vol_total = 0;
+  for (int v = 0; v < n; ++v) vol_total += g.weighted_degree(v);
+
+  std::vector<char> in_s(static_cast<std::size_t>(n), 0);
+  double cut = 0;
+  double vol = 0;
+  SweepCut best;
+  best.conductance = std::numeric_limits<double>::infinity();
+  int best_prefix = -1;
+  for (int i = 0; i + 1 < n; ++i) {
+    const int v = order[static_cast<std::size_t>(i)];
+    // Moving v across the cut: edges to S stop crossing, edges to V\S start.
+    for (const graph::Incidence& inc : g.incident(v)) {
+      const double w = g.edge(inc.edge).w;
+      if (in_s[static_cast<std::size_t>(inc.other)] != 0) {
+        cut -= w;
+      } else {
+        cut += w;
+      }
+    }
+    in_s[static_cast<std::size_t>(v)] = 1;
+    vol += g.weighted_degree(v);
+    const double denom = std::min(vol, vol_total - vol);
+    if (denom <= 0) continue;
+    const double phi = cut / denom;
+    if (phi < best.conductance) {
+      best.conductance = phi;
+      best_prefix = i;
+    }
+  }
+  if (best_prefix < 0) {
+    // Degenerate (e.g. no edges): split in half.
+    best_prefix = n / 2 - 1;
+    best.conductance = 0;
+  }
+  best.side.assign(order.begin(), order.begin() + best_prefix + 1);
+  return best;
+}
+
+}  // namespace lapclique::spectral

@@ -1,0 +1,34 @@
+// Conductance (Definition 3.1) and sweep cuts.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lapclique::spectral {
+
+/// Volume of S: sum of weighted degrees.
+double volume(const graph::Graph& g, std::span<const int> s);
+
+/// Weight of edges leaving S.
+double cut_weight(const graph::Graph& g, std::span<const char> in_s);
+
+/// Conductance of the cut (S, V\S); throws if S or its complement is empty.
+double cut_conductance(const graph::Graph& g, std::span<const int> s);
+
+/// Exact conductance Phi(G) by enumerating all 2^(n-1) cuts; n <= 24 only.
+/// Test/certification oracle.
+double exact_conductance(const graph::Graph& g);
+
+struct SweepCut {
+  std::vector<int> side;  ///< the prefix side of the best cut
+  double conductance = 0;
+};
+
+/// Best sweep cut of a score vector: sort vertices by score, evaluate all
+/// prefix cuts, return the minimum-conductance one.  This is the Cheeger
+/// rounding used by the expander decomposition.
+SweepCut best_sweep_cut(const graph::Graph& g, std::span<const double> score);
+
+}  // namespace lapclique::spectral

@@ -1,0 +1,92 @@
+#include "spectral/power_iteration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/laplacian.hpp"
+#include "graph/rng.hpp"
+#include "linalg/jacobi_eigen.hpp"
+
+namespace lapclique::spectral {
+
+using linalg::Vec;
+
+FiedlerEstimate fiedler_estimate(const graph::Graph& g,
+                                 const PowerIterationOptions& opt) {
+  const int n = g.num_vertices();
+  if (n < 2 || g.num_edges() == 0) {
+    throw std::invalid_argument("fiedler_estimate: need >= 2 vertices and an edge");
+  }
+  const linalg::CsrMatrix nlap = graph::normalized_laplacian(g);
+
+  // Kernel direction of N: w = D^{1/2} 1 (normalized).
+  Vec w(static_cast<std::size_t>(n), 0.0);
+  for (int v = 0; v < n; ++v) {
+    w[static_cast<std::size_t>(v)] = std::sqrt(std::max(g.weighted_degree(v), 0.0));
+  }
+  const double wn = linalg::norm2(w);
+  if (!(wn > 0)) throw std::invalid_argument("fiedler_estimate: graph has no volume");
+  linalg::scale(1.0 / wn, w);
+
+  // Deterministic start: derived from vertex ids, deflated against w.
+  graph::SplitMix64 rng(opt.deterministic_salt);
+  Vec x(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    x[static_cast<std::size_t>(v)] = rng.next_double() - 0.5;
+  }
+  auto deflate = [&w](Vec& y) {
+    const double proj = linalg::dot(y, w);
+    linalg::axpy(-proj, w, y);
+  };
+  deflate(x);
+  double xn = linalg::norm2(x);
+  if (!(xn > 0)) {
+    // Pathological cancellation: use the coordinate basis fallback.
+    x.assign(static_cast<std::size_t>(n), 0.0);
+    x[0] = 1.0;
+    deflate(x);
+    xn = linalg::norm2(x);
+  }
+  linalg::scale(1.0 / xn, x);
+
+  // Power iteration on M = 2I - N restricted to the complement of w.
+  // M's top eigenvalue there is 2 - lambda_2(N).
+  double rayleigh_m = 0;
+  Vec mx(static_cast<std::size_t>(n));
+  for (int it = 0; it < opt.iterations; ++it) {
+    nlap.multiply_into(x, mx);
+    for (std::size_t i = 0; i < mx.size(); ++i) mx[i] = 2.0 * x[i] - mx[i];
+    deflate(mx);
+    const double norm = linalg::norm2(mx);
+    if (!(norm > 1e-300)) break;
+    linalg::scale(1.0 / norm, mx);
+    x.swap(mx);
+  }
+  nlap.multiply_into(x, mx);
+  double quad = 0;
+  for (std::size_t i = 0; i < mx.size(); ++i) quad += x[i] * (2.0 * x[i] - mx[i]);
+  rayleigh_m = quad / linalg::dot(x, x);
+
+  FiedlerEstimate out;
+  out.lambda2 = 2.0 - rayleigh_m;
+  out.iterations = opt.iterations;
+  // Map back: the combinatorial sweep vector is D^{-1/2} x.
+  out.vector.assign(static_cast<std::size_t>(n), 0.0);
+  for (int v = 0; v < n; ++v) {
+    const double d = g.weighted_degree(v);
+    out.vector[static_cast<std::size_t>(v)] =
+        d > 0 ? x[static_cast<std::size_t>(v)] / std::sqrt(d) : 0.0;
+  }
+  return out;
+}
+
+double exact_lambda2_normalized(const graph::Graph& g) {
+  const linalg::CsrMatrix nlap = graph::normalized_laplacian(g);
+  const auto eig = linalg::jacobi_eigen(nlap.size(), nlap.to_dense());
+  if (eig.values.size() < 2) {
+    throw std::invalid_argument("exact_lambda2_normalized: n >= 2 required");
+  }
+  return eig.values[1];
+}
+
+}  // namespace lapclique::spectral

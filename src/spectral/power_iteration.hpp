@@ -1,0 +1,35 @@
+// Deterministic spectral estimation: the second eigenvalue / eigenvector of
+// the normalized Laplacian via deflated power iteration with an ID-derived
+// (deterministic) start vector.  This is the engine behind our substitute
+// expander decomposition (DESIGN.md §3): in the congested clique, one power
+// iteration step is one matvec = one broadcast round.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace lapclique::spectral {
+
+struct FiedlerEstimate {
+  linalg::Vec vector;       ///< approximate Fiedler vector (of the normalized
+                            ///< Laplacian, mapped back through D^{-1/2})
+  double lambda2 = 0;       ///< estimate of lambda_2(N); approaches from above
+  int iterations = 0;
+};
+
+struct PowerIterationOptions {
+  int iterations = 200;
+  std::uint64_t deterministic_salt = 0x5eedULL;  ///< varies the start vector
+};
+
+/// Requires a connected graph with at least one edge.
+FiedlerEstimate fiedler_estimate(const graph::Graph& g,
+                                 const PowerIterationOptions& opt = {});
+
+/// Exact lambda_2 of the normalized Laplacian via dense Jacobi (test oracle,
+/// small n).
+double exact_lambda2_normalized(const graph::Graph& g);
+
+}  // namespace lapclique::spectral

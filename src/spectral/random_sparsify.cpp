@@ -1,0 +1,31 @@
+#include "spectral/random_sparsify.hpp"
+
+#include <cmath>
+
+#include "graph/rng.hpp"
+
+namespace lapclique::spectral {
+
+using graph::Edge;
+using graph::Graph;
+
+Graph random_sparsify(const Graph& g, const RandomSparsifyOptions& opt) {
+  const int n = g.num_vertices();
+  Graph h(n);
+  if (g.num_edges() == 0) return h;
+
+  std::vector<double> wdeg(static_cast<std::size_t>(n), 0.0);
+  for (int v = 0; v < n; ++v) wdeg[static_cast<std::size_t>(v)] = g.weighted_degree(v);
+
+  graph::SplitMix64 rng(opt.seed);
+  const double logn = std::log(std::max(2, n));
+  for (const Edge& e : g.edges()) {
+    const double score = e.w * (1.0 / wdeg[static_cast<std::size_t>(e.u)] +
+                                1.0 / wdeg[static_cast<std::size_t>(e.v)]);
+    const double p = std::min(1.0, opt.oversampling * logn * score);
+    if (rng.next_double() < p) h.add_edge(e.u, e.v, e.w / p);
+  }
+  return h;
+}
+
+}  // namespace lapclique::spectral

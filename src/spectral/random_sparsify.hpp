@@ -1,0 +1,24 @@
+// Randomized sparsifier baseline (§1: "replacing the Laplacian solver by a
+// simpler, randomized solver (see [FV22]) ... converts the n^{o(1)} into a
+// polylog n factor").
+//
+// Degree-based leverage-score overestimates: edge e = {u,v} is kept with
+// probability p_e = min(1, C log n * w_e (1/wdeg(u) + 1/wdeg(v))) and
+// reweighted by 1/p_e.  Deterministically seeded.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace lapclique::spectral {
+
+struct RandomSparsifyOptions {
+  double oversampling = 4.0;  ///< C in p_e = min(1, C log n * score)
+  std::uint64_t seed = 1;
+};
+
+graph::Graph random_sparsify(const graph::Graph& g,
+                             const RandomSparsifyOptions& opt = {});
+
+}  // namespace lapclique::spectral

@@ -1,0 +1,111 @@
+// (1+eps)-approximate undirected max flow (the §1.1 comparison algorithm).
+#include <gtest/gtest.h>
+
+#include "flow/approx_maxflow.hpp"
+#include "graph/generators.hpp"
+
+namespace lapclique::flow {
+namespace {
+
+using graph::Graph;
+
+ApproxMaxFlowReport run(const Graph& g, int s, int t, double eps,
+                        double scale = 0.05) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  ApproxMaxFlowOptions opt;
+  opt.eps = eps;
+  opt.iteration_scale = scale;
+  return approx_max_flow_undirected(g, s, t, net, opt);
+}
+
+bool feasible(const Graph& g, const std::vector<double>& f, int s, int t) {
+  for (int e = 0; e < g.num_edges(); ++e) {
+    if (std::abs(f[static_cast<std::size_t>(e)]) > g.edge(e).w + 1e-7) return false;
+  }
+  std::vector<double> net_out(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  for (int e = 0; e < g.num_edges(); ++e) {
+    net_out[static_cast<std::size_t>(g.edge(e).u)] += f[static_cast<std::size_t>(e)];
+    net_out[static_cast<std::size_t>(g.edge(e).v)] -= f[static_cast<std::size_t>(e)];
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (v == s || v == t) continue;
+    if (std::abs(net_out[static_cast<std::size_t>(v)]) > 1e-6) return false;
+  }
+  return true;
+}
+
+TEST(ApproxMaxFlow, PathGraphIsExactish) {
+  const Graph g = graph::path(6);
+  const auto r = run(g, 0, 5, 0.1, 1.0);
+  EXPECT_GE(r.value, 0.6);  // true max flow = 1
+  EXPECT_LE(r.value, 1.0 + 1e-9);
+  EXPECT_TRUE(feasible(g, r.flow, 0, 5));
+}
+
+TEST(ApproxMaxFlow, ParallelPathsAccumulate) {
+  // 4 disjoint unit paths s->x_i->t: max flow 4.
+  Graph g(6);
+  for (int i = 1; i <= 4; ++i) {
+    g.add_edge(0, i, 1.0);
+    g.add_edge(i, 5, 1.0);
+  }
+  const auto r = run(g, 0, 5, 0.1, 1.0);
+  EXPECT_GE(r.value, 0.7 * 4.0);
+  EXPECT_TRUE(feasible(g, r.flow, 0, 5));
+}
+
+class ApproxMaxFlowRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproxMaxFlowRandom, WithinApproximationOfOracle) {
+  const Graph g = graph::with_random_weights(
+      graph::random_connected_gnm(16, 48, GetParam()), 8, GetParam() + 9);
+  const auto exact = static_cast<double>(exact_max_flow_undirected(g, 0, 15));
+  const auto r = run(g, 0, 15, 0.15, 0.3);
+  EXPECT_TRUE(feasible(g, r.flow, 0, 15)) << GetParam();
+  EXPECT_LE(r.value, exact + 1e-6) << GetParam();
+  EXPECT_GE(r.value, 0.5 * exact) << GetParam();  // generous MWU slack
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxMaxFlowRandom, ::testing::Values(1, 2, 3, 4));
+
+TEST(ApproxMaxFlow, TighterEpsGetsCloser) {
+  const Graph g = graph::with_random_weights(
+      graph::random_connected_gnm(12, 36, 5), 4, 6);
+  const auto exact = static_cast<double>(exact_max_flow_undirected(g, 0, 11));
+  const auto loose = run(g, 0, 11, 0.3, 0.5);
+  const auto tight = run(g, 0, 11, 0.08, 0.5);
+  EXPECT_GE(tight.value, loose.value - 0.15 * exact);
+  EXPECT_GE(tight.value, 0.6 * exact);
+}
+
+TEST(ApproxMaxFlow, ChargesTheoremRounds) {
+  const Graph g = graph::random_connected_gnm(12, 36, 7);
+  const auto r = run(g, 0, 11, 0.2);
+  EXPECT_GT(r.rounds, 0);
+  EXPECT_GT(r.rounds_per_solve, 0);
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_GT(r.probes, 0);
+}
+
+TEST(ApproxMaxFlow, RejectsBadInputs) {
+  const Graph g = graph::cycle(5);
+  clique::Network net(5);
+  EXPECT_THROW((void)approx_max_flow_undirected(g, 0, 0, net), std::invalid_argument);
+  ApproxMaxFlowOptions bad;
+  bad.eps = 0.9;
+  EXPECT_THROW((void)approx_max_flow_undirected(g, 0, 2, net, bad),
+               std::invalid_argument);
+  graph::Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  EXPECT_THROW((void)approx_max_flow_undirected(disconnected, 0, 3, net),
+               std::invalid_argument);
+}
+
+TEST(ApproxMaxFlow, ExactOracleMatchesDinicIntuition) {
+  const Graph g = graph::complete(6);  // unit capacities: max flow = 5
+  EXPECT_EQ(exact_max_flow_undirected(g, 0, 5), 5);
+}
+
+}  // namespace
+}  // namespace lapclique::flow

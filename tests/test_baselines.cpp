@@ -1,0 +1,72 @@
+// The paper's §1.1 baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/baselines.hpp"
+#include "graph/generators.hpp"
+
+namespace lapclique::flow {
+namespace {
+
+using graph::Digraph;
+
+TEST(TrivialBaseline, ExactAndChargesGatherCost) {
+  const Digraph g = graph::random_flow_network(16, 48, 6, 1);
+  clique::Network net(16);
+  const BaselineResult r = trivial_max_flow(g, 0, 15, net);
+  EXPECT_EQ(r.value, dinic_max_flow(g, 0, 15).value);
+  // ceil(3m/n)+1 rounds.
+  EXPECT_EQ(r.rounds, (3 * 48 + 15) / 16 + 1);
+}
+
+TEST(TrivialBaseline, RoundsGrowLinearlyInM) {
+  clique::Network net(20);
+  const Digraph g1 = graph::random_flow_network(20, 40, 3, 2);
+  const Digraph g2 = graph::random_flow_network(20, 160, 3, 2);
+  const auto r1 = trivial_max_flow(g1, 0, 19, net);
+  const auto r2 = trivial_max_flow(g2, 0, 19, net);
+  EXPECT_GT(r2.rounds, 3 * r1.rounds);
+}
+
+TEST(FordFulkerson, ExactOnRandomNetworks) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Digraph g = graph::random_flow_network(14, 36, 5, seed);
+    clique::Network net(14);
+    const BaselineResult r = ford_fulkerson_max_flow(g, 0, 13, net);
+    EXPECT_EQ(r.value, dinic_max_flow(g, 0, 13).value) << seed;
+    std::vector<double> f(r.flow.begin(), r.flow.end());
+    EXPECT_TRUE(graph::is_feasible_st_flow(g, f, 0, 13)) << seed;
+  }
+}
+
+TEST(FordFulkerson, IterationsBoundedByValue) {
+  const Digraph g = graph::random_flow_network(12, 30, 8, 3);
+  clique::Network net(12);
+  const BaselineResult r = ford_fulkerson_max_flow(g, 0, 11, net);
+  EXPECT_LE(r.iterations, r.value);
+  EXPECT_GE(r.iterations, 1);
+}
+
+TEST(FordFulkerson, RoundsScaleWithIterations) {
+  // Paper: O(|f*| * n^0.158).  Doubling capacities roughly doubles |f*|
+  // but iterations stay bounded by |f*|; rounds/iteration is the CKKL charge.
+  const Digraph g = graph::random_flow_network(12, 30, 8, 4);
+  clique::Network net(12);
+  const BaselineResult r = ford_fulkerson_max_flow(g, 0, 11, net);
+  const auto per_iter = static_cast<std::int64_t>(std::ceil(std::pow(12.0, 0.158)));
+  EXPECT_GE(r.rounds, r.iterations * per_iter);
+}
+
+TEST(FordFulkerson, ZeroFlowWhenDisconnected) {
+  Digraph g(4);
+  g.add_arc(0, 1, 3);
+  g.add_arc(2, 3, 3);
+  clique::Network net(4);
+  const BaselineResult r = ford_fulkerson_max_flow(g, 0, 3, net);
+  EXPECT_EQ(r.value, 0);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace lapclique::flow

@@ -1,0 +1,155 @@
+// Theorem 2.2 / Corollary 2.3: preconditioned Chebyshev iteration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "linalg/chebyshev.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace lapclique::linalg {
+namespace {
+
+TEST(ChebyshevBound, GrowsWithKappaAndPrecision) {
+  EXPECT_LT(chebyshev_iteration_bound(2.0, 1e-4),
+            chebyshev_iteration_bound(16.0, 1e-4));
+  EXPECT_LT(chebyshev_iteration_bound(4.0, 1e-2),
+            chebyshev_iteration_bound(4.0, 1e-8));
+}
+
+TEST(ChebyshevBound, MatchesSqrtKappaLogEps) {
+  const int k = chebyshev_iteration_bound(9.0, 1e-6);
+  EXPECT_EQ(k, static_cast<int>(std::ceil(3.0 * std::log(2e6))) + 1);
+}
+
+TEST(ChebyshevBound, RejectsBadArguments) {
+  EXPECT_THROW(chebyshev_iteration_bound(0.5, 1e-4), std::invalid_argument);
+  EXPECT_THROW(chebyshev_iteration_bound(2.0, 0.9), std::invalid_argument);
+}
+
+TEST(Chebyshev, ExactWithIdentityPreconditioner) {
+  // A = B = I: kappa = 1, converges immediately.
+  const int n = 8;
+  Vec b(n);
+  for (int i = 0; i < n; ++i) b[static_cast<std::size_t>(i)] = i - 3.5;
+  const ApplyFn id = [](std::span<const double> x) { return Vec(x.begin(), x.end()); };
+  ChebyshevOptions opt;
+  opt.kappa = 1.0;
+  opt.eps = 1e-10;
+  const Vec x = preconditioned_chebyshev(id, id, b, opt);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+class ChebyshevLaplacianTest : public ::testing::TestWithParam<double> {};
+
+// Corollary 2.3's error bound, measured exactly: solve with a *scaled*
+// preconditioner B = kappa-distorted Laplacian and verify
+// ||x - L^+ b||_{L} <= eps ||L^+ b||_{L}.
+TEST_P(ChebyshevLaplacianTest, EnergyNormErrorBoundHolds) {
+  const double eps = GetParam();
+  const graph::Graph g = graph::random_connected_gnm(24, 60, 5);
+  const CsrMatrix l = graph::laplacian(g);
+  const LaplacianFactor exact = LaplacianFactor::factor(l);
+
+  // Preconditioner: B = 3 L (so A <= B' <= kappa A with the scaling below).
+  const double kappa = 3.0;
+  const ApplyFn apply_a = [&l](std::span<const double> x) { return l.multiply(x); };
+  const ApplyFn solve_b = [&exact, kappa](std::span<const double> r) {
+    Vec z = exact.solve(r);
+    scale(1.0, z);  // B^{-1} = (kappa * L / kappa)^{-1} acting as L^+ here
+    return z;
+  };
+
+  Vec b(24, 0.0);
+  b[0] = 1.0;
+  b[23] = -1.0;
+  ChebyshevOptions opt;
+  opt.kappa = kappa;  // deliberately pessimistic (true kappa is 1)
+  opt.eps = eps;
+  const Vec x = preconditioned_chebyshev(apply_a, solve_b, b, opt);
+
+  const Vec xstar = exact.solve(b);
+  Vec diff = sub(x, xstar);
+  const double err = graph::laplacian_norm(l, diff);
+  const double ref = graph::laplacian_norm(l, xstar);
+  EXPECT_LE(err, eps * ref * 1.5 + 1e-12) << "eps = " << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, ChebyshevLaplacianTest,
+                         ::testing::Values(1e-2, 1e-4, 1e-6, 1e-8));
+
+TEST(Chebyshev, ConvergesWithGenuinelyWeakPreconditioner) {
+  // A = Laplacian of a barbell; B = Laplacian of a spanning-ish sparsifier
+  // (the path through the graph).  kappa is large but finite; with a
+  // generous kappa setting Chebyshev still converges.
+  const graph::Graph g = graph::barbell(6);
+  const CsrMatrix l = graph::laplacian(g);
+  // Preconditioner: same barbell with all weights doubled (kappa = 2).
+  graph::Graph h = g;
+  h.scale_weights(2.0);
+  const CsrMatrix lh = graph::laplacian(h);
+  const LaplacianFactor hf = LaplacianFactor::factor(lh);
+  const LaplacianFactor exact = LaplacianFactor::factor(l);
+
+  const ApplyFn apply_a = [&l](std::span<const double> x) { return l.multiply(x); };
+  const ApplyFn solve_b = [&hf](std::span<const double> r) { return hf.solve(r); };
+
+  Vec b(12, 0.0);
+  b[0] = 1.0;
+  b[11] = -1.0;
+  ChebyshevOptions opt;
+  opt.kappa = 4.0;
+  opt.eps = 1e-8;
+  ChebyshevStats stats;
+  const Vec x = preconditioned_chebyshev(apply_a, solve_b, b, opt, &stats);
+  const Vec xstar = exact.solve(b);
+  Vec diff = sub(x, xstar);
+  EXPECT_LE(graph::laplacian_norm(l, diff),
+            1e-6 * std::max(graph::laplacian_norm(l, xstar), 1.0));
+  EXPECT_GT(stats.iterations, 0);
+}
+
+TEST(Chebyshev, ResidualTraceDecreasesMonotonically) {
+  const graph::Graph g = graph::random_connected_gnm(16, 40, 2);
+  const CsrMatrix l = graph::laplacian(g);
+  const LaplacianFactor lf = LaplacianFactor::factor(l);
+  const ApplyFn apply_a = [&l](std::span<const double> x) { return l.multiply(x); };
+  const ApplyFn solve_b = [&lf](std::span<const double> r) { return lf.solve(r); };
+  Vec b(16, 0.0);
+  b[3] = 1.0;
+  b[12] = -1.0;
+  ChebyshevOptions opt;
+  opt.kappa = 2.0;
+  opt.eps = 1e-10;
+  opt.record_trace = true;
+  ChebyshevStats stats;
+  (void)preconditioned_chebyshev(apply_a, solve_b, b, opt, &stats);
+  ASSERT_GE(stats.residual_trace.size(), 3u);
+  EXPECT_LT(stats.residual_trace.back(), stats.residual_trace.front());
+}
+
+TEST(Chebyshev, IterationCountMatchesTheoremRate) {
+  // With kappa = 4 the theoretical count is ~ 2 ln(2/eps); verify the
+  // implementation uses exactly the bound when no override is given.
+  const graph::Graph g = graph::cycle(10);
+  const CsrMatrix l = graph::laplacian(g);
+  const LaplacianFactor lf = LaplacianFactor::factor(l);
+  const ApplyFn apply_a = [&l](std::span<const double> x) { return l.multiply(x); };
+  const ApplyFn solve_b = [&lf](std::span<const double> r) { return lf.solve(r); };
+  Vec b(10, 0.0);
+  b[0] = 1.0;
+  b[5] = -1.0;
+  ChebyshevOptions opt;
+  opt.kappa = 4.0;
+  opt.eps = 1e-6;
+  ChebyshevStats stats;
+  (void)preconditioned_chebyshev(apply_a, solve_b, b, opt, &stats);
+  EXPECT_EQ(stats.iterations, chebyshev_iteration_bound(4.0, 1e-6));
+}
+
+}  // namespace
+}  // namespace lapclique::linalg

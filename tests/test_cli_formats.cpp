@@ -1,0 +1,90 @@
+// End-to-end format round trips of the kind the CLI performs: generate an
+// instance, serialize, parse, solve, and check the solution line.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flow/dinic.hpp"
+#include "flow/ssp_mincost.hpp"
+#include "graph/generators.hpp"
+#include "io/dimacs.hpp"
+
+namespace lapclique::io {
+namespace {
+
+TEST(CliFormats, GenerateSerializeSolveMaxFlow) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    MaxFlowProblem p;
+    p.g = graph::random_flow_network(14, 40, 9, seed);
+    p.source = 0;
+    p.sink = 13;
+    const auto direct = flow::dinic_max_flow(p.g, p.source, p.sink);
+
+    std::ostringstream buf;
+    write_dimacs_max_flow(buf, p);
+    std::istringstream in(buf.str());
+    const MaxFlowProblem q = read_dimacs_max_flow(in);
+    const auto reparsed = flow::dinic_max_flow(q.g, q.source, q.sink);
+    EXPECT_EQ(reparsed.value, direct.value) << seed;
+  }
+}
+
+TEST(CliFormats, GenerateSerializeSolveMinCost) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    MinCostProblem p;
+    p.g = graph::random_unit_cost_digraph(12, 48, 7, seed);
+    p.sigma = graph::feasible_unit_demands(p.g, 3, seed + 10);
+    const auto direct = flow::ssp_min_cost_flow(p.g, p.sigma);
+
+    std::ostringstream buf;
+    write_dimacs_min_cost(buf, p);
+    std::istringstream in(buf.str());
+    const MinCostProblem q = read_dimacs_min_cost(in);
+    const auto reparsed = flow::ssp_min_cost_flow(q.g, q.sigma);
+    EXPECT_EQ(reparsed.feasible, direct.feasible) << seed;
+    if (direct.feasible) EXPECT_EQ(reparsed.cost, direct.cost) << seed;
+  }
+}
+
+TEST(CliFormats, SolutionLinesParseableShape) {
+  graph::Digraph g(3);
+  g.add_arc(0, 1, 4);
+  g.add_arc(1, 2, 4);
+  std::ostringstream out;
+  write_dimacs_flow(out, g, {3, 3}, 3);
+  // Every non-comment line must start with 's' or 'f' and carry 1-based ids.
+  std::istringstream in(out.str());
+  std::string line;
+  int f_lines = 0;
+  bool s_seen = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 's') {
+      s_seen = true;
+      EXPECT_EQ(line, "s 3");
+    } else {
+      ASSERT_EQ(line[0], 'f');
+      ++f_lines;
+    }
+  }
+  EXPECT_TRUE(s_seen);
+  EXPECT_EQ(f_lines, 2);
+}
+
+TEST(CliFormats, CommentsAndBlankLinesIgnoredEverywhere) {
+  std::istringstream in(
+      "c leading comment\n"
+      "\n"
+      "p max 2 1\n"
+      "c mid comment\n"
+      "n 1 s\n"
+      "n 2 t\n"
+      "\n"
+      "a 1 2 7\n"
+      "c trailing\n");
+  const MaxFlowProblem p = read_dimacs_max_flow(in);
+  EXPECT_EQ(p.g.arc(0).cap, 7);
+}
+
+}  // namespace
+}  // namespace lapclique::io

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "cliquesim/collectives.hpp"
+#include "cliquesim/network.hpp"
+#include "cliquesim/router.hpp"
+
+namespace lapclique::clique {
+namespace {
+
+TEST(Word, RoundTripsInt) {
+  const Word w(std::int64_t{-12345});
+  EXPECT_EQ(w.as_int(), -12345);
+}
+
+TEST(Word, RoundTripsDouble) {
+  const Word w(3.14159);
+  EXPECT_DOUBLE_EQ(w.as_double(), 3.14159);
+}
+
+TEST(Network, RejectsNonPositiveSize) {
+  EXPECT_THROW(Network(0), std::invalid_argument);
+  EXPECT_THROW(Network(-3), std::invalid_argument);
+}
+
+TEST(Network, StartsAtZeroRounds) {
+  Network net(4);
+  EXPECT_EQ(net.rounds(), 0);
+  EXPECT_EQ(net.words_sent(), 0);
+}
+
+TEST(Network, ChargeAccumulates) {
+  Network net(4);
+  net.charge(3);
+  net.charge(2, 10);
+  EXPECT_EQ(net.rounds(), 5);
+  EXPECT_EQ(net.words_sent(), 10);
+}
+
+TEST(Network, ChargeRejectsNegative) {
+  Network net(4);
+  EXPECT_THROW(net.charge(-1), std::invalid_argument);
+}
+
+TEST(Network, ExchangeChargesMaxPairMultiplicity) {
+  Network net(4);
+  // Two messages on the same ordered pair -> 2 rounds; others overlap free.
+  std::vector<Msg> msgs{{0, 1, 0, Word(std::int64_t{1})},
+                        {0, 1, 0, Word(std::int64_t{2})},
+                        {2, 3, 0, Word(std::int64_t{3})}};
+  net.exchange(msgs);
+  EXPECT_EQ(net.rounds(), 2);
+  EXPECT_EQ(net.inbox(1).size(), 2u);
+  EXPECT_EQ(net.inbox(3).size(), 1u);
+}
+
+TEST(Network, ExchangeValidatesNodeIds) {
+  Network net(2);
+  EXPECT_THROW(net.exchange({{0, 5, 0, Word()}}), std::out_of_range);
+}
+
+TEST(Network, LenzenRouteChargesConstantForUnitLoad) {
+  Network net(8);
+  std::vector<Msg> msgs;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      if (i != j) msgs.push_back({i, j, 0, Word(std::int64_t{i})});
+    }
+  }
+  net.lenzen_route(msgs);
+  // max load = 7 <= n, so c = 1 and the charge is the Lenzen constant.
+  EXPECT_EQ(net.rounds(), net.lenzen_constant());
+}
+
+TEST(Network, LenzenRouteScalesWithLoad) {
+  Network net(4);
+  std::vector<Msg> msgs;
+  // Node 0 sends 9 messages to node 1: load ceil(9/4) = 3.
+  for (int k = 0; k < 9; ++k) msgs.push_back({0, 1, k, Word(std::int64_t{k})});
+  net.lenzen_route(msgs);
+  EXPECT_EQ(net.rounds(), 3 * net.lenzen_constant());
+}
+
+TEST(Network, DrainInboxEmptiesIt) {
+  Network net(3);
+  net.exchange({{0, 1, 7, Word(std::int64_t{42})}});
+  auto msgs = net.drain_inbox(1);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].tag, 7);
+  EXPECT_EQ(msgs[0].payload.as_int(), 42);
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(Network, PhaseLedgerSplitsRounds) {
+  Network net(4);
+  net.set_phase("a");
+  net.charge(2);
+  net.set_phase("b");
+  net.charge(5);
+  EXPECT_EQ(net.ledger().rounds_by_phase.at("a"), 2);
+  EXPECT_EQ(net.ledger().rounds_by_phase.at("b"), 5);
+}
+
+TEST(Network, ResetAccountingClearsEverything) {
+  Network net(4);
+  net.charge(9, 10);
+  net.reset_accounting();
+  EXPECT_EQ(net.rounds(), 0);
+  EXPECT_EQ(net.words_sent(), 0);
+  EXPECT_TRUE(net.op_log().empty());
+}
+
+TEST(Network, OpLogRecordsMaxNodeLoad) {
+  Network net(4);
+  net.lenzen_route({{0, 1, 0, Word()}, {0, 2, 0, Word()}, {0, 3, 0, Word()}});
+  ASSERT_FALSE(net.op_log().empty());
+  EXPECT_EQ(net.op_log().back().max_node_load, 3);
+}
+
+TEST(Collectives, BroadcastOneChargesOneRound) {
+  Network net(5);
+  const auto out = broadcast_one(net, {1, 2, 3, 4, 5});
+  EXPECT_EQ(net.rounds(), 1);
+  EXPECT_EQ(out[3], 4);
+}
+
+TEST(Collectives, BroadcastOneValidatesSize) {
+  Network net(5);
+  EXPECT_THROW(broadcast_one(net, {1, 2}), std::invalid_argument);
+}
+
+TEST(Collectives, BroadcastManyChargesMaxLength) {
+  Network net(3);
+  std::vector<std::vector<Word>> vals{{Word(std::int64_t{1})},
+                                      {Word(std::int64_t{1}), Word(std::int64_t{2})},
+                                      {}};
+  broadcast_many(net, vals);
+  EXPECT_EQ(net.rounds(), 2);
+}
+
+TEST(Collectives, AllreduceSumIsExact) {
+  Network net(4);
+  EXPECT_DOUBLE_EQ(allreduce_sum(net, {0.5, 1.5, 2.0, -1.0}), 3.0);
+  EXPECT_EQ(net.rounds(), 1);
+}
+
+TEST(Collectives, AllreduceMinMax) {
+  Network net(3);
+  EXPECT_DOUBLE_EQ(allreduce_max(net, {1.0, 9.0, 4.0}), 9.0);
+  EXPECT_DOUBLE_EQ(allreduce_min(net, {1.0, 9.0, 4.0}), 1.0);
+  EXPECT_EQ(net.rounds(), 2);
+}
+
+TEST(Collectives, AllreduceIntVariants) {
+  Network net(3);
+  EXPECT_EQ(allreduce_sum_int(net, {2, 3, 4}), 9);
+  EXPECT_EQ(allreduce_max_int(net, {2, 3, 4}), 4);
+}
+
+TEST(Collectives, GatherToAllConcatenatesAndCharges) {
+  Network net(4);
+  std::vector<std::vector<Word>> words(4);
+  for (int i = 0; i < 8; ++i) {
+    words[static_cast<std::size_t>(i % 4)].push_back(Word(std::int64_t{i}));
+  }
+  const auto all = gather_to_all(net, words);
+  EXPECT_EQ(all.size(), 8u);
+  // ceil(8/4) + 1 = 3 rounds.
+  EXPECT_EQ(net.rounds(), 3);
+}
+
+TEST(Router, FlushDeliversToInboxesByDestination) {
+  Network net(4);
+  Router r(net);
+  r.send(0, 2, 11, std::int64_t{5});
+  r.send(1, 2, 12, 2.5);
+  r.send(3, 0, 13, std::int64_t{-1});
+  EXPECT_EQ(r.staged(), 3u);
+  const auto inboxes = r.flush();
+  EXPECT_EQ(r.staged(), 0u);
+  EXPECT_EQ(inboxes[2].size(), 2u);
+  EXPECT_EQ(inboxes[0].size(), 1u);
+  EXPECT_EQ(inboxes[0][0].payload.as_int(), -1);
+}
+
+TEST(Router, EmptyFlushChargesNothing) {
+  Network net(4);
+  Router r(net);
+  const auto inboxes = r.flush();
+  EXPECT_EQ(net.rounds(), 0);
+  EXPECT_EQ(inboxes.size(), 4u);
+}
+
+// Congestion audit invariant: an operation never moves more words through a
+// single node than the model's bandwidth times the rounds charged allows.
+TEST(Network, CongestionAuditHolds) {
+  Network net(6);
+  std::vector<Msg> msgs;
+  for (int i = 1; i < 6; ++i) {
+    for (int k = 0; k < 4; ++k) msgs.push_back({i, 0, k, Word(std::int64_t{k})});
+  }
+  net.lenzen_route(msgs);
+  for (const OpRecord& op : net.op_log()) {
+    EXPECT_LE(op.max_node_load,
+              op.rounds * static_cast<std::int64_t>(net.size()))
+        << "phase " << op.phase;
+  }
+}
+
+}  // namespace
+}  // namespace lapclique::clique

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spectral/conductance.hpp"
+#include "spectral/power_iteration.hpp"
+
+namespace lapclique::spectral {
+namespace {
+
+using graph::Graph;
+
+TEST(Conductance, CompleteGraphCutIsHalfish) {
+  const Graph g = graph::complete(6);
+  const std::vector<int> s{0, 1, 2};
+  // cut = 9, vol(S) = 15 -> 0.6
+  EXPECT_NEAR(cut_conductance(g, s), 9.0 / 15.0, 1e-12);
+}
+
+TEST(Conductance, BarbellBridgeIsTheWorstCut) {
+  const Graph g = graph::barbell(5);
+  std::vector<int> s;
+  for (int v = 0; v < 5; ++v) s.push_back(v);
+  // cut = 1 (the bridge); vol of a half = 2*C(5,2) + 1 = 21.
+  EXPECT_NEAR(cut_conductance(g, s), 1.0 / 21.0, 1e-12);
+}
+
+TEST(Conductance, RejectsImproperCuts) {
+  const Graph g = graph::cycle(4);
+  const std::vector<int> empty;
+  EXPECT_THROW(cut_conductance(g, empty), std::invalid_argument);
+  const std::vector<int> all{0, 1, 2, 3};
+  EXPECT_THROW(cut_conductance(g, all), std::invalid_argument);
+}
+
+TEST(Conductance, ExactMatchesBruteForceIntuition) {
+  // Exact conductance of a 6-cycle: best cut takes 3 consecutive vertices:
+  // cut 2, volume 6 -> 1/3.
+  EXPECT_NEAR(exact_conductance(graph::cycle(6)), 2.0 / 6.0, 1e-12);
+}
+
+TEST(Conductance, ExactBarbell) {
+  const Graph g = graph::barbell(4);
+  // Bridge cut: 1 / (2*C(4,2)+1) = 1/13.
+  EXPECT_NEAR(exact_conductance(g), 1.0 / 13.0, 1e-12);
+}
+
+TEST(Conductance, ExactRejectsLargeN) {
+  EXPECT_THROW(exact_conductance(graph::cycle(30)), std::invalid_argument);
+}
+
+TEST(SweepCutTest, FindsBarbellBridge) {
+  const Graph g = graph::barbell(6);
+  const FiedlerEstimate fe = fiedler_estimate(g);
+  const SweepCut cut = best_sweep_cut(g, fe.vector);
+  EXPECT_NEAR(cut.conductance, exact_conductance(g), 1e-9);
+  EXPECT_EQ(cut.side.size(), 6u);
+}
+
+TEST(SweepCutTest, CheegerUpperBoundHolds) {
+  // Sweep conductance <= sqrt(2 * rayleigh) for the estimate vector.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = graph::random_connected_gnm(20, 40, seed);
+    const FiedlerEstimate fe = fiedler_estimate(g);
+    const SweepCut cut = best_sweep_cut(g, fe.vector);
+    EXPECT_LE(cut.conductance, std::sqrt(2.0 * fe.lambda2) + 1e-6) << seed;
+  }
+}
+
+TEST(PowerIteration, MatchesExactLambda2OnSmallGraphs) {
+  for (int n : {6, 10, 14}) {
+    const Graph g = graph::cycle(n);
+    PowerIterationOptions opt;
+    opt.iterations = 600;
+    const FiedlerEstimate fe = fiedler_estimate(g, opt);
+    const double exact = exact_lambda2_normalized(g);
+    EXPECT_NEAR(fe.lambda2, exact, 0.05 * std::max(exact, 0.05)) << "n=" << n;
+  }
+}
+
+TEST(PowerIteration, ExpanderHasLargeLambda2BarbellSmall) {
+  const std::vector<int> offs{1, 2, 4, 8};
+  const Graph expander = graph::circulant(32, offs);
+  const Graph bar = graph::barbell(16);
+  const double l2_exp = fiedler_estimate(expander).lambda2;
+  const double l2_bar = fiedler_estimate(bar).lambda2;
+  EXPECT_GT(l2_exp, 10 * l2_bar);
+}
+
+TEST(PowerIteration, EstimateIsUpperBoundOnLambda2) {
+  // The deflated power iteration approaches lambda_2 from above.
+  for (std::uint64_t seed = 2; seed <= 6; ++seed) {
+    const Graph g = graph::random_connected_gnm(14, 30, seed);
+    const FiedlerEstimate fe = fiedler_estimate(g);
+    const double exact = exact_lambda2_normalized(g);
+    EXPECT_GE(fe.lambda2, exact - 1e-6) << seed;
+  }
+}
+
+TEST(PowerIteration, CheegerLowerBoundCertificate) {
+  // Phi >= lambda_2 / 2 (with the exact lambda_2): the certificate the
+  // expander decomposition relies on.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = graph::random_connected_gnm(12, 26, seed);
+    const double phi = exact_conductance(g);
+    const double l2 = exact_lambda2_normalized(g);
+    EXPECT_GE(phi, l2 / 2.0 - 1e-9) << seed;
+  }
+}
+
+TEST(PowerIteration, RejectsDegenerateInputs) {
+  const Graph empty(1);
+  EXPECT_THROW(fiedler_estimate(empty), std::invalid_argument);
+  Graph two(2);
+  EXPECT_THROW(fiedler_estimate(two), std::invalid_argument);  // no edges
+}
+
+TEST(PowerIteration, DeterministicAcrossCalls) {
+  const Graph g = graph::random_connected_gnm(18, 36, 7);
+  const FiedlerEstimate a = fiedler_estimate(g);
+  const FiedlerEstimate b = fiedler_estimate(g);
+  EXPECT_DOUBLE_EQ(a.lambda2, b.lambda2);
+  for (std::size_t i = 0; i < a.vector.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.vector[i], b.vector[i]);
+  }
+}
+
+}  // namespace
+}  // namespace lapclique::spectral

@@ -1,0 +1,105 @@
+// CONGEST-model simulator (the comparison substrate of §1.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cliquesim/congest.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace lapclique::clique {
+namespace {
+
+using graph::Graph;
+
+TEST(CongestNetwork, RejectsNonEdgeMessages) {
+  const Graph g = graph::path(4);
+  CongestNetwork net(g);
+  EXPECT_THROW(net.step({Msg{0, 3, 0, Word()}}), std::invalid_argument);
+  EXPECT_NO_THROW(net.step({Msg{0, 1, 0, Word()}}));
+}
+
+TEST(CongestNetwork, RejectsEdgeOveruse) {
+  const Graph g = graph::path(3);
+  CongestNetwork net(g);
+  EXPECT_THROW(net.step({Msg{0, 1, 0, Word()}, Msg{0, 1, 1, Word()}}),
+               std::invalid_argument);
+  // Opposite directions of one edge are independent channels.
+  EXPECT_NO_THROW(net.step({Msg{0, 1, 0, Word()}, Msg{1, 0, 1, Word()}}));
+}
+
+TEST(CongestNetwork, AdjacencyIgnoresParallelEdges) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  CongestNetwork net(g);
+  EXPECT_TRUE(net.adjacent(0, 1));
+  // Still only one word per direction per round (CONGEST counts links, and
+  // our model collapses parallels into one link).
+  EXPECT_THROW(net.step({Msg{0, 1, 0, Word()}, Msg{0, 1, 1, Word()}}),
+               std::invalid_argument);
+}
+
+TEST(CongestBfs, MatchesCentralBfsAndUsesEccentricityRounds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = graph::random_connected_gnm(30, 60, seed);
+    const auto central = graph::bfs_distances(g, 0);
+    const auto dist = congest_bfs(g, 0);
+    EXPECT_EQ(dist.dist, central) << seed;
+    int ecc = 0;
+    for (int d : central) ecc = std::max(ecc, d);
+    // Flooding BFS: eccentricity rounds (+1 for the final silent round).
+    EXPECT_LE(dist.rounds, ecc + 1) << seed;
+    EXPECT_GE(dist.rounds, ecc) << seed;
+  }
+}
+
+TEST(CongestBfs, PathGraphTakesLinearRounds) {
+  const Graph g = graph::path(40);
+  const auto r = congest_bfs(g, 0);
+  EXPECT_GE(r.rounds, 39);
+  EXPECT_EQ(r.dist[39], 39);
+}
+
+TEST(CongestBellmanFord, MatchesWeightedShortestPaths) {
+  // Weighted cycle: going the long way can be shorter.
+  Graph g(6);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 5, 1.0);
+  g.add_edge(5, 0, 1.0);
+  const auto r = congest_bellman_ford(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 5.0);  // 0-5-4-3-2-1 around the back
+  EXPECT_DOUBLE_EQ(r.dist[3], 3.0);
+}
+
+TEST(CongestBellmanFord, ParallelEdgesUseTheLightest) {
+  Graph g(2);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(0, 1, 2.0);
+  const auto r = congest_bellman_ford(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 2.0);
+}
+
+TEST(CongestBellmanFord, DisconnectedStaysInfinite) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto r = congest_bellman_ford(g, 0);
+  EXPECT_TRUE(std::isinf(r.dist[2]));
+}
+
+TEST(CongestVsClique, CliqueChargeBeatsCongestOnHighDiameterGraphs) {
+  // The §1.1 direction: CONGEST pays the diameter; the clique's CKKL charge
+  // is n^0.158.
+  const Graph g = graph::path(64);
+  const auto congest = congest_bfs(g, 0);
+  const auto clique_charge =
+      static_cast<std::int64_t>(std::ceil(std::pow(64.0, 0.158)));
+  EXPECT_GT(congest.rounds, 30 * clique_charge);
+}
+
+}  // namespace
+}  // namespace lapclique::clique

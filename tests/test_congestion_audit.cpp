@@ -1,0 +1,85 @@
+// Model-invariant property tests: no operation may move more words through
+// a single node than the bandwidth (n words/round) times the rounds charged
+// allows.  This is the audit that keeps every "charge" honest.
+#include <gtest/gtest.h>
+
+#include "cliquesim/network.hpp"
+#include "euler/euler_orient.hpp"
+#include "euler/flow_round.hpp"
+#include "flow/dinic.hpp"
+#include "graph/generators.hpp"
+#include "mst/boruvka.hpp"
+
+namespace lapclique {
+namespace {
+
+void expect_audit_clean(const clique::Network& net) {
+  for (const clique::OpRecord& op : net.op_log()) {
+    EXPECT_LE(op.max_node_load,
+              op.rounds * static_cast<std::int64_t>(net.size()))
+        << "phase " << op.phase << " moved " << op.max_node_load
+        << " words through one node in " << op.rounds << " rounds";
+  }
+}
+
+class EulerAudit : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EulerAudit, OrientationRespectsBandwidth) {
+  const graph::Graph g =
+      graph::union_of_random_closed_walks(40, 8, 11, GetParam());
+  clique::Network net(40);
+  const auto r = euler::eulerian_orientation(g, net);
+  EXPECT_TRUE(euler::is_eulerian_orientation(g, r.orientation));
+  expect_audit_clean(net);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerAudit, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(EulerAuditDense, HighMultiplicityMultigraph) {
+  // Many parallel edges concentrate occurrences on two nodes; the audit
+  // verifies Lenzen charging scales with the induced load.
+  graph::Graph g(4);
+  for (int k = 0; k < 64; ++k) {
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    g.add_edge(3, 0);
+  }
+  clique::Network net(4);
+  const auto r = euler::eulerian_orientation(g, net);
+  EXPECT_TRUE(euler::is_eulerian_orientation(g, r.orientation));
+  expect_audit_clean(net);
+}
+
+TEST(FlowRoundAudit, RoundingRespectsBandwidth) {
+  const graph::Digraph g = graph::random_flow_network(24, 72, 4, 3);
+  const auto mf = flow::dinic_max_flow(g, 0, 23);
+  graph::Flow f(mf.flow.begin(), mf.flow.end());
+  for (double& v : f) v *= 0.75;
+  clique::Network net(24);
+  euler::FlowRoundingOptions opt;
+  opt.delta = 0.25;
+  (void)euler::round_flow(g, f, 0, 23, net, opt);
+  expect_audit_clean(net);
+}
+
+TEST(MstAudit, BoruvkaRespectsBandwidth) {
+  const graph::Graph g = graph::with_random_weights(
+      graph::random_connected_gnm(48, 192, 7), 16, 8);
+  clique::Network net(48);
+  (void)mst::boruvka_clique(g, net);
+  expect_audit_clean(net);
+}
+
+TEST(RandomizedEulerAudit, AlsoClean) {
+  const graph::Graph g = graph::circulant(128, std::vector<int>{1, 2});
+  clique::Network net(128);
+  euler::EulerOrientOptions opt;
+  opt.marking = euler::MarkingRule::kRandomized;
+  const auto r = euler::eulerian_orientation(g, net, nullptr, opt);
+  EXPECT_TRUE(euler::is_eulerian_orientation(g, r.orientation));
+  expect_audit_clean(net);
+}
+
+}  // namespace
+}  // namespace lapclique

@@ -1,0 +1,116 @@
+// Electrical flows: Ohm/Kirchhoff sanity on known circuits, the layer both
+// IPMs drive.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/electrical.hpp"
+
+namespace lapclique::flow {
+namespace {
+
+linalg::Vec pair_demand(int n, int s, int t, double f = 1.0) {
+  linalg::Vec chi(static_cast<std::size_t>(n), 0.0);
+  chi[static_cast<std::size_t>(s)] = -f;
+  chi[static_cast<std::size_t>(t)] = f;
+  return chi;
+}
+
+TEST(Electrical, SeriesResistorsShareTheCurrent) {
+  // s -0- a -1- t with resistances 2 and 3: unit current everywhere,
+  // potential drop 2 then 3.
+  ElectricalSolver solver(3, {{0, 1, 2.0}, {1, 2, 3.0}});
+  const auto phi = solver.potentials(pair_demand(3, 0, 2));
+  const auto f = solver.induced_flow(phi);
+  EXPECT_NEAR(f[0], 1.0, 1e-9);
+  EXPECT_NEAR(f[1], 1.0, 1e-9);
+  EXPECT_NEAR(phi[1] - phi[0], 2.0, 1e-9);
+  EXPECT_NEAR(phi[2] - phi[1], 3.0, 1e-9);
+}
+
+TEST(Electrical, ParallelResistorsSplitByConductance) {
+  // Two parallel edges r=1 and r=3 between s,t: currents 3/4 and 1/4.
+  ElectricalSolver solver(2, {{0, 1, 1.0}, {0, 1, 3.0}});
+  const auto phi = solver.potentials(pair_demand(2, 0, 1));
+  const auto f = solver.induced_flow(phi);
+  EXPECT_NEAR(f[0], 0.75, 1e-9);
+  EXPECT_NEAR(f[1], 0.25, 1e-9);
+}
+
+TEST(Electrical, WheatstoneBalancedBridgeCarriesNothing) {
+  // Balanced Wheatstone bridge: no current through the bridge edge.
+  //   s=0, t=3, arms 0-1 (r=1), 1-3 (r=2), 0-2 (r=2), 2-3 (r=4),
+  //   bridge 1-2 (r arbitrary).
+  ElectricalSolver solver(
+      4, {{0, 1, 1.0}, {1, 3, 2.0}, {0, 2, 2.0}, {2, 3, 4.0}, {1, 2, 5.0}});
+  const auto phi = solver.potentials(pair_demand(4, 0, 3));
+  const auto f = solver.induced_flow(phi);
+  EXPECT_NEAR(f[4], 0.0, 1e-9);
+}
+
+TEST(Electrical, KirchhoffConservationAtInternalNodes) {
+  ElectricalSolver solver(
+      5, {{0, 1, 1.0}, {1, 2, 2.0}, {1, 3, 3.0}, {2, 4, 1.0}, {3, 4, 1.0}});
+  const auto phi = solver.potentials(pair_demand(5, 0, 4, 2.0));
+  const auto f = solver.induced_flow(phi);
+  // Node 1: in from edge 0, out via edges 1 and 2.
+  EXPECT_NEAR(f[0], f[1] + f[2], 1e-9);
+  // Node 4 receives the full demand.
+  EXPECT_NEAR(f[3] + f[4], 2.0, 1e-9);
+}
+
+TEST(Electrical, EnergyEqualsEffectiveResistanceTimesSquareFlow) {
+  // For a unit s-t demand, sum r_e f_e^2 = R_eff(s,t) = phi_t - phi_s.
+  ElectricalSolver solver(
+      4, {{0, 1, 1.0}, {1, 3, 1.0}, {0, 2, 1.0}, {2, 3, 1.0}, {1, 2, 1.0}});
+  const auto phi = solver.potentials(pair_demand(4, 0, 3));
+  const auto f = solver.induced_flow(phi);
+  const std::vector<double> r{1.0, 1.0, 1.0, 1.0, 1.0};
+  double energy = 0;
+  for (std::size_t i = 0; i < f.size(); ++i) energy += r[i] * f[i] * f[i];
+  EXPECT_NEAR(energy, phi[3] - phi[0], 1e-9);
+}
+
+TEST(Electrical, RejectsNonPositiveResistance) {
+  EXPECT_THROW(ElectricalSolver(2, {{0, 1, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(ElectricalSolver(2, {{0, 1, -1.0}}), std::invalid_argument);
+}
+
+TEST(Electrical, RejectsSizeMismatchedDemand) {
+  ElectricalSolver solver(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  const linalg::Vec bad(2, 0.0);
+  EXPECT_THROW((void)solver.potentials(bad), std::invalid_argument);
+}
+
+TEST(Electrical, SparsifiedModeMatchesDirect) {
+  std::vector<ElectricalEdge> edges;
+  for (int i = 0; i < 12; ++i) {
+    edges.push_back({i, (i + 1) % 12, 1.0 + (i % 3)});
+    edges.push_back({i, (i + 4) % 12, 2.0});
+  }
+  ElectricalSolver direct(12, edges, {});
+  ElectricalOptions sopt;
+  sopt.mode = ElectricalMode::kSparsified;
+  sopt.eps = 1e-9;
+  ElectricalSolver sparsified(12, edges, sopt);
+  const auto chi = pair_demand(12, 0, 6);
+  const auto pd = direct.potentials(chi);
+  const auto ps = sparsified.potentials(chi);
+  for (int v = 0; v < 12; ++v) {
+    EXPECT_NEAR(pd[static_cast<std::size_t>(v)], ps[static_cast<std::size_t>(v)],
+                1e-5);
+  }
+}
+
+TEST(Electrical, CalibrateIsDeterministicAndPositive) {
+  std::vector<ElectricalEdge> edges;
+  for (int i = 0; i < 10; ++i) edges.push_back({i, (i + 1) % 10, 1.0});
+  ElectricalSolver solver(10, edges, {});
+  const auto a = solver.calibrate(1e-8);
+  const auto b = solver.calibrate(1e-8);
+  EXPECT_GT(a, 0);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace lapclique::flow

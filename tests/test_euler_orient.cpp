@@ -1,0 +1,190 @@
+// Theorem 1.4: deterministic Eulerian orientation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cliquesim/network.hpp"
+#include "graph/generators.hpp"
+#include "euler/euler_orient.hpp"
+
+namespace lapclique::euler {
+namespace {
+
+using graph::Graph;
+
+OrientationResult orient(const Graph& g) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  return eulerian_orientation(g, net);
+}
+
+TEST(EulerOrient, SingleCycle) {
+  const Graph g = graph::cycle(7);
+  const OrientationResult r = orient(g);
+  EXPECT_TRUE(is_eulerian_orientation(g, r.orientation));
+}
+
+TEST(EulerOrient, TwoParallelEdges) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  const OrientationResult r = orient(g);
+  EXPECT_TRUE(is_eulerian_orientation(g, r.orientation));
+  // One edge each way.
+  EXPECT_NE(r.orientation[0], r.orientation[1]);
+}
+
+TEST(EulerOrient, FourParallelEdges) {
+  Graph g(2);
+  for (int k = 0; k < 4; ++k) g.add_edge(0, 1);
+  const OrientationResult r = orient(g);
+  EXPECT_TRUE(is_eulerian_orientation(g, r.orientation));
+}
+
+TEST(EulerOrient, RejectsOddDegrees) {
+  const Graph g = graph::path(3);
+  clique::Network net(3);
+  EXPECT_THROW((void)eulerian_orientation(g, net), std::invalid_argument);
+}
+
+TEST(EulerOrient, EmptyGraphIsTrivial) {
+  const Graph g(4);
+  const OrientationResult r = orient(g);
+  EXPECT_TRUE(r.orientation.empty());
+  EXPECT_EQ(r.rounds, 0);
+}
+
+TEST(EulerOrient, CostSizeMismatchRejected) {
+  const Graph g = graph::cycle(4);
+  clique::Network net(4);
+  EulerOrientCosts costs;
+  costs.edge_cost = {1.0};
+  EXPECT_THROW((void)eulerian_orientation(g, net, &costs), std::invalid_argument);
+}
+
+class EulerFamilies : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EulerFamilies, RandomClosedWalkUnions) {
+  const Graph g = graph::union_of_random_closed_walks(24, 5, 9, GetParam());
+  const OrientationResult r = orient(g);
+  EXPECT_TRUE(is_eulerian_orientation(g, r.orientation)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerFamilies,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+class EulerDoubled : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EulerDoubled, DoubledRandomGraphs) {
+  const Graph g = graph::doubled(graph::random_gnm(20, 35, GetParam()));
+  const OrientationResult r = orient(g);
+  EXPECT_TRUE(is_eulerian_orientation(g, r.orientation)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerDoubled, ::testing::Values(11, 12, 13, 14, 15));
+
+TEST(EulerOrient, EvenCirculants) {
+  for (int n : {8, 16, 32, 64}) {
+    const std::vector<int> offs{1, 2};  // degree 4
+    const Graph g = graph::circulant(n, offs);
+    const OrientationResult r = orient(g);
+    EXPECT_TRUE(is_eulerian_orientation(g, r.orientation)) << n;
+  }
+}
+
+TEST(EulerOrient, GridWithDoubledEdges) {
+  const Graph g = graph::doubled(graph::grid(5, 5));
+  const OrientationResult r = orient(g);
+  EXPECT_TRUE(is_eulerian_orientation(g, r.orientation));
+}
+
+TEST(EulerOrient, ForcedEdgeGoesForward) {
+  const Graph g = graph::cycle(9);
+  for (int forced = 0; forced < 9; forced += 3) {
+    clique::Network net(9);
+    EulerOrientCosts costs;
+    costs.edge_cost.assign(9, 0.0);
+    costs.forced_forward_edge = forced;
+    const OrientationResult r = eulerian_orientation(g, net, &costs);
+    EXPECT_TRUE(is_eulerian_orientation(g, r.orientation));
+    EXPECT_EQ(r.orientation[static_cast<std::size_t>(forced)], 1) << forced;
+  }
+}
+
+TEST(EulerOrient, CostAwareTraversalPicksCheapDirection) {
+  // A single cycle where forward traversal (as stored) is expensive:
+  // the leader must flip it.
+  const Graph g = graph::cycle(8);
+  clique::Network net(8);
+  EulerOrientCosts costs;
+  costs.edge_cost.assign(8, 5.0);  // all-positive: forward sum > backward sum
+  const OrientationResult r = eulerian_orientation(g, net, &costs);
+  EXPECT_TRUE(is_eulerian_orientation(g, r.orientation));
+  double fwd = 0;
+  double bwd = 0;
+  for (int e = 0; e < 8; ++e) {
+    (r.orientation[static_cast<std::size_t>(e)] == 1 ? fwd : bwd) +=
+        costs.edge_cost[static_cast<std::size_t>(e)];
+  }
+  EXPECT_LE(fwd, bwd);
+}
+
+TEST(EulerOrient, CostAwareMixedSigns) {
+  const Graph g = graph::cycle(10);
+  clique::Network net(10);
+  EulerOrientCosts costs;
+  costs.edge_cost.assign(10, 0.0);
+  for (int e = 0; e < 10; ++e) {
+    costs.edge_cost[static_cast<std::size_t>(e)] = (e % 2 == 0) ? 3.0 : -1.0;
+  }
+  const OrientationResult r = eulerian_orientation(g, net, &costs);
+  double fwd = 0;
+  double bwd = 0;
+  for (int e = 0; e < 10; ++e) {
+    (r.orientation[static_cast<std::size_t>(e)] == 1 ? fwd : bwd) +=
+        costs.edge_cost[static_cast<std::size_t>(e)];
+  }
+  EXPECT_LE(fwd, bwd);
+}
+
+TEST(EulerOrient, RoundsGrowLogarithmically) {
+  // O(log n log* n): quadrupling the cycle length should add roughly a
+  // constant factor of levels, not multiply rounds by 4.
+  std::vector<std::int64_t> rounds;
+  for (int n : {64, 256, 1024}) {
+    const Graph g = graph::cycle(n);
+    clique::Network net(n);
+    const OrientationResult r = eulerian_orientation(g, net);
+    EXPECT_TRUE(is_eulerian_orientation(g, r.orientation));
+    rounds.push_back(r.rounds);
+  }
+  EXPECT_LT(static_cast<double>(rounds[2]),
+            2.5 * static_cast<double>(rounds[0]));
+}
+
+TEST(EulerOrient, LevelsAreLogarithmic) {
+  const Graph g = graph::cycle(512);
+  const OrientationResult r = orient(g);
+  EXPECT_LE(r.levels, 4 * static_cast<int>(std::log2(512)) + 8);
+}
+
+TEST(EulerOrient, MultipleDisjointCyclesSimultaneously) {
+  Graph g(30);
+  for (int base : {0, 10, 20}) {
+    for (int i = 0; i < 10; ++i) {
+      g.add_edge(base + i, base + (i + 1) % 10);
+    }
+  }
+  const OrientationResult r = orient(g);
+  EXPECT_TRUE(is_eulerian_orientation(g, r.orientation));
+}
+
+TEST(EulerOrient, DeterministicAcrossRuns) {
+  const Graph g = graph::union_of_random_closed_walks(20, 4, 8, 42);
+  const OrientationResult a = orient(g);
+  const OrientationResult b = orient(g);
+  EXPECT_EQ(a.orientation, b.orientation);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+}  // namespace
+}  // namespace lapclique::euler

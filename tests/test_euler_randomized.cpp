@@ -1,0 +1,94 @@
+// The randomized-marking Eulerian orientation (the paper's remark after
+// Theorem 1.4: sampling nodes with constant probability removes log* n).
+#include <gtest/gtest.h>
+
+#include "cliquesim/network.hpp"
+#include "graph/generators.hpp"
+#include "euler/euler_orient.hpp"
+
+namespace lapclique::euler {
+namespace {
+
+using graph::Graph;
+
+OrientationResult orient_random(const Graph& g, std::uint64_t seed = 17) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  EulerOrientOptions opt;
+  opt.marking = MarkingRule::kRandomized;
+  opt.seed = seed;
+  return eulerian_orientation(g, net, nullptr, opt);
+}
+
+TEST(EulerRandomized, SingleCycle) {
+  const Graph g = graph::cycle(64);
+  const OrientationResult r = orient_random(g);
+  EXPECT_TRUE(is_eulerian_orientation(g, r.orientation));
+}
+
+class EulerRandomizedFamilies : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EulerRandomizedFamilies, ClosedWalksAndDoubled) {
+  const Graph walks = graph::union_of_random_closed_walks(30, 5, 10, GetParam());
+  EXPECT_TRUE(
+      is_eulerian_orientation(walks, orient_random(walks, GetParam()).orientation))
+      << GetParam();
+  const Graph dbl = graph::doubled(graph::random_gnm(24, 40, GetParam()));
+  EXPECT_TRUE(is_eulerian_orientation(dbl, orient_random(dbl, GetParam()).orientation))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerRandomizedFamilies,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(EulerRandomized, DifferentSeedsBothValid) {
+  const Graph g = graph::circulant(128, std::vector<int>{1, 2});
+  for (std::uint64_t seed : {1ULL, 99ULL, 31337ULL}) {
+    const OrientationResult r = orient_random(g, seed);
+    EXPECT_TRUE(is_eulerian_orientation(g, r.orientation)) << seed;
+  }
+}
+
+TEST(EulerRandomized, SameSeedIsReproducible) {
+  const Graph g = graph::union_of_random_closed_walks(40, 6, 12, 9);
+  const OrientationResult a = orient_random(g, 5);
+  const OrientationResult b = orient_random(g, 5);
+  EXPECT_EQ(a.orientation, b.orientation);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(EulerRandomized, AvoidsColeVishkinRounds) {
+  // Per level, the randomized variant spends O(1) rounds on marking while
+  // the deterministic one pays the coloring/matching message rounds; the
+  // randomized total should not exceed the deterministic total (and is
+  // usually smaller).
+  const Graph g = graph::cycle(1024);
+  clique::Network net_cv(1024);
+  const auto cv = eulerian_orientation(g, net_cv);
+  clique::Network net_rand(1024);
+  EulerOrientOptions opt;
+  opt.marking = MarkingRule::kRandomized;
+  const auto rnd = eulerian_orientation(g, net_rand, nullptr, opt);
+  EXPECT_TRUE(is_eulerian_orientation(g, cv.orientation));
+  EXPECT_TRUE(is_eulerian_orientation(g, rnd.orientation));
+  EXPECT_LT(rnd.rounds, cv.rounds);
+}
+
+TEST(EulerRandomized, CostAwareStillHolds) {
+  const Graph g = graph::cycle(12);
+  clique::Network net(12);
+  EulerOrientCosts costs;
+  costs.edge_cost.assign(12, 1.0);
+  EulerOrientOptions opt;
+  opt.marking = MarkingRule::kRandomized;
+  const auto r = eulerian_orientation(g, net, &costs, opt);
+  double fwd = 0;
+  double bwd = 0;
+  for (int e = 0; e < 12; ++e) {
+    (r.orientation[static_cast<std::size_t>(e)] == 1 ? fwd : bwd) +=
+        costs.edge_cost[static_cast<std::size_t>(e)];
+  }
+  EXPECT_LE(fwd, bwd);
+}
+
+}  // namespace
+}  // namespace lapclique::euler

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "cliquesim/network.hpp"
+#include "graph/generators.hpp"
+#include "spectral/conductance.hpp"
+#include "spectral/expander_decomp.hpp"
+#include "spectral/power_iteration.hpp"
+
+namespace lapclique::spectral {
+namespace {
+
+using graph::Graph;
+
+bool is_partition(const ExpanderDecomposition& d, int n) {
+  std::vector<int> count(static_cast<std::size_t>(n), 0);
+  for (const auto& c : d.clusters) {
+    for (int v : c.vertices) ++count[static_cast<std::size_t>(v)];
+  }
+  for (int c : count) {
+    if (c != 1) return false;
+  }
+  return true;
+}
+
+TEST(ExpanderDecomp, ExpanderStaysWhole) {
+  const std::vector<int> offs{1, 2, 4, 8};
+  const Graph g = graph::circulant(32, offs);
+  ExpanderDecompOptions opt;
+  opt.phi = 0.05;
+  const ExpanderDecomposition d = expander_decompose(g, opt);
+  EXPECT_EQ(d.clusters.size(), 1u);
+  EXPECT_TRUE(d.crossing_edges.empty());
+  EXPECT_TRUE(is_partition(d, 32));
+}
+
+TEST(ExpanderDecomp, BarbellSplitsAtTheBridge) {
+  const Graph g = graph::barbell(8);
+  ExpanderDecompOptions opt;
+  opt.phi = 0.1;
+  const ExpanderDecomposition d = expander_decompose(g, opt);
+  EXPECT_EQ(d.clusters.size(), 2u);
+  EXPECT_EQ(d.crossing_edges.size(), 1u);  // exactly the bridge
+  EXPECT_TRUE(is_partition(d, 16));
+}
+
+TEST(ExpanderDecomp, DisconnectedComponentsSeparated) {
+  Graph g(8);
+  for (int i = 0; i < 3; ++i) g.add_edge(i, (i + 1) % 4 == 0 ? 0 : i + 1);
+  // Component {0..3} partially wired; {4..7} complete.
+  g.add_edge(3, 0);
+  for (int i = 4; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) g.add_edge(i, j);
+  }
+  const ExpanderDecomposition d = expander_decompose(g, {});
+  EXPECT_TRUE(is_partition(d, 8));
+  // No cluster mixes the two components.
+  for (const auto& c : d.clusters) {
+    bool low = false;
+    bool high = false;
+    for (int v : c.vertices) {
+      (v < 4 ? low : high) = true;
+    }
+    EXPECT_FALSE(low && high);
+  }
+}
+
+TEST(ExpanderDecomp, CertificatesAreHonestOnSmallGraphs) {
+  // Every non-singleton cluster's certified conductance must hold exactly
+  // (checked against brute force on the induced subgraph).
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = graph::random_connected_gnm(14, 24, seed);
+    ExpanderDecompOptions opt;
+    opt.phi = 0.15;
+    opt.power_iterations = 500;
+    const ExpanderDecomposition d = expander_decompose(g, opt);
+    EXPECT_TRUE(is_partition(d, 14)) << seed;
+    for (const auto& c : d.clusters) {
+      if (c.vertices.size() < 2) continue;
+      const Graph sub = g.induced_subgraph(c.vertices);
+      if (sub.num_edges() == 0 || sub.num_vertices() > 24) continue;
+      const double phi = exact_conductance(sub);
+      // The certificate lambda2/2 uses a power-iteration overestimate of
+      // lambda2; allow the estimation slack.
+      EXPECT_GE(phi, 0.5 * c.conductance_certificate - 0.05) << seed;
+    }
+  }
+}
+
+TEST(ExpanderDecomp, CrossingEdgesAreExactlyInterCluster) {
+  const Graph g = graph::random_connected_gnm(30, 70, 11);
+  const ExpanderDecomposition d = expander_decompose(g, {});
+  std::vector<char> crossing(static_cast<std::size_t>(g.num_edges()), 0);
+  for (int e : d.crossing_edges) crossing[static_cast<std::size_t>(e)] = 1;
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    const bool inter = d.cluster_of[static_cast<std::size_t>(ed.u)] !=
+                       d.cluster_of[static_cast<std::size_t>(ed.v)];
+    EXPECT_EQ(inter, crossing[static_cast<std::size_t>(e)] != 0) << e;
+  }
+}
+
+TEST(ExpanderDecomp, ChargesRoundsOnNetwork) {
+  const Graph g = graph::random_connected_gnm(20, 50, 3);
+  clique::Network net(20);
+  (void)expander_decompose(g, {}, &net);
+  EXPECT_GT(net.rounds(), 0);
+}
+
+TEST(ExpanderDecomp, RejectsNonPositivePhi) {
+  ExpanderDecompOptions opt;
+  opt.phi = 0.0;
+  EXPECT_THROW(expander_decompose(graph::cycle(4), opt), std::invalid_argument);
+}
+
+TEST(ExpanderDecomp, TwoDisjointExpandersJoinedByEdge) {
+  const std::vector<int> offs{1, 2, 4};
+  Graph g(32);
+  const Graph e1 = graph::circulant(16, offs);
+  for (const auto& ed : e1.edges()) {
+    g.add_edge(ed.u, ed.v);
+    g.add_edge(16 + ed.u, 16 + ed.v);
+  }
+  g.add_edge(0, 16);
+  ExpanderDecompOptions opt;
+  opt.phi = 0.08;
+  const ExpanderDecomposition d = expander_decompose(g, opt);
+  EXPECT_EQ(d.clusters.size(), 2u);
+  EXPECT_EQ(d.crossing_edges.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lapclique::spectral

@@ -1,0 +1,181 @@
+// Lemma 4.2 / Algorithm 1: flow rounding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cliquesim/network.hpp"
+#include "euler/flow_round.hpp"
+#include "flow/dinic.hpp"
+#include "graph/generators.hpp"
+#include "graph/rng.hpp"
+
+namespace lapclique::euler {
+namespace {
+
+using graph::Digraph;
+using graph::Flow;
+
+FlowRoundingResult do_round(const Digraph& g, const Flow& f, int s, int t,
+                            double delta, bool use_costs = false) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  FlowRoundingOptions opt;
+  opt.delta = delta;
+  opt.use_costs = use_costs;
+  return round_flow(g, f, s, t, net, opt);
+}
+
+bool is_integral(const Flow& f) {
+  for (double v : f) {
+    if (std::abs(v - std::round(v)) > 1e-9) return false;
+  }
+  return true;
+}
+
+TEST(FlowRound, AlreadyIntegralIsUntouched) {
+  Digraph g(3);
+  g.add_arc(0, 1, 2);
+  g.add_arc(1, 2, 2);
+  const Flow f{1.0, 1.0};
+  const auto r = do_round(g, f, 0, 2, 1.0 / 8);
+  EXPECT_EQ(r.flow, f);
+}
+
+TEST(FlowRound, RejectsBadDelta) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  clique::Network net(2);
+  FlowRoundingOptions opt;
+  opt.delta = 0.3;  // 1/0.3 not a power of two
+  EXPECT_THROW((void)round_flow(g, {0.5}, 0, 1, net, opt), std::invalid_argument);
+}
+
+TEST(FlowRound, RejectsNonGranularFlow) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  clique::Network net(2);
+  FlowRoundingOptions opt;
+  opt.delta = 0.25;
+  EXPECT_THROW((void)round_flow(g, {0.3}, 0, 1, net, opt), std::invalid_argument);
+}
+
+TEST(FlowRound, HalfFlowsOnTwoPathsRoundToOnePath) {
+  // s -> a -> t and s -> b -> t each carrying 1/2: total 1, rounding must
+  // keep value >= 1 and make everything integral.
+  Digraph g(4);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 3, 1);
+  g.add_arc(0, 2, 1);
+  g.add_arc(2, 3, 1);
+  const Flow f{0.5, 0.5, 0.5, 0.5};
+  const auto r = do_round(g, f, 0, 3, 0.5);
+  EXPECT_TRUE(is_integral(r.flow));
+  EXPECT_GE(graph::flow_value(g, r.flow, 0), 1.0 - 1e-9);
+  EXPECT_TRUE(graph::is_feasible_st_flow(g, r.flow, 0, 3));
+}
+
+TEST(FlowRound, ValueNeverDecreases) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    // Build a fractional flow by scaling an integral max flow by 0.75
+    // (multiples of 1/4).
+    const Digraph g = graph::random_flow_network(12, 28, 4, seed);
+    const auto mf = flow::dinic_max_flow(g, 0, 11);
+    Flow f(mf.flow.begin(), mf.flow.end());
+    for (double& v : f) v *= 0.75;
+    const double before = graph::flow_value(g, f, 0);
+    const auto r = do_round(g, f, 0, 11, 0.25);
+    EXPECT_TRUE(is_integral(r.flow)) << seed;
+    EXPECT_GE(graph::flow_value(g, r.flow, 0), before - 1e-9) << seed;
+    EXPECT_TRUE(graph::is_feasible_st_flow(g, r.flow, 0, 11)) << seed;
+  }
+}
+
+TEST(FlowRound, CostNeverIncreases) {
+  for (std::uint64_t seed = 3; seed <= 10; ++seed) {
+    graph::Digraph g(10);
+    graph::SplitMix64 rng(seed);
+    // Layered costed network.
+    for (int i = 1; i <= 4; ++i) {
+      g.add_arc(0, i, 2, static_cast<std::int64_t>(rng.next_below(9)) + 1);
+      g.add_arc(i, 5 + (i - 1) % 4, 2, static_cast<std::int64_t>(rng.next_below(9)) + 1);
+      g.add_arc(5 + (i - 1) % 4, 9, 2, static_cast<std::int64_t>(rng.next_below(9)) + 1);
+    }
+    // Theorem 4.1's cost clause needs an integral total value: halve an
+    // even-valued integral flow (skip the rare odd-value seed).
+    const auto mf = flow::dinic_max_flow(g, 0, 9);
+    if (mf.value % 2 != 0) continue;
+    Flow f(mf.flow.begin(), mf.flow.end());
+    for (double& v : f) v *= 0.5;
+    const double cost_before = graph::flow_cost(g, f);
+    const double value_before = graph::flow_value(g, f, 0);
+    const auto r = do_round(g, f, 0, 9, 0.5, /*use_costs=*/true);
+    EXPECT_TRUE(is_integral(r.flow)) << seed;
+    EXPECT_GE(graph::flow_value(g, r.flow, 0), value_before - 1e-9) << seed;
+    EXPECT_LE(graph::flow_cost(g, r.flow), cost_before + 1e-9) << seed;
+  }
+}
+
+TEST(FlowRound, PhasesEqualLogInverseDelta) {
+  Digraph g(4);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 3, 1);
+  g.add_arc(0, 2, 1);
+  g.add_arc(2, 3, 1);
+  const Flow f{0.5, 0.5, 0.5, 0.5};
+  for (int k : {1, 3, 6, 10}) {
+    // Express the same half-integral flow on a finer grid.
+    const double delta = 1.0 / static_cast<double>(1 << k);
+    const auto r = do_round(g, f, 0, 3, delta);
+    EXPECT_EQ(r.phases, k) << k;
+    EXPECT_TRUE(is_integral(r.flow));
+  }
+}
+
+TEST(FlowRound, RoundsScaleWithLogInverseDelta) {
+  // Parallel s-t arcs with pseudo-random unit counts keep roughly half the
+  // arcs odd at every granularity level, so each of the log(1/Delta) phases
+  // runs an orientation and rounds scale with log(1/Delta).
+  auto rounds_for = [](int k) {
+    Digraph g(2);
+    graph::SplitMix64 rng(99);
+    Flow f;
+    const double delta = 1.0 / static_cast<double>(1LL << k);
+    for (int j = 0; j < 32; ++j) {
+      g.add_arc(0, 1, 1 << 20);
+      f.push_back(static_cast<double>(rng.next_below(1ULL << k)) * delta);
+    }
+    return do_round(g, f, 0, 1, delta).rounds;
+  };
+  const auto r4 = rounds_for(4);
+  const auto r16 = rounds_for(16);
+  EXPECT_GT(r16, 2 * r4);
+  // Linear in log(1/Delta): 4x the phases -> about 4x rounds, not more.
+  EXPECT_LT(r16, 8 * std::max<std::int64_t>(r4, 1));
+}
+
+TEST(FlowRound, FractionalValueRoundsUpViaClosingEdge) {
+  // Value 1.5 must round to >= 1.5, i.e. 2 (the t->s closing edge forces
+  // the total upward).
+  Digraph g(4);
+  g.add_arc(0, 1, 2);
+  g.add_arc(1, 3, 2);
+  g.add_arc(0, 2, 2);
+  g.add_arc(2, 3, 2);
+  const Flow f{1.0, 1.0, 0.5, 0.5};
+  const auto r = do_round(g, f, 0, 3, 0.5);
+  EXPECT_TRUE(is_integral(r.flow));
+  EXPECT_GE(graph::flow_value(g, r.flow, 0), 1.5);
+}
+
+TEST(FlowRound, DeterministicAcrossRuns) {
+  const Digraph g = graph::random_flow_network(10, 22, 3, 5);
+  const auto mf = flow::dinic_max_flow(g, 0, 9);
+  Flow f(mf.flow.begin(), mf.flow.end());
+  for (double& v : f) v *= 0.5;
+  const auto a = do_round(g, f, 0, 9, 0.5);
+  const auto b = do_round(g, f, 0, 9, 0.5);
+  EXPECT_EQ(a.flow, b.flow);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+}  // namespace
+}  // namespace lapclique::euler

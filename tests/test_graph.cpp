@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "graph/laplacian.hpp"
+
+namespace lapclique::graph {
+namespace {
+
+TEST(Graph, AddEdgeMaintainsAdjacency) {
+  Graph g(3);
+  const int e = g.add_edge(0, 1, 2.5);
+  EXPECT_EQ(e, 0);
+  EXPECT_EQ(g.num_edges(), 1);
+  ASSERT_EQ(g.incident(0).size(), 1u);
+  EXPECT_EQ(g.incident(0)[0].other, 1);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 2.5);
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNonPositiveWeights) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeVertices) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 2), std::out_of_range);
+}
+
+TEST(Graph, AllowsParallelEdges) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(Graph, WeightedDegreeSumsIncidentWeights) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 2, 3.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 5.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(1), 2.0);
+}
+
+TEST(Graph, ScaleWeights) {
+  Graph g(2);
+  g.add_edge(0, 1, 2.0);
+  g.scale_weights(3.0);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 6.0);
+  EXPECT_THROW(g.scale_weights(0.0), std::invalid_argument);
+}
+
+TEST(Graph, InducedSubgraphKeepsInternalEdges) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const std::vector<int> verts{1, 2, 3};
+  const Graph sub = g.induced_subgraph(verts);
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 2);  // (1,2) and (2,3)
+}
+
+TEST(Laplacian, MatchesDefinition) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const auto l = laplacian(g);
+  EXPECT_DOUBLE_EQ(l.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(l.at(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(l.at(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(l.at(1, 2), -3.0);
+  EXPECT_DOUBLE_EQ(l.at(0, 2), 0.0);
+}
+
+TEST(Laplacian, RowsSumToZero) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  g.add_edge(2, 3, 0.5);
+  g.add_edge(0, 3, 1.0);
+  const auto l = laplacian(g);
+  const std::vector<double> ones(4, 1.0);
+  const auto y = l.multiply(ones);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Laplacian, QuadraticFormIsSumOfWeightedDifferences) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 1.0);
+  const auto l = laplacian(g);
+  const std::vector<double> x{1.0, 0.0, -1.0};
+  // 2*(1-0)^2 + 1*(0-(-1))^2 = 3.
+  EXPECT_NEAR(l.quadratic_form(x), 3.0, 1e-12);
+  EXPECT_NEAR(laplacian_norm(l, x), std::sqrt(3.0), 1e-12);
+}
+
+TEST(NormalizedLaplacian, DiagonalIsOneForPositiveDegrees) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const auto n = normalized_laplacian(g);
+  EXPECT_NEAR(n.at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(n.at(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(n.at(2, 2), 1.0, 1e-12);
+}
+
+TEST(Digraph, ArcBookkeeping) {
+  Digraph g(3);
+  const int a = g.add_arc(0, 1, 5, 2);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.in_degree(1), 1);
+  EXPECT_EQ(g.arc(0).cap, 5);
+  EXPECT_EQ(g.arc(0).cost, 2);
+  EXPECT_EQ(g.max_capacity(), 5);
+  EXPECT_EQ(g.max_cost(), 2);
+}
+
+TEST(Digraph, RejectsSelfLoopAndNegativeCap) {
+  Digraph g(3);
+  EXPECT_THROW(g.add_arc(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_arc(0, 1, -5), std::invalid_argument);
+}
+
+TEST(Digraph, FlowValueAndCost) {
+  Digraph g(3);
+  g.add_arc(0, 1, 2, 4);
+  g.add_arc(1, 2, 2, 1);
+  const Flow f{2.0, 2.0};
+  EXPECT_DOUBLE_EQ(flow_value(g, f, 0), 2.0);
+  EXPECT_DOUBLE_EQ(flow_cost(g, f), 10.0);
+}
+
+TEST(Digraph, FeasibilityChecksCapacityAndConservation) {
+  Digraph g(3);
+  g.add_arc(0, 1, 2);
+  g.add_arc(1, 2, 2);
+  EXPECT_TRUE(is_feasible_st_flow(g, {1.0, 1.0}, 0, 2));
+  EXPECT_FALSE(is_feasible_st_flow(g, {3.0, 3.0}, 0, 2));  // over capacity
+  EXPECT_FALSE(is_feasible_st_flow(g, {1.0, 0.0}, 0, 2));  // violates at v=1
+}
+
+TEST(Digraph, SatisfiesDemands) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 2, 1);
+  const std::vector<std::int64_t> sigma{-1, 0, 1};
+  EXPECT_TRUE(satisfies_demands(g, {1.0, 1.0}, sigma));
+  EXPECT_FALSE(satisfies_demands(g, {1.0, 0.0}, sigma));
+}
+
+TEST(Connectivity, ComponentsAndConnectedness) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(c.comp[0], c.comp[1]);
+  EXPECT_NE(c.comp[0], c.comp[2]);
+  EXPECT_FALSE(is_connected(g));
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Connectivity, AllDegreesEven) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(all_degrees_even(g));
+  g.add_edge(1, 2);
+  EXPECT_FALSE(all_degrees_even(g));  // endpoints of the path are odd
+  g.add_edge(2, 0);
+  EXPECT_TRUE(all_degrees_even(g));  // triangle: every degree is 2
+}
+
+TEST(Connectivity, TriangleHasEvenDegrees) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_TRUE(all_degrees_even(g));
+}
+
+TEST(Connectivity, BfsDistances) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], 2);
+  EXPECT_EQ(d[3], -1);
+}
+
+TEST(Connectivity, ReachableRespectsResiduals) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 2, 1);
+  auto r1 = reachable(g, 0, {1.0, 0.0});
+  EXPECT_TRUE(r1[1]);
+  EXPECT_FALSE(r1[2]);
+  auto r2 = reachable(g, 0, {1.0, 1.0});
+  EXPECT_TRUE(r2[2]);
+}
+
+}  // namespace
+}  // namespace lapclique::graph

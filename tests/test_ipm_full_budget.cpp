@@ -1,0 +1,64 @@
+// Faithfulness checks: the IPMs run with the paper's *unscaled* iteration
+// budgets (iteration_scale = 1.0) on small instances, where the theory says
+// the fractional solution should be essentially converged — so the
+// finishing stage should need at most a couple of augmenting paths
+// (Algorithm 2 line 20 "actually only needs one iteration").
+#include <gtest/gtest.h>
+
+#include "flow/dinic.hpp"
+#include "flow/maxflow_ipm.hpp"
+#include "flow/mincost_ipm.hpp"
+#include "flow/ssp_mincost.hpp"
+#include "graph/generators.hpp"
+
+namespace lapclique::flow {
+namespace {
+
+using graph::Digraph;
+
+TEST(FullBudgetMaxFlow, ConvergesToNearOptimalFractionalFlow) {
+  const Digraph g = graph::random_flow_network(8, 16, 2, 5);
+  const auto oracle = dinic_max_flow(g, 0, 7);
+  MaxFlowIpmOptions opt;
+  opt.iteration_scale = 1.0;  // the paper's 100 * (1/delta) * log U budget
+  opt.max_iterations = 20000;
+  opt.known_value = oracle.value;
+  clique::Network net(8);
+  const auto r = max_flow_clique(g, 0, 7, net, opt);
+  EXPECT_EQ(r.value, oracle.value);
+  // A converged IPM leaves almost nothing for the finisher.
+  EXPECT_LE(r.finishing_augmenting_paths, 3)
+      << "routed fraction " << r.routed_fraction;
+  EXPECT_GT(r.routed_fraction, 0.9);
+}
+
+TEST(FullBudgetMaxFlow, UnitCapacitiesConvergeFully) {
+  const Digraph g = graph::random_flow_network(10, 20, 1, 9);
+  const auto oracle = dinic_max_flow(g, 0, 9);
+  MaxFlowIpmOptions opt;
+  opt.iteration_scale = 1.0;
+  opt.max_iterations = 20000;
+  opt.known_value = oracle.value;
+  clique::Network net(10);
+  const auto r = max_flow_clique(g, 0, 9, net, opt);
+  EXPECT_EQ(r.value, oracle.value);
+  EXPECT_LE(r.finishing_augmenting_paths, 2);
+}
+
+TEST(FullBudgetMinCost, SmallInstanceNeedsFewRepairs) {
+  const Digraph g = graph::random_unit_cost_digraph(8, 24, 4, 3);
+  const auto sigma = graph::feasible_unit_demands(g, 2, 4);
+  const auto oracle = ssp_min_cost_flow(g, sigma);
+  ASSERT_TRUE(oracle.feasible);
+  MinCostIpmOptions opt;
+  opt.iteration_scale = 1.0;
+  opt.max_iterations = 3000;  // the mu_hat early-exit binds far sooner
+  clique::Network net(8);
+  const auto r = min_cost_flow_clique(g, sigma, net, opt);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cost, oracle.cost);
+  EXPECT_LE(r.finishing_paths, 4);
+}
+
+}  // namespace
+}  // namespace lapclique::flow

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/lanczos.hpp"
+
+namespace lapclique::linalg {
+namespace {
+
+TEST(TridiagonalEigen, DiagonalOnly) {
+  const auto ev = tridiagonal_eigenvalues({3.0, 1.0, 2.0}, {0.0, 0.0});
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_NEAR(ev[0], 1.0, 1e-12);
+  EXPECT_NEAR(ev[1], 2.0, 1e-12);
+  EXPECT_NEAR(ev[2], 3.0, 1e-12);
+}
+
+TEST(TridiagonalEigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] -> {1, 3}.
+  const auto ev = tridiagonal_eigenvalues({2.0, 2.0}, {1.0});
+  EXPECT_NEAR(ev[0], 1.0, 1e-10);
+  EXPECT_NEAR(ev[1], 3.0, 1e-10);
+}
+
+TEST(TridiagonalEigen, PathLaplacianClosedForm) {
+  // Tridiagonal Laplacian of a path of n vertices has eigenvalues
+  // 2 - 2 cos(pi k / n), k = 0..n-1.
+  const int n = 8;
+  std::vector<double> alpha(n, 2.0);
+  alpha.front() = alpha.back() = 1.0;
+  std::vector<double> beta(n - 1, -1.0);
+  const auto ev = tridiagonal_eigenvalues(alpha, beta);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(ev[static_cast<std::size_t>(k)], 2.0 - 2.0 * std::cos(M_PI * k / n),
+                1e-9)
+        << k;
+  }
+}
+
+TEST(TridiagonalEigen, RejectsBadBetaSize) {
+  EXPECT_THROW((void)tridiagonal_eigenvalues({1.0, 2.0}, {0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Lanczos, MatchesJacobiOnDenseLaplacian) {
+  const graph::Graph g = graph::random_connected_gnm(20, 60, 3);
+  const auto l = graph::laplacian(g);
+  const auto jac = jacobi_eigen(20, l.to_dense());
+  LanczosOptions opt;
+  opt.max_iterations = 20;  // full Krylov space -> exact
+  const auto lan = lanczos(
+      [&l](std::span<const double> x) { return l.multiply(x); }, 20, opt);
+  // Extreme nonzero eigenvalues must agree.
+  EXPECT_NEAR(lan.eigenvalues.back(), jac.values.back(), 1e-7);
+}
+
+TEST(Lanczos, DeflationExposesLambda2) {
+  const graph::Graph g = graph::random_connected_gnm(24, 72, 5);
+  const auto l = graph::laplacian(g);
+  const auto jac = jacobi_eigen(24, l.to_dense());
+  LanczosOptions opt;
+  opt.max_iterations = 24;
+  opt.deflate = {Vec(24, 1.0)};  // project out the Laplacian kernel
+  const auto lan = lanczos(
+      [&l](std::span<const double> x) { return l.multiply(x); }, 24, opt);
+  // With the kernel deflated, the smallest Ritz value approximates lambda_2.
+  EXPECT_NEAR(lan.eigenvalues.front(), jac.values[1],
+              1e-5 * std::max(jac.values[1], 1.0));
+}
+
+TEST(Lanczos, FewIterationsBracketTheSpectrum) {
+  const graph::Graph g = graph::random_connected_gnm(64, 256, 7);
+  const auto l = graph::laplacian(g);
+  const auto jac = jacobi_eigen(64, l.to_dense());
+  LanczosOptions opt;
+  opt.max_iterations = 16;  // small Krylov space
+  opt.deflate = {Vec(64, 1.0)};
+  const auto lan = lanczos(
+      [&l](std::span<const double> x) { return l.multiply(x); }, 64, opt);
+  // Ritz values are always inside the true spectrum (interlacing) and the
+  // top one is a good lower estimate of lambda_max.
+  EXPECT_LE(lan.eigenvalues.back(), jac.values.back() + 1e-9);
+  EXPECT_GE(lan.eigenvalues.back(), 0.8 * jac.values.back());
+  EXPECT_GE(lan.eigenvalues.front(), jac.values[1] - 1e-9);
+}
+
+TEST(Lanczos, DeterministicAcrossRuns) {
+  const graph::Graph g = graph::cycle(30);
+  const auto l = graph::laplacian(g);
+  auto apply = [&l](std::span<const double> x) { return l.multiply(x); };
+  const auto a = lanczos(apply, 30);
+  const auto b = lanczos(apply, 30);
+  ASSERT_EQ(a.eigenvalues.size(), b.eigenvalues.size());
+  for (std::size_t i = 0; i < a.eigenvalues.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.eigenvalues[i], b.eigenvalues[i]);
+  }
+}
+
+TEST(Lanczos, RejectsEmptyOperator) {
+  EXPECT_THROW(
+      (void)lanczos([](std::span<const double> x) { return Vec(x.begin(), x.end()); },
+                    0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lapclique::linalg

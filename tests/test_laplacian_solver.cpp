@@ -1,0 +1,152 @@
+// Corollary 2.3 / the central half of Theorem 1.1.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/vector_ops.hpp"
+#include "solver/laplacian_solver.hpp"
+
+namespace lapclique::solver {
+namespace {
+
+using graph::Graph;
+using linalg::Vec;
+
+double energy_error(const Graph& g, const Vec& x, const Vec& b) {
+  // ||x - L^+ b||_L / ||L^+ b||_L via an exact factorization.
+  const auto l = graph::laplacian(g);
+  const auto exact = linalg::LaplacianFactor::factor(l);
+  const Vec xstar = exact.solve(b);
+  Vec diff = linalg::sub(x, xstar);
+  const double ref = graph::laplacian_norm(l, xstar);
+  if (ref == 0) return 0;
+  return graph::laplacian_norm(l, diff) / ref;
+}
+
+Vec demand_pair(int n, int a, int b) {
+  Vec chi(static_cast<std::size_t>(n), 0.0);
+  chi[static_cast<std::size_t>(a)] = 1.0;
+  chi[static_cast<std::size_t>(b)] = -1.0;
+  return chi;
+}
+
+TEST(LaplacianSolver, IdentityPreconditionerIsNearExact) {
+  const Graph g = graph::random_connected_gnm(20, 60, 1);
+  LaplacianSolverOptions opt;
+  opt.identity_preconditioner = true;
+  const LaplacianSolver solver(g, opt);
+  const Vec b = demand_pair(20, 0, 19);
+  const Vec x = solver.solve(b, 1e-8);
+  EXPECT_LT(energy_error(g, x, b), 1e-6);
+}
+
+class SolverEpsSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(SolverEpsSweep, ErrorBoundHolds) {
+  const auto [eps, seed] = GetParam();
+  const Graph g = graph::random_connected_gnm(30, 100, seed);
+  const LaplacianSolver solver(g);
+  const Vec b = demand_pair(30, 0, 29);
+  LaplacianSolveStats stats;
+  const Vec x = solver.solve(b, eps, &stats);
+  EXPECT_LE(energy_error(g, x, b), eps * 2.0)
+      << "eps=" << eps << " seed=" << seed << " kappa=" << stats.kappa;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SolverEpsSweep,
+    ::testing::Combine(::testing::Values(1e-2, 1e-4, 1e-6, 1e-8),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})));
+
+class SolverFamilySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverFamilySweep, SolvesAcrossGraphFamilies) {
+  Graph g;
+  switch (GetParam()) {
+    case 0:
+      g = graph::cycle(24);
+      break;
+    case 1:
+      g = graph::grid(5, 6);
+      break;
+    case 2: {
+      const std::vector<int> offs{1, 3, 9};
+      g = graph::circulant(27, offs);
+      break;
+    }
+    case 3:
+      g = graph::barbell(12);
+      break;
+    case 4:
+      g = graph::complete(20);
+      break;
+    default:
+      g = graph::with_random_weights(graph::random_connected_gnm(25, 80, 7), 64, 3);
+  }
+  const LaplacianSolver solver(g);
+  const Vec b = demand_pair(g.num_vertices(), 0, g.num_vertices() - 1);
+  const Vec x = solver.solve(b, 1e-6);
+  EXPECT_LT(energy_error(g, x, b), 1e-5) << "family " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SolverFamilySweep, ::testing::Range(0, 6));
+
+TEST(LaplacianSolver, KappaEstimatedAboveOne) {
+  const Graph g = graph::random_connected_gnm(25, 80, 4);
+  const LaplacianSolver solver(g);
+  EXPECT_GE(solver.kappa(), 1.0);
+  EXPECT_GT(solver.range_matvecs(), 0);
+}
+
+TEST(LaplacianSolver, StatsReportIterationsAndResidual) {
+  const Graph g = graph::random_connected_gnm(25, 80, 4);
+  const LaplacianSolver solver(g);
+  const Vec b = demand_pair(25, 1, 20);
+  LaplacianSolveStats stats;
+  (void)solver.solve(b, 1e-6, &stats);
+  EXPECT_GT(stats.chebyshev_iterations, 0);
+  EXPECT_GT(stats.sparsifier_edges, 0);
+  EXPECT_LT(stats.relative_residual, 1e-5);
+}
+
+TEST(LaplacianSolver, RejectsBadEps) {
+  const Graph g = graph::cycle(8);
+  const LaplacianSolver solver(g);
+  const Vec b = demand_pair(8, 0, 4);
+  EXPECT_THROW((void)solver.solve(b, 0.9), std::invalid_argument);
+  EXPECT_THROW((void)solver.solve(b, 0.0), std::invalid_argument);
+}
+
+TEST(LaplacianSolver, RejectsSizeMismatch) {
+  const Graph g = graph::cycle(8);
+  const LaplacianSolver solver(g);
+  const Vec b(3, 0.0);
+  EXPECT_THROW((void)solver.solve(b, 1e-4), std::invalid_argument);
+}
+
+TEST(LaplacianSolver, RepeatedSolvesReuseTheSparsifier) {
+  const Graph g = graph::random_connected_gnm(30, 100, 8);
+  const LaplacianSolver solver(g);
+  for (int k = 1; k < 5; ++k) {
+    const Vec b = demand_pair(30, 0, k * 5);
+    const Vec x = solver.solve(b, 1e-5);
+    EXPECT_LT(energy_error(g, x, b), 1e-4) << k;
+  }
+}
+
+TEST(LaplacianSolver, WeightedGraphsWithLargeU) {
+  const Graph g =
+      graph::with_random_weights(graph::random_connected_gnm(24, 80, 10), 1 << 12, 5);
+  const LaplacianSolver solver(g);
+  const Vec b = demand_pair(24, 2, 17);
+  const Vec x = solver.solve(b, 1e-6);
+  EXPECT_LT(energy_error(g, x, b), 1e-5);
+}
+
+}  // namespace
+}  // namespace lapclique::solver

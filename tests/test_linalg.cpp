@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace lapclique::linalg {
+namespace {
+
+TEST(VectorOps, DotAndNorms) {
+  const Vec a{1.0, 2.0, -2.0};
+  const Vec b{3.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 2.0);
+  EXPECT_THROW(dot(a, Vec{1.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, AxpyScaleAddSub) {
+  Vec y{1.0, 1.0};
+  const Vec x{2.0, 3.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  scale(0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.5);
+  const Vec s = add(x, y);
+  EXPECT_DOUBLE_EQ(s[1], 6.5);
+  const Vec d = sub(x, y);
+  EXPECT_DOUBLE_EQ(d[0], -0.5);
+}
+
+TEST(VectorOps, ProjectOutOnesMakesMeanZero) {
+  Vec x{1.0, 2.0, 3.0, 6.0};
+  project_out_ones(x);
+  EXPECT_NEAR(sum(x), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+}
+
+TEST(Csr, FromTripletsSumsDuplicatesDropsZeros) {
+  const std::vector<Triplet> t{{0, 1, 2.0}, {0, 1, 3.0}, {1, 0, 5.0}, {1, 1, 0.0}};
+  const CsrMatrix m = CsrMatrix::from_triplets(2, t);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(Csr, RejectsOutOfRange) {
+  const std::vector<Triplet> t{{0, 5, 1.0}};
+  EXPECT_THROW(CsrMatrix::from_triplets(2, t), std::out_of_range);
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  const std::vector<Triplet> t{{0, 0, 2.0}, {0, 2, -1.0}, {1, 1, 3.0}, {2, 0, -1.0},
+                               {2, 2, 4.0}};
+  const CsrMatrix m = CsrMatrix::from_triplets(3, t);
+  const Vec x{1.0, 2.0, 3.0};
+  const Vec y = m.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 11.0);
+}
+
+TEST(Csr, QuadraticFormMatchesMultiply) {
+  const graph::Graph g = graph::random_connected_gnm(12, 24, 5);
+  const CsrMatrix l = graph::laplacian(g);
+  Vec x(12);
+  for (int i = 0; i < 12; ++i) x[static_cast<std::size_t>(i)] = std::sin(i + 1.0);
+  const Vec lx = l.multiply(x);
+  EXPECT_NEAR(l.quadratic_form(x), dot(x, lx), 1e-9);
+}
+
+TEST(Csr, PlusAndScaled) {
+  const std::vector<Triplet> ta{{0, 0, 1.0}, {0, 1, 2.0}};
+  const std::vector<Triplet> tb{{0, 0, 3.0}, {1, 1, 4.0}};
+  const CsrMatrix a = CsrMatrix::from_triplets(2, ta);
+  const CsrMatrix b = CsrMatrix::from_triplets(2, tb);
+  const CsrMatrix c = a.plus(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 4.0);
+  const CsrMatrix d = a.scaled(2.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 4.0);
+}
+
+TEST(Csr, ToDenseRoundTrip) {
+  const std::vector<Triplet> t{{0, 1, 2.0}, {1, 0, 2.0}};
+  const CsrMatrix m = CsrMatrix::from_triplets(2, t);
+  const auto d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  const std::vector<double> d{3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0};
+  const auto eig = jacobi_eigen(3, d);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-10);
+}
+
+TEST(JacobiEigen, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const std::vector<double> m{2.0, 1.0, 1.0, 2.0};
+  const auto eig = jacobi_eigen(2, m);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+}
+
+TEST(JacobiEigen, PathLaplacianSpectrum) {
+  // L(P3) = [[1,-1,0],[-1,2,-1],[0,-1,1]] has eigenvalues {0, 1, 3}.
+  const graph::Graph g = graph::path(3);
+  const auto eig = jacobi_eigen(3, graph::laplacian(g).to_dense());
+  EXPECT_NEAR(eig.values[0], 0.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-10);
+}
+
+TEST(JacobiEigen, EigenvectorsReconstruct) {
+  const graph::Graph g = graph::cycle(5);
+  const CsrMatrix l = graph::laplacian(g);
+  const auto eig = jacobi_eigen(5, l.to_dense());
+  // Check A v = lambda v for the largest pair.
+  Vec v(5);
+  for (int r = 0; r < 5; ++r) v[static_cast<std::size_t>(r)] = eig.vector_at(r, 4);
+  const Vec av = l.multiply(v);
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_NEAR(av[static_cast<std::size_t>(r)],
+                eig.values[4] * v[static_cast<std::size_t>(r)], 1e-8);
+  }
+}
+
+TEST(GeneralizedCondition, IdenticalGraphsGiveOne) {
+  const graph::Graph g = graph::random_connected_gnm(10, 20, 3);
+  const CsrMatrix l = graph::laplacian(g);
+  EXPECT_NEAR(generalized_condition_number(l, l), 1.0, 1e-6);
+}
+
+TEST(GeneralizedCondition, ScaledGraphGivesScale) {
+  graph::Graph g = graph::random_connected_gnm(10, 20, 3);
+  const CsrMatrix l = graph::laplacian(g);
+  graph::Graph h = g;
+  h.scale_weights(4.0);
+  const CsrMatrix lh = graph::laplacian(h);
+  // Pencil L x = lambda (4L) x has all eigenvalues 1/4 -> condition 1.
+  EXPECT_NEAR(generalized_condition_number(l, lh), 1.0, 1e-6);
+}
+
+TEST(GeneralizedCondition, DetectsSpectralGap) {
+  // Path vs cycle on the same vertices: adding the closing edge changes the
+  // quadratic form by at most a factor related to n; condition must be > 1.
+  const graph::Graph p = graph::path(8);
+  graph::Graph c = p;
+  c.add_edge(0, 7);
+  const double k =
+      generalized_condition_number(graph::laplacian(c), graph::laplacian(p));
+  EXPECT_GT(k, 1.5);
+  EXPECT_LT(k, 100.0);
+}
+
+TEST(Cg, SolvesLaplacianSystem) {
+  const graph::Graph g = graph::random_connected_gnm(15, 40, 8);
+  const CsrMatrix l = graph::laplacian(g);
+  Vec b(15, 0.0);
+  b[0] = 1.0;
+  b[14] = -1.0;
+  const CgResult r = conjugate_gradient(l, b, 1e-12);
+  EXPECT_TRUE(r.converged);
+  const Vec lx = l.multiply(r.x);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_NEAR(lx[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-8);
+  }
+}
+
+TEST(Cg, OperatorFormMatchesMatrixForm) {
+  const graph::Graph g = graph::cycle(9);
+  const CsrMatrix l = graph::laplacian(g);
+  Vec b(9, 0.0);
+  b[2] = 2.0;
+  b[6] = -2.0;
+  const CgResult r1 = conjugate_gradient(l, b, 1e-12);
+  const CgResult r2 = conjugate_gradient(
+      [&l](std::span<const double> x) { return l.multiply(x); }, 9, b, 1e-12);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_NEAR(r1.x[static_cast<std::size_t>(i)], r2.x[static_cast<std::size_t>(i)],
+                1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace lapclique::linalg

@@ -1,0 +1,88 @@
+// Congested-clique minimum spanning forest (the model's founding problem).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "mst/boruvka.hpp"
+
+namespace lapclique::mst {
+namespace {
+
+using graph::Graph;
+
+MstResult run(const Graph& g) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  return boruvka_clique(g, net);
+}
+
+TEST(Mst, PathIsItsOwnMst) {
+  const Graph g = graph::path(6);
+  const MstResult r = run(g);
+  EXPECT_EQ(r.edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.total_weight, 5.0);
+}
+
+TEST(Mst, DropsTheHeaviestCycleEdge) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 0, 5.0);
+  const MstResult r = run(g);
+  EXPECT_DOUBLE_EQ(r.total_weight, 3.0);
+  EXPECT_EQ(r.edges, (std::vector<int>{0, 1}));
+}
+
+TEST(Mst, ForestOnDisconnectedInput) {
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const MstResult r = run(g);
+  EXPECT_EQ(r.edges.size(), 3u);  // spanning forest, vertex 5 isolated
+}
+
+class MstRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MstRandom, MatchesKruskalExactly) {
+  const Graph g = graph::with_random_weights(
+      graph::random_connected_gnm(40, 160, GetParam()), 32, GetParam() + 7);
+  const MstResult boruvka = run(g);
+  const MstResult oracle = kruskal(g);
+  EXPECT_DOUBLE_EQ(boruvka.total_weight, oracle.total_weight) << GetParam();
+  EXPECT_EQ(boruvka.edges, oracle.edges) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstRandom, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Mst, HandlesTiesDeterministically) {
+  // All weights equal: the MST must be the lexicographically first forest.
+  const Graph g = graph::complete(8);
+  const MstResult a = run(g);
+  const MstResult b = kruskal(g);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.edges.size(), 7u);
+}
+
+TEST(Mst, PhasesAreLogarithmic) {
+  const Graph g = graph::with_random_weights(
+      graph::random_connected_gnm(128, 512, 4), 64, 5);
+  const MstResult r = run(g);
+  EXPECT_LE(r.phases, static_cast<int>(std::ceil(std::log2(128))) + 1);
+  EXPECT_GT(r.rounds, 0);
+  // Boruvka: 3 rounds (one 3-word broadcast) per phase.
+  EXPECT_EQ(r.rounds, 3 * r.phases);
+}
+
+TEST(Mst, SpanningTreeConnectsEverything) {
+  const Graph g = graph::random_connected_gnm(30, 90, 9);
+  const MstResult r = run(g);
+  Graph tree(g.num_vertices());
+  for (int e : r.edges) tree.add_edge(g.edge(e).u, g.edge(e).v, g.edge(e).w);
+  EXPECT_TRUE(graph::is_connected(tree));
+  EXPECT_EQ(tree.num_edges(), g.num_vertices() - 1);
+}
+
+}  // namespace
+}  // namespace lapclique::mst

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/laplacian.hpp"
+#include "graph/rng.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "spectral/product_demand.hpp"
+
+namespace lapclique::spectral {
+namespace {
+
+TEST(ProductDemandComplete, WeightsAreProducts) {
+  const std::vector<double> d{1.0, 2.0, 3.0};
+  const graph::Graph g = product_demand_complete(d);
+  EXPECT_EQ(g.num_edges(), 3);
+  double total = 0;
+  for (const auto& e : g.edges()) total += e.w;
+  EXPECT_DOUBLE_EQ(total, 2.0 + 3.0 + 6.0);
+}
+
+TEST(ProductDemandSparsifier, RejectsNonPositiveDemands) {
+  const std::vector<double> d{1.0, 0.0};
+  EXPECT_THROW(product_demand_sparsifier(d), std::invalid_argument);
+}
+
+TEST(ProductDemandSparsifier, SmallInputsEmittedExactly) {
+  const std::vector<double> d{1.0, 1.5, 1.25, 1.75};  // one weight class
+  const graph::Graph h = product_demand_sparsifier(d);
+  const graph::Graph full = product_demand_complete(d);
+  // 4 vertices -> below exact threshold: identical total weight and
+  // identical Laplacians.
+  EXPECT_NEAR(h.total_weight(), full.total_weight(), 1e-9);
+  const double k = linalg::generalized_condition_number(graph::laplacian(full),
+                                                        graph::laplacian(h));
+  EXPECT_NEAR(k, 1.0, 1e-6);
+}
+
+TEST(ProductDemandSparsifier, PreservesClassPairTotals) {
+  std::vector<double> d;
+  graph::SplitMix64 rng(42);
+  for (int i = 0; i < 60; ++i) d.push_back(1.0 + rng.next_double() * 30.0);
+  const graph::Graph h = product_demand_sparsifier(d);
+  const graph::Graph full = product_demand_complete(d);
+  EXPECT_NEAR(h.total_weight(), full.total_weight(), 1e-6 * full.total_weight());
+}
+
+TEST(ProductDemandSparsifier, IsSparse) {
+  std::vector<double> d(200, 1.0);
+  const graph::Graph h = product_demand_sparsifier(d);
+  // Complete graph would have 19900 edges; the expander has O(n log n).
+  EXPECT_LT(h.num_edges(), 200 * 12);
+  EXPECT_GT(h.num_edges(), 0);
+}
+
+class ProductDemandQuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProductDemandQuality, GeneralizedConditionNumberBounded) {
+  graph::SplitMix64 rng(GetParam());
+  std::vector<double> d;
+  const int k = 40;
+  for (int i = 0; i < k; ++i) d.push_back(1.0 + rng.next_double() * 63.0);
+  const graph::Graph h = product_demand_sparsifier(d);
+  const graph::Graph full = product_demand_complete(d);
+  const double cond = linalg::generalized_condition_number(
+      graph::laplacian(full), graph::laplacian(h));
+  // Deterministic expander substitution: empirically certified quality.
+  EXPECT_LT(cond, 25.0) << "seed " << GetParam();
+  EXPECT_GE(cond, 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProductDemandQuality,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ProductDemandQualityUniform, NearUniformDemandsWellConditioned) {
+  std::vector<double> d(48, 2.0);
+  for (std::size_t i = 0; i < d.size(); i += 3) d[i] = 2.9;
+  const graph::Graph h = product_demand_sparsifier(d);
+  const graph::Graph full = product_demand_complete(d);
+  const double cond = linalg::generalized_condition_number(
+      graph::laplacian(full), graph::laplacian(h));
+  EXPECT_LT(cond, 12.0);
+}
+
+TEST(ProductDemandSparsifier, ConnectedWhenMoreThanOneVertex) {
+  std::vector<double> d;
+  graph::SplitMix64 rng(9);
+  for (int i = 0; i < 50; ++i) d.push_back(std::pow(2.0, rng.next_double() * 8.0));
+  const graph::Graph h = product_demand_sparsifier(d);
+  // A sparsifier of a complete graph must be connected.
+  std::vector<char> seen(static_cast<std::size_t>(h.num_vertices()), 0);
+  std::vector<int> stack{0};
+  seen[0] = 1;
+  int count = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (const auto& inc : h.incident(v)) {
+      if (seen[static_cast<std::size_t>(inc.other)] == 0) {
+        seen[static_cast<std::size_t>(inc.other)] = 1;
+        ++count;
+        stack.push_back(inc.other);
+      }
+    }
+  }
+  EXPECT_EQ(count, h.num_vertices());
+}
+
+}  // namespace
+}  // namespace lapclique::spectral

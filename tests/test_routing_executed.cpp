@@ -1,0 +1,136 @@
+// Executed routing mode: the deterministic spread/deliver schedule, with
+// per-sub-round bandwidth verification baked into the scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cliquesim/network.hpp"
+#include "euler/euler_orient.hpp"
+#include "graph/generators.hpp"
+#include "graph/rng.hpp"
+
+namespace lapclique::clique {
+namespace {
+
+std::vector<Msg> drain_all(Network& net) {
+  std::vector<Msg> all;
+  for (int v = 0; v < net.size(); ++v) {
+    auto in = net.drain_inbox(v);
+    all.insert(all.end(), in.begin(), in.end());
+  }
+  return all;
+}
+
+bool same_multiset(std::vector<Msg> a, std::vector<Msg> b) {
+  auto key = [](const Msg& m) {
+    return std::tuple<int, int, std::int64_t, std::uint64_t>(m.src, m.dst, m.tag,
+                                                             m.payload.bits());
+  };
+  auto cmp = [&key](const Msg& x, const Msg& y) { return key(x) < key(y); };
+  std::sort(a.begin(), a.end(), cmp);
+  std::sort(b.begin(), b.end(), cmp);
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(key(a[i]) == key(b[i]))) return false;
+  }
+  return true;
+}
+
+std::vector<Msg> random_batch(int n, int count, std::uint64_t seed) {
+  graph::SplitMix64 rng(seed);
+  std::vector<Msg> msgs;
+  for (int i = 0; i < count; ++i) {
+    const int s = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    int d = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (d == s) d = (d + 1) % n;
+    msgs.push_back(Msg{s, d, static_cast<std::int64_t>(i),
+                       Word(static_cast<std::int64_t>(rng.next()))});
+  }
+  return msgs;
+}
+
+TEST(ExecutedRouting, DeliversSameMessagesAsCharged) {
+  const auto msgs = random_batch(12, 80, 5);
+  Network charged(12);
+  charged.lenzen_route(msgs);
+  Network executed(12);
+  executed.set_routing_mode(RoutingMode::kExecuted);
+  executed.lenzen_route(msgs);
+  EXPECT_TRUE(same_multiset(drain_all(charged), drain_all(executed)));
+}
+
+TEST(ExecutedRouting, UnitLoadCostsConstantRounds) {
+  // A permutation batch: every node sends one, receives one.
+  Network net(16);
+  net.set_routing_mode(RoutingMode::kExecuted);
+  std::vector<Msg> msgs;
+  for (int i = 0; i < 16; ++i) {
+    msgs.push_back(Msg{i, (i + 5) % 16, 0, Word(std::int64_t{i})});
+  }
+  net.lenzen_route(msgs);
+  // 4 (sorting) + 1 (spread) + <= a few (deliver).
+  EXPECT_LE(net.rounds(), 8);
+}
+
+TEST(ExecutedRouting, AllToOneStaysNearTheLoadBound) {
+  // Every node sends n messages to node 0: receive load = n*(n-1) -> c = n-1.
+  const int n = 12;
+  Network net(n);
+  net.set_routing_mode(RoutingMode::kExecuted);
+  std::vector<Msg> msgs;
+  for (int s = 1; s < n; ++s) {
+    for (int k = 0; k < n; ++k) {
+      msgs.push_back(Msg{s, 0, k, Word(std::int64_t{k})});
+    }
+  }
+  net.lenzen_route(msgs);
+  // c = ceil((n-1)*n / n) = n-1; executed rounds should be O(c).
+  EXPECT_LE(net.rounds(), 4 * (n - 1) + 8);
+  EXPECT_EQ(net.inbox(0).size(), static_cast<std::size_t>((n - 1) * n));
+}
+
+TEST(ExecutedRouting, OneToAllIsCheap) {
+  const int n = 12;
+  Network net(n);
+  net.set_routing_mode(RoutingMode::kExecuted);
+  std::vector<Msg> msgs;
+  for (int k = 0; k < 4 * n; ++k) {
+    msgs.push_back(Msg{0, 1 + (k % (n - 1)), k, Word(std::int64_t{k})});
+  }
+  net.lenzen_route(msgs);
+  EXPECT_LE(net.rounds(), 4 + 4 + 6);  // sort + spread(<=c=4) + deliver
+}
+
+class ExecutedVsCharged : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecutedVsCharged, ExecutedRoundsWithinChargedEnvelope) {
+  // On realistic batches the greedy executed schedule should not exceed the
+  // charged 16c bound.
+  const auto msgs = random_batch(20, 300, GetParam());
+  Network charged(20);
+  charged.lenzen_route(msgs);
+  Network executed(20);
+  executed.set_routing_mode(RoutingMode::kExecuted);
+  executed.lenzen_route(msgs);
+  EXPECT_LE(executed.rounds(), charged.rounds()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutedVsCharged, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ExecutedRouting, EulerOrientationEndToEnd) {
+  // The whole Theorem 1.4 pipeline on an executed-routing network: the
+  // orientation must be identical to the charged-mode run (the schedule
+  // changes only the cost accounting, never message content).
+  const graph::Graph g = graph::union_of_random_closed_walks(24, 5, 9, 7);
+  clique::Network charged(24);
+  const auto a = euler::eulerian_orientation(g, charged);
+  clique::Network executed(24);
+  executed.set_routing_mode(RoutingMode::kExecuted);
+  const auto b = euler::eulerian_orientation(g, executed);
+  EXPECT_EQ(a.orientation, b.orientation);
+  EXPECT_TRUE(euler::is_eulerian_orientation(g, b.orientation));
+  EXPECT_GT(b.rounds, 0);
+}
+
+}  // namespace
+}  // namespace lapclique::clique

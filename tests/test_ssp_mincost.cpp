@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "flow/ssp_mincost.hpp"
+#include "graph/generators.hpp"
+
+namespace lapclique::flow {
+namespace {
+
+using graph::Digraph;
+
+TEST(SspMinCost, SimpleChain) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1, 2);
+  g.add_arc(1, 2, 1, 3);
+  const std::vector<std::int64_t> sigma{-1, 0, 1};
+  const auto r = ssp_min_cost_flow(g, sigma);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.cost, 5);
+  EXPECT_EQ(r.flow[0], 1);
+  EXPECT_EQ(r.flow[1], 1);
+}
+
+TEST(SspMinCost, PrefersCheaperParallelPath) {
+  Digraph g(4);
+  g.add_arc(0, 1, 1, 10);
+  g.add_arc(1, 3, 1, 10);
+  g.add_arc(0, 2, 1, 1);
+  g.add_arc(2, 3, 1, 1);
+  const std::vector<std::int64_t> sigma{-1, 0, 0, 1};
+  const auto r = ssp_min_cost_flow(g, sigma);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.cost, 2);
+  EXPECT_EQ(r.flow[2], 1);
+  EXPECT_EQ(r.flow[3], 1);
+}
+
+TEST(SspMinCost, InfeasibleDetected) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1, 1);
+  const std::vector<std::int64_t> sigma{-1, 0, 1};  // no path to vertex 2
+  const auto r = ssp_min_cost_flow(g, sigma);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(SspMinCost, RejectsUnbalancedDemands) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1, 1);
+  const std::vector<std::int64_t> sigma{-1, 2};
+  EXPECT_THROW((void)ssp_min_cost_flow(g, sigma), std::invalid_argument);
+}
+
+TEST(SspMinCost, MultiUnitDemands) {
+  Digraph g(4);
+  g.add_arc(0, 1, 2, 1);
+  g.add_arc(1, 2, 2, 1);
+  g.add_arc(0, 3, 1, 5);
+  g.add_arc(3, 2, 1, 5);
+  const std::vector<std::int64_t> sigma{-3, 0, 3, 0};
+  const auto r = ssp_min_cost_flow(g, sigma);
+  EXPECT_TRUE(r.feasible);
+  // 2 units via the cheap path (cost 2 each) + 1 via expensive (10).
+  EXPECT_EQ(r.cost, 2 * 2 + 10);
+}
+
+TEST(SspMinCost, FlowSatisfiesDemands) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Digraph g = graph::random_unit_cost_digraph(14, 60, 9, seed);
+    const auto sigma = graph::feasible_unit_demands(g, 4, seed + 100);
+    const auto r = ssp_min_cost_flow(g, sigma);
+    EXPECT_TRUE(r.feasible) << seed;
+    std::vector<double> f(r.flow.begin(), r.flow.end());
+    EXPECT_TRUE(graph::satisfies_demands(g, f, sigma)) << seed;
+  }
+}
+
+TEST(SspMinCostMaxFlow, MatchesSeparateComputations) {
+  Digraph g(4);
+  g.add_arc(0, 1, 1, 3);
+  g.add_arc(0, 2, 1, 1);
+  g.add_arc(1, 3, 1, 1);
+  g.add_arc(2, 3, 1, 2);
+  const auto r = ssp_min_cost_max_flow(g, 0, 3);
+  EXPECT_TRUE(r.feasible);
+  // Max flow = 2, must use both paths: cost 3+1+1+2 = 7.
+  EXPECT_EQ(r.cost, 7);
+}
+
+TEST(SspMinCostMaxFlow, ZeroFlowWhenDisconnected) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1, 1);
+  const auto r = ssp_min_cost_max_flow(g, 0, 2);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.cost, 0);
+}
+
+}  // namespace
+}  // namespace lapclique::flow

@@ -1,0 +1,183 @@
+// lapclique command-line tool: run the paper's algorithms on files.
+//
+//   lapclique_cli maxflow <instance.max>          Theorem 1.2 on DIMACS input
+//   lapclique_cli mincost <instance.min>          Theorem 1.3 on DIMACS input
+//   lapclique_cli orient <graph.el> [--random]    Theorem 1.4 on an edge list
+//   lapclique_cli sparsify <graph.el>             Theorem 3.3, writes H to stdout
+//   lapclique_cli solve <graph.el> <u> <v> [eps]  Theorem 1.1 (pair demand)
+//   lapclique_cli resistance <graph.el> <u> <v>   effective resistance
+//   lapclique_cli gen-maxflow <n> <m> <U> <seed>  random instance to stdout
+//   lapclique_cli gen-mincost <n> <m> <W> <seed>  random instance to stdout
+//
+// Edge lists: "N M" header then "u v [w]" lines, 0-based.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "core/api.hpp"
+#include "flow/mincost_maxflow.hpp"
+#include "io/dimacs.hpp"
+#include "solver/resistance.hpp"
+
+namespace {
+
+using namespace lapclique;
+
+int usage() {
+  std::cerr << "usage: lapclique_cli "
+               "maxflow|mincost|orient|sparsify|solve|resistance|gen-maxflow|"
+               "gen-mincost ...\n"
+               "see the header of tools/lapclique_cli.cpp for details\n";
+  return 2;
+}
+
+std::ifstream open_or_die(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    std::exit(2);
+  }
+  return in;
+}
+
+int cmd_maxflow(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::ifstream in = open_or_die(argv[0]);
+  const io::MaxFlowProblem p = io::read_dimacs_max_flow(in);
+  std::cerr << "n=" << p.g.num_vertices() << " m=" << p.g.num_arcs()
+            << " s=" << p.source + 1 << " t=" << p.sink + 1 << "\n";
+  flow::MaxFlowIpmOptions opt;
+  opt.iteration_scale = 0.02;
+  opt.max_iterations = 1000;
+  const auto rep = max_flow(p.g, p.source, p.sink, opt);
+  std::cerr << "rounds=" << rep.rounds << " ipm_iterations=" << rep.ipm_iterations
+            << " finishing_paths=" << rep.finishing_augmenting_paths << "\n";
+  io::write_dimacs_flow(std::cout, p.g, rep.flow, rep.value);
+  return 0;
+}
+
+int cmd_mincost(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::ifstream in = open_or_die(argv[0]);
+  const io::MinCostProblem p = io::read_dimacs_min_cost(in);
+  flow::MinCostIpmOptions opt;
+  opt.iteration_scale = 0.002;
+  opt.max_iterations = 80;
+  const auto rep = min_cost_flow(p.g, p.sigma, opt);
+  if (!rep.feasible) {
+    std::cerr << "infeasible\n";
+    return 1;
+  }
+  std::cerr << "rounds=" << rep.rounds << " cost=" << rep.cost << "\n";
+  io::write_dimacs_flow(std::cout, p.g, rep.flow, rep.cost);
+  return 0;
+}
+
+int cmd_orient(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::ifstream in = open_or_die(argv[0]);
+  const Graph g = io::read_edge_list(in);
+  euler::EulerOrientOptions opt;
+  if (argc >= 2 && std::strcmp(argv[1], "--random") == 0) {
+    opt.marking = euler::MarkingRule::kRandomized;
+  }
+  clique::Network net(std::max(g.num_vertices(), 2));
+  const auto rep = euler::eulerian_orientation(g, net, nullptr, opt);
+  std::cerr << "rounds=" << rep.rounds << " levels=" << rep.levels << "\n";
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    if (rep.orientation[static_cast<std::size_t>(e)] == 1) {
+      std::cout << ed.u << ' ' << ed.v << '\n';
+    } else {
+      std::cout << ed.v << ' ' << ed.u << '\n';
+    }
+  }
+  return 0;
+}
+
+int cmd_sparsify(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::ifstream in = open_or_die(argv[0]);
+  const Graph g = io::read_edge_list(in);
+  const auto rep = sparsify(g);
+  std::cerr << "rounds=" << rep.rounds << " edges " << g.num_edges() << " -> "
+            << rep.h.num_edges() << "\n";
+  io::write_edge_list(std::cout, rep.h);
+  return 0;
+}
+
+int cmd_solve(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::ifstream in = open_or_die(argv[0]);
+  const Graph g = io::read_edge_list(in);
+  const int u = std::atoi(argv[1]);
+  const int v = std::atoi(argv[2]);
+  const double eps = argc >= 4 ? std::atof(argv[3]) : 1e-8;
+  std::vector<double> b(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  b.at(static_cast<std::size_t>(u)) = 1.0;
+  b.at(static_cast<std::size_t>(v)) = -1.0;
+  const auto rep = solve_laplacian(g, b, eps);
+  std::cerr << "rounds=" << rep.rounds
+            << " chebyshev_iterations=" << rep.stats.chebyshev_iterations << "\n";
+  for (double x : rep.x) std::cout << x << '\n';
+  return 0;
+}
+
+int cmd_resistance(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::ifstream in = open_or_die(argv[0]);
+  const Graph g = io::read_edge_list(in);
+  const auto rep = solver::effective_resistance_clique(g, std::atoi(argv[1]),
+                                                       std::atoi(argv[2]));
+  std::cerr << "rounds=" << rep.rounds << "\n";
+  std::cout << rep.resistance << "\n";
+  return 0;
+}
+
+int cmd_gen_maxflow(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const int n = std::atoi(argv[0]);
+  const int m = std::atoi(argv[1]);
+  const std::int64_t cap = std::atoll(argv[2]);
+  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  io::MaxFlowProblem p;
+  p.g = graph::random_flow_network(n, m, cap, seed);
+  p.source = 0;
+  p.sink = n - 1;
+  io::write_dimacs_max_flow(std::cout, p);
+  return 0;
+}
+
+int cmd_gen_mincost(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const int n = std::atoi(argv[0]);
+  const int m = std::atoi(argv[1]);
+  const std::int64_t w = std::atoll(argv[2]);
+  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  io::MinCostProblem p;
+  p.g = graph::random_unit_cost_digraph(n, m, w, seed);
+  p.sigma = graph::feasible_unit_demands(p.g, std::max(2, n / 5), seed + 1);
+  io::write_dimacs_min_cost(std::cout, p);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "maxflow") return cmd_maxflow(argc - 2, argv + 2);
+    if (cmd == "mincost") return cmd_mincost(argc - 2, argv + 2);
+    if (cmd == "orient") return cmd_orient(argc - 2, argv + 2);
+    if (cmd == "sparsify") return cmd_sparsify(argc - 2, argv + 2);
+    if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
+    if (cmd == "resistance") return cmd_resistance(argc - 2, argv + 2);
+    if (cmd == "gen-maxflow") return cmd_gen_maxflow(argc - 2, argv + 2);
+    if (cmd == "gen-mincost") return cmd_gen_mincost(argc - 2, argv + 2);
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
