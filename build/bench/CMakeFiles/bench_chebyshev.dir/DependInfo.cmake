@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_chebyshev.cpp" "bench/CMakeFiles/bench_chebyshev.dir/bench_chebyshev.cpp.o" "gcc" "bench/CMakeFiles/bench_chebyshev.dir/bench_chebyshev.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lapclique_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_euler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_mst.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_cliquesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chebyshev.dir/bench_chebyshev.cpp.o"
+  "CMakeFiles/bench_chebyshev.dir/bench_chebyshev.cpp.o.d"
+  "bench_chebyshev"
+  "bench_chebyshev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chebyshev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_det_vs_rand.dir/bench_det_vs_rand.cpp.o"
+  "CMakeFiles/bench_det_vs_rand.dir/bench_det_vs_rand.cpp.o.d"
+  "bench_det_vs_rand"
+  "bench_det_vs_rand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_det_vs_rand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

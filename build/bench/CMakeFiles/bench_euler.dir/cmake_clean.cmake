@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_euler.dir/bench_euler.cpp.o"
+  "CMakeFiles/bench_euler.dir/bench_euler.cpp.o.d"
+  "bench_euler"
+  "bench_euler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_euler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

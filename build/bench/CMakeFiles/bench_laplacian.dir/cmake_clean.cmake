@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_laplacian.dir/bench_laplacian.cpp.o"
+  "CMakeFiles/bench_laplacian.dir/bench_laplacian.cpp.o.d"
+  "bench_laplacian"
+  "bench_laplacian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_laplacian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

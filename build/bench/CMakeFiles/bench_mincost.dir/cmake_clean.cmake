@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mincost.dir/bench_mincost.cpp.o"
+  "CMakeFiles/bench_mincost.dir/bench_mincost.cpp.o.d"
+  "bench_mincost"
+  "bench_mincost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mincost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparsifier.dir/bench_sparsifier.cpp.o"
+  "CMakeFiles/bench_sparsifier.dir/bench_sparsifier.cpp.o.d"
+  "bench_sparsifier"
+  "bench_sparsifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparsifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

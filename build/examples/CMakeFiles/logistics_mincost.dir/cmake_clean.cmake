@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logistics_mincost.dir/logistics_mincost.cpp.o"
+  "CMakeFiles/logistics_mincost.dir/logistics_mincost.cpp.o.d"
+  "logistics_mincost"
+  "logistics_mincost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logistics_mincost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for logistics_mincost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_grid_analysis.dir/power_grid_analysis.cpp.o"
+  "CMakeFiles/power_grid_analysis.dir/power_grid_analysis.cpp.o.d"
+  "power_grid_analysis"
+  "power_grid_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_grid_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

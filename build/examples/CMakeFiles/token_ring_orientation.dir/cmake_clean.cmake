@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_ring_orientation.dir/token_ring_orientation.cpp.o"
+  "CMakeFiles/token_ring_orientation.dir/token_ring_orientation.cpp.o.d"
+  "token_ring_orientation"
+  "token_ring_orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_ring_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

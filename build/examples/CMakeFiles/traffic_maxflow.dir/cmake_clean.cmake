@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_maxflow.dir/traffic_maxflow.cpp.o"
+  "CMakeFiles/traffic_maxflow.dir/traffic_maxflow.cpp.o.d"
+  "traffic_maxflow"
+  "traffic_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_cliquesim.dir/cliquesim/collectives.cpp.o"
+  "CMakeFiles/lapclique_cliquesim.dir/cliquesim/collectives.cpp.o.d"
+  "CMakeFiles/lapclique_cliquesim.dir/cliquesim/network.cpp.o"
+  "CMakeFiles/lapclique_cliquesim.dir/cliquesim/network.cpp.o.d"
+  "CMakeFiles/lapclique_cliquesim.dir/cliquesim/router.cpp.o"
+  "CMakeFiles/lapclique_cliquesim.dir/cliquesim/router.cpp.o.d"
+  "liblapclique_cliquesim.a"
+  "liblapclique_cliquesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_cliquesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

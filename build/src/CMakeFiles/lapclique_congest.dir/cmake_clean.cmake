@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_congest.dir/cliquesim/congest.cpp.o"
+  "CMakeFiles/lapclique_congest.dir/cliquesim/congest.cpp.o.d"
+  "liblapclique_congest.a"
+  "liblapclique_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_core.dir/core/api.cpp.o"
+  "CMakeFiles/lapclique_core.dir/core/api.cpp.o.d"
+  "liblapclique_core.a"
+  "liblapclique_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

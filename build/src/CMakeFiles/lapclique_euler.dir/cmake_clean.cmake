@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_euler.dir/euler/euler_orient.cpp.o"
+  "CMakeFiles/lapclique_euler.dir/euler/euler_orient.cpp.o.d"
+  "CMakeFiles/lapclique_euler.dir/euler/flow_round.cpp.o"
+  "CMakeFiles/lapclique_euler.dir/euler/flow_round.cpp.o.d"
+  "liblapclique_euler.a"
+  "liblapclique_euler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_euler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/approx_maxflow.cpp" "src/CMakeFiles/lapclique_flow.dir/flow/approx_maxflow.cpp.o" "gcc" "src/CMakeFiles/lapclique_flow.dir/flow/approx_maxflow.cpp.o.d"
+  "/root/repo/src/flow/baselines.cpp" "src/CMakeFiles/lapclique_flow.dir/flow/baselines.cpp.o" "gcc" "src/CMakeFiles/lapclique_flow.dir/flow/baselines.cpp.o.d"
+  "/root/repo/src/flow/dinic.cpp" "src/CMakeFiles/lapclique_flow.dir/flow/dinic.cpp.o" "gcc" "src/CMakeFiles/lapclique_flow.dir/flow/dinic.cpp.o.d"
+  "/root/repo/src/flow/distributed_sssp.cpp" "src/CMakeFiles/lapclique_flow.dir/flow/distributed_sssp.cpp.o" "gcc" "src/CMakeFiles/lapclique_flow.dir/flow/distributed_sssp.cpp.o.d"
+  "/root/repo/src/flow/electrical.cpp" "src/CMakeFiles/lapclique_flow.dir/flow/electrical.cpp.o" "gcc" "src/CMakeFiles/lapclique_flow.dir/flow/electrical.cpp.o.d"
+  "/root/repo/src/flow/maxflow_ipm.cpp" "src/CMakeFiles/lapclique_flow.dir/flow/maxflow_ipm.cpp.o" "gcc" "src/CMakeFiles/lapclique_flow.dir/flow/maxflow_ipm.cpp.o.d"
+  "/root/repo/src/flow/mincost_ipm.cpp" "src/CMakeFiles/lapclique_flow.dir/flow/mincost_ipm.cpp.o" "gcc" "src/CMakeFiles/lapclique_flow.dir/flow/mincost_ipm.cpp.o.d"
+  "/root/repo/src/flow/mincost_maxflow.cpp" "src/CMakeFiles/lapclique_flow.dir/flow/mincost_maxflow.cpp.o" "gcc" "src/CMakeFiles/lapclique_flow.dir/flow/mincost_maxflow.cpp.o.d"
+  "/root/repo/src/flow/ssp_mincost.cpp" "src/CMakeFiles/lapclique_flow.dir/flow/ssp_mincost.cpp.o" "gcc" "src/CMakeFiles/lapclique_flow.dir/flow/ssp_mincost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lapclique_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_euler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_cliquesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

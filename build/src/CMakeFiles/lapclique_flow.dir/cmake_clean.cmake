@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_flow.dir/flow/approx_maxflow.cpp.o"
+  "CMakeFiles/lapclique_flow.dir/flow/approx_maxflow.cpp.o.d"
+  "CMakeFiles/lapclique_flow.dir/flow/baselines.cpp.o"
+  "CMakeFiles/lapclique_flow.dir/flow/baselines.cpp.o.d"
+  "CMakeFiles/lapclique_flow.dir/flow/dinic.cpp.o"
+  "CMakeFiles/lapclique_flow.dir/flow/dinic.cpp.o.d"
+  "CMakeFiles/lapclique_flow.dir/flow/distributed_sssp.cpp.o"
+  "CMakeFiles/lapclique_flow.dir/flow/distributed_sssp.cpp.o.d"
+  "CMakeFiles/lapclique_flow.dir/flow/electrical.cpp.o"
+  "CMakeFiles/lapclique_flow.dir/flow/electrical.cpp.o.d"
+  "CMakeFiles/lapclique_flow.dir/flow/maxflow_ipm.cpp.o"
+  "CMakeFiles/lapclique_flow.dir/flow/maxflow_ipm.cpp.o.d"
+  "CMakeFiles/lapclique_flow.dir/flow/mincost_ipm.cpp.o"
+  "CMakeFiles/lapclique_flow.dir/flow/mincost_ipm.cpp.o.d"
+  "CMakeFiles/lapclique_flow.dir/flow/mincost_maxflow.cpp.o"
+  "CMakeFiles/lapclique_flow.dir/flow/mincost_maxflow.cpp.o.d"
+  "CMakeFiles/lapclique_flow.dir/flow/ssp_mincost.cpp.o"
+  "CMakeFiles/lapclique_flow.dir/flow/ssp_mincost.cpp.o.d"
+  "liblapclique_flow.a"
+  "liblapclique_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

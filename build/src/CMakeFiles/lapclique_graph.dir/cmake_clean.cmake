@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_graph.dir/graph/connectivity.cpp.o"
+  "CMakeFiles/lapclique_graph.dir/graph/connectivity.cpp.o.d"
+  "CMakeFiles/lapclique_graph.dir/graph/digraph.cpp.o"
+  "CMakeFiles/lapclique_graph.dir/graph/digraph.cpp.o.d"
+  "CMakeFiles/lapclique_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/lapclique_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/lapclique_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/lapclique_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/lapclique_graph.dir/graph/laplacian.cpp.o"
+  "CMakeFiles/lapclique_graph.dir/graph/laplacian.cpp.o.d"
+  "liblapclique_graph.a"
+  "liblapclique_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

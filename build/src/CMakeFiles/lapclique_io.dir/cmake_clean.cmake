@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_io.dir/io/dimacs.cpp.o"
+  "CMakeFiles/lapclique_io.dir/io/dimacs.cpp.o.d"
+  "liblapclique_io.a"
+  "liblapclique_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cg.cpp" "src/CMakeFiles/lapclique_linalg.dir/linalg/cg.cpp.o" "gcc" "src/CMakeFiles/lapclique_linalg.dir/linalg/cg.cpp.o.d"
+  "/root/repo/src/linalg/chebyshev.cpp" "src/CMakeFiles/lapclique_linalg.dir/linalg/chebyshev.cpp.o" "gcc" "src/CMakeFiles/lapclique_linalg.dir/linalg/chebyshev.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/lapclique_linalg.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/lapclique_linalg.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/CMakeFiles/lapclique_linalg.dir/linalg/csr.cpp.o" "gcc" "src/CMakeFiles/lapclique_linalg.dir/linalg/csr.cpp.o.d"
+  "/root/repo/src/linalg/jacobi_eigen.cpp" "src/CMakeFiles/lapclique_linalg.dir/linalg/jacobi_eigen.cpp.o" "gcc" "src/CMakeFiles/lapclique_linalg.dir/linalg/jacobi_eigen.cpp.o.d"
+  "/root/repo/src/linalg/lanczos.cpp" "src/CMakeFiles/lapclique_linalg.dir/linalg/lanczos.cpp.o" "gcc" "src/CMakeFiles/lapclique_linalg.dir/linalg/lanczos.cpp.o.d"
+  "/root/repo/src/linalg/sparse_cholesky.cpp" "src/CMakeFiles/lapclique_linalg.dir/linalg/sparse_cholesky.cpp.o" "gcc" "src/CMakeFiles/lapclique_linalg.dir/linalg/sparse_cholesky.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/CMakeFiles/lapclique_linalg.dir/linalg/vector_ops.cpp.o" "gcc" "src/CMakeFiles/lapclique_linalg.dir/linalg/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_linalg.dir/linalg/cg.cpp.o"
+  "CMakeFiles/lapclique_linalg.dir/linalg/cg.cpp.o.d"
+  "CMakeFiles/lapclique_linalg.dir/linalg/chebyshev.cpp.o"
+  "CMakeFiles/lapclique_linalg.dir/linalg/chebyshev.cpp.o.d"
+  "CMakeFiles/lapclique_linalg.dir/linalg/cholesky.cpp.o"
+  "CMakeFiles/lapclique_linalg.dir/linalg/cholesky.cpp.o.d"
+  "CMakeFiles/lapclique_linalg.dir/linalg/csr.cpp.o"
+  "CMakeFiles/lapclique_linalg.dir/linalg/csr.cpp.o.d"
+  "CMakeFiles/lapclique_linalg.dir/linalg/jacobi_eigen.cpp.o"
+  "CMakeFiles/lapclique_linalg.dir/linalg/jacobi_eigen.cpp.o.d"
+  "CMakeFiles/lapclique_linalg.dir/linalg/lanczos.cpp.o"
+  "CMakeFiles/lapclique_linalg.dir/linalg/lanczos.cpp.o.d"
+  "CMakeFiles/lapclique_linalg.dir/linalg/sparse_cholesky.cpp.o"
+  "CMakeFiles/lapclique_linalg.dir/linalg/sparse_cholesky.cpp.o.d"
+  "CMakeFiles/lapclique_linalg.dir/linalg/vector_ops.cpp.o"
+  "CMakeFiles/lapclique_linalg.dir/linalg/vector_ops.cpp.o.d"
+  "liblapclique_linalg.a"
+  "liblapclique_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

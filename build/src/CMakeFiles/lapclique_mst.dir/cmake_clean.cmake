@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_mst.dir/mst/boruvka.cpp.o"
+  "CMakeFiles/lapclique_mst.dir/mst/boruvka.cpp.o.d"
+  "liblapclique_mst.a"
+  "liblapclique_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/clique_laplacian.cpp" "src/CMakeFiles/lapclique_solver.dir/solver/clique_laplacian.cpp.o" "gcc" "src/CMakeFiles/lapclique_solver.dir/solver/clique_laplacian.cpp.o.d"
+  "/root/repo/src/solver/laplacian_solver.cpp" "src/CMakeFiles/lapclique_solver.dir/solver/laplacian_solver.cpp.o" "gcc" "src/CMakeFiles/lapclique_solver.dir/solver/laplacian_solver.cpp.o.d"
+  "/root/repo/src/solver/resistance.cpp" "src/CMakeFiles/lapclique_solver.dir/solver/resistance.cpp.o" "gcc" "src/CMakeFiles/lapclique_solver.dir/solver/resistance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lapclique_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_cliquesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

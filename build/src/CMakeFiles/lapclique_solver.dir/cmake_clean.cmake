@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_solver.dir/solver/clique_laplacian.cpp.o"
+  "CMakeFiles/lapclique_solver.dir/solver/clique_laplacian.cpp.o.d"
+  "CMakeFiles/lapclique_solver.dir/solver/laplacian_solver.cpp.o"
+  "CMakeFiles/lapclique_solver.dir/solver/laplacian_solver.cpp.o.d"
+  "CMakeFiles/lapclique_solver.dir/solver/resistance.cpp.o"
+  "CMakeFiles/lapclique_solver.dir/solver/resistance.cpp.o.d"
+  "liblapclique_solver.a"
+  "liblapclique_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

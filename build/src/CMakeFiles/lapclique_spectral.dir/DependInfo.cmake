@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectral/conductance.cpp" "src/CMakeFiles/lapclique_spectral.dir/spectral/conductance.cpp.o" "gcc" "src/CMakeFiles/lapclique_spectral.dir/spectral/conductance.cpp.o.d"
+  "/root/repo/src/spectral/expander_decomp.cpp" "src/CMakeFiles/lapclique_spectral.dir/spectral/expander_decomp.cpp.o" "gcc" "src/CMakeFiles/lapclique_spectral.dir/spectral/expander_decomp.cpp.o.d"
+  "/root/repo/src/spectral/power_iteration.cpp" "src/CMakeFiles/lapclique_spectral.dir/spectral/power_iteration.cpp.o" "gcc" "src/CMakeFiles/lapclique_spectral.dir/spectral/power_iteration.cpp.o.d"
+  "/root/repo/src/spectral/product_demand.cpp" "src/CMakeFiles/lapclique_spectral.dir/spectral/product_demand.cpp.o" "gcc" "src/CMakeFiles/lapclique_spectral.dir/spectral/product_demand.cpp.o.d"
+  "/root/repo/src/spectral/random_sparsify.cpp" "src/CMakeFiles/lapclique_spectral.dir/spectral/random_sparsify.cpp.o" "gcc" "src/CMakeFiles/lapclique_spectral.dir/spectral/random_sparsify.cpp.o.d"
+  "/root/repo/src/spectral/sparsify.cpp" "src/CMakeFiles/lapclique_spectral.dir/spectral/sparsify.cpp.o" "gcc" "src/CMakeFiles/lapclique_spectral.dir/spectral/sparsify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lapclique_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

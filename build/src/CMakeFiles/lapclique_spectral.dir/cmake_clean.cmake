@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_spectral.dir/spectral/conductance.cpp.o"
+  "CMakeFiles/lapclique_spectral.dir/spectral/conductance.cpp.o.d"
+  "CMakeFiles/lapclique_spectral.dir/spectral/expander_decomp.cpp.o"
+  "CMakeFiles/lapclique_spectral.dir/spectral/expander_decomp.cpp.o.d"
+  "CMakeFiles/lapclique_spectral.dir/spectral/power_iteration.cpp.o"
+  "CMakeFiles/lapclique_spectral.dir/spectral/power_iteration.cpp.o.d"
+  "CMakeFiles/lapclique_spectral.dir/spectral/product_demand.cpp.o"
+  "CMakeFiles/lapclique_spectral.dir/spectral/product_demand.cpp.o.d"
+  "CMakeFiles/lapclique_spectral.dir/spectral/random_sparsify.cpp.o"
+  "CMakeFiles/lapclique_spectral.dir/spectral/random_sparsify.cpp.o.d"
+  "CMakeFiles/lapclique_spectral.dir/spectral/sparsify.cpp.o"
+  "CMakeFiles/lapclique_spectral.dir/spectral/sparsify.cpp.o.d"
+  "liblapclique_spectral.a"
+  "liblapclique_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

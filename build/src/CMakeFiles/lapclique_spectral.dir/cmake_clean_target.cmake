@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblapclique_spectral.a"
+)

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_api.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_api.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_api.cpp.o.d"
+  "/root/repo/tests/test_approx_maxflow.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_approx_maxflow.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_approx_maxflow.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_chebyshev.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_chebyshev.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_chebyshev.cpp.o.d"
+  "/root/repo/tests/test_cholesky.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_cholesky.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_cholesky.cpp.o.d"
+  "/root/repo/tests/test_cli_formats.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_cli_formats.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_cli_formats.cpp.o.d"
+  "/root/repo/tests/test_clique_laplacian.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_clique_laplacian.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_clique_laplacian.cpp.o.d"
+  "/root/repo/tests/test_cliquesim.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_cliquesim.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_cliquesim.cpp.o.d"
+  "/root/repo/tests/test_conductance.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_conductance.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_conductance.cpp.o.d"
+  "/root/repo/tests/test_congest.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_congest.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_congest.cpp.o.d"
+  "/root/repo/tests/test_congestion_audit.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_congestion_audit.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_congestion_audit.cpp.o.d"
+  "/root/repo/tests/test_dinic.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_dinic.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_dinic.cpp.o.d"
+  "/root/repo/tests/test_distributed_sssp.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_distributed_sssp.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_distributed_sssp.cpp.o.d"
+  "/root/repo/tests/test_electrical.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_electrical.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_electrical.cpp.o.d"
+  "/root/repo/tests/test_euler_orient.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_euler_orient.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_euler_orient.cpp.o.d"
+  "/root/repo/tests/test_euler_randomized.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_euler_randomized.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_euler_randomized.cpp.o.d"
+  "/root/repo/tests/test_expander_decomp.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_expander_decomp.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_expander_decomp.cpp.o.d"
+  "/root/repo/tests/test_flow_round.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_flow_round.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_flow_round.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_ipm_full_budget.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_ipm_full_budget.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_ipm_full_budget.cpp.o.d"
+  "/root/repo/tests/test_lanczos.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_lanczos.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_lanczos.cpp.o.d"
+  "/root/repo/tests/test_laplacian_solver.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_laplacian_solver.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_laplacian_solver.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_maxflow_ipm.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_maxflow_ipm.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_maxflow_ipm.cpp.o.d"
+  "/root/repo/tests/test_mincost_ipm.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_mincost_ipm.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_mincost_ipm.cpp.o.d"
+  "/root/repo/tests/test_mincost_maxflow.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_mincost_maxflow.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_mincost_maxflow.cpp.o.d"
+  "/root/repo/tests/test_mst.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_mst.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_mst.cpp.o.d"
+  "/root/repo/tests/test_product_demand.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_product_demand.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_product_demand.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_resistance.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_resistance.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_resistance.cpp.o.d"
+  "/root/repo/tests/test_routing_executed.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_routing_executed.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_routing_executed.cpp.o.d"
+  "/root/repo/tests/test_sparsify.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_sparsify.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_sparsify.cpp.o.d"
+  "/root/repo/tests/test_ssp_mincost.cpp" "tests/CMakeFiles/lapclique_tests.dir/test_ssp_mincost.cpp.o" "gcc" "tests/CMakeFiles/lapclique_tests.dir/test_ssp_mincost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lapclique_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_euler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_mst.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lapclique_cliquesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapclique_cli.dir/lapclique_cli.cpp.o"
+  "CMakeFiles/lapclique_cli.dir/lapclique_cli.cpp.o.d"
+  "lapclique_cli"
+  "lapclique_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapclique_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
