@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/round_ledger.hpp"
+
 namespace lapclique::bench {
 
 inline void header(const char* exp_id, const char* claim) {
@@ -18,6 +20,24 @@ inline void row(const char* fmt, ...) {
   std::vprintf(fmt, args);
   va_end(args);
   std::printf("\n");
+}
+
+/// Per-phase / per-primitive round breakdown of `ledger`, printed next to the
+/// experiment's own totals.  `label` names the run the ledger covers.
+inline void breakdown(const char* label, const obs::RoundLedger& ledger) {
+  std::printf("  breakdown [%s]: total=%lld rounds, %lld words\n", label,
+              static_cast<long long>(ledger.total_rounds()),
+              static_cast<long long>(ledger.total_words()));
+  for (const auto& [name, rounds] : ledger.breakdown()) {
+    if (rounds == 0) continue;
+    std::printf("    %-32s %10lld rounds\n", name.c_str(),
+                static_cast<long long>(rounds));
+  }
+  for (const auto& [name, tot] : ledger.primitives()) {
+    std::printf("    primitive %-22s %10lld rounds %12lld words\n",
+                name.c_str(), static_cast<long long>(tot.rounds),
+                static_cast<long long>(tot.words));
+  }
 }
 
 }  // namespace lapclique::bench

@@ -17,18 +17,22 @@ int main() {
   {
     const Graph g = graph::random_connected_gnm(96, 384, 11);
     clique::Network net(96);
+    obs::RoundLedger ledger;
+    net.set_tracer(&ledger);
     const solver::CliqueLaplacianSolver solver(g, {}, net);
     std::vector<double> b(96, 0.0);
     b[0] = 1.0;
     b[95] = -1.0;
     for (double eps : {1e-1, 1e-2, 1e-4, 1e-6, 1e-8, 1e-10}) {
       net.reset_accounting();
+      ledger.reset();
       (void)solver.solve(b, eps);
       const double digits = std::log(1.0 / eps);
       bench::row("%-28s | %10.0e | %12lld | %14.2f", "", eps,
                  static_cast<long long>(net.rounds()),
                  static_cast<double>(net.rounds()) / digits);
     }
+    bench::breakdown("last solve: eps=1e-10", ledger);
   }
 
   bench::row("%-28s | %6s | %12s | %12s | %14s", "sweep: n (eps=1e-6, m=4n)",

@@ -13,13 +13,16 @@ int main() {
   bench::row("%-10s | %4s | %5s | %4s | %9s | %9s | %9s | %10s | %6s",
              "instance", "n", "m", "U", "ipm", "trivial", "ford-f.",
              "m^3/7*U^1/7", "finish");
-  auto run = [](const char* name, const Digraph& g, int s, int t) {
+  auto run = [](const char* name, const Digraph& g, int s, int t,
+                bool show_breakdown = false) {
     const auto oracle = flow::dinic_max_flow(g, s, t);
     flow::MaxFlowIpmOptions opt;
     opt.iteration_scale = 0.02;
     opt.max_iterations = 250;
     opt.known_value = oracle.value;
     clique::Network net(g.num_vertices());
+    obs::RoundLedger ledger;
+    net.set_tracer(&ledger);
     const auto ipm = flow::max_flow_clique(g, s, t, net, opt);
     clique::Network nt(g.num_vertices());
     const auto tr = flow::trivial_max_flow(g, s, t, nt);
@@ -37,6 +40,7 @@ int main() {
                static_cast<long long>(ipm.rounds),
                static_cast<long long>(tr.rounds), static_cast<long long>(ff.rounds),
                bound, ipm.finishing_augmenting_paths, ok ? "" : "  [MISMATCH!]");
+    if (show_breakdown) bench::breakdown("ipm phases", ledger);
   };
 
   // m sweep at fixed U.
@@ -53,7 +57,7 @@ int main() {
   // Layered structured instance.
   {
     const Digraph g = graph::layered_flow_network(4, 5, 8, 24);
-    run("layered", g, 0, g.num_vertices() - 1);
+    run("layered", g, 0, g.num_vertices() - 1, /*show_breakdown=*/true);
   }
   bench::row("%s", "");
   bench::row("%s",

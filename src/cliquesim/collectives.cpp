@@ -18,6 +18,7 @@ void check_size(const Network& net, std::size_t got) {
 
 std::vector<double> broadcast_one(Network& net, const std::vector<double>& values) {
   check_size(net, values.size());
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/broadcast_one");
   const auto n = static_cast<std::int64_t>(net.size());
   net.charge(1, n * (n - 1));
   return values;
@@ -26,6 +27,7 @@ std::vector<double> broadcast_one(Network& net, const std::vector<double>& value
 std::vector<std::int64_t> broadcast_one_int(Network& net,
                                             const std::vector<std::int64_t>& values) {
   check_size(net, values.size());
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/broadcast_one_int");
   const auto n = static_cast<std::int64_t>(net.size());
   net.charge(1, n * (n - 1));
   return values;
@@ -34,6 +36,7 @@ std::vector<std::int64_t> broadcast_one_int(Network& net,
 std::vector<std::vector<Word>> broadcast_many(
     Network& net, const std::vector<std::vector<Word>>& values) {
   check_size(net, values.size());
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/broadcast_many");
   std::size_t k = 0;
   std::int64_t total = 0;
   for (const auto& v : values) {
@@ -47,6 +50,7 @@ std::vector<std::vector<Word>> broadcast_many(
 
 double allreduce_sum(Network& net, const std::vector<double>& values) {
   check_size(net, values.size());
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/allreduce_sum");
   const auto n = static_cast<std::int64_t>(net.size());
   net.charge(1, n * (n - 1));
   double s = 0;
@@ -56,6 +60,7 @@ double allreduce_sum(Network& net, const std::vector<double>& values) {
 
 double allreduce_max(Network& net, const std::vector<double>& values) {
   check_size(net, values.size());
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/allreduce_max");
   const auto n = static_cast<std::int64_t>(net.size());
   net.charge(1, n * (n - 1));
   return *std::max_element(values.begin(), values.end());
@@ -63,6 +68,7 @@ double allreduce_max(Network& net, const std::vector<double>& values) {
 
 double allreduce_min(Network& net, const std::vector<double>& values) {
   check_size(net, values.size());
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/allreduce_min");
   const auto n = static_cast<std::int64_t>(net.size());
   net.charge(1, n * (n - 1));
   return *std::min_element(values.begin(), values.end());
@@ -70,6 +76,7 @@ double allreduce_min(Network& net, const std::vector<double>& values) {
 
 std::int64_t allreduce_sum_int(Network& net, const std::vector<std::int64_t>& values) {
   check_size(net, values.size());
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/allreduce_sum_int");
   const auto n = static_cast<std::int64_t>(net.size());
   net.charge(1, n * (n - 1));
   std::int64_t s = 0;
@@ -79,6 +86,7 @@ std::int64_t allreduce_sum_int(Network& net, const std::vector<std::int64_t>& va
 
 std::int64_t allreduce_max_int(Network& net, const std::vector<std::int64_t>& values) {
   check_size(net, values.size());
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/allreduce_max_int");
   const auto n = static_cast<std::int64_t>(net.size());
   net.charge(1, n * (n - 1));
   return *std::max_element(values.begin(), values.end());
@@ -87,6 +95,7 @@ std::int64_t allreduce_max_int(Network& net, const std::vector<std::int64_t>& va
 std::vector<Word> gather_to_all(Network& net,
                                 const std::vector<std::vector<Word>>& words) {
   check_size(net, words.size());
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/gather_to_all");
   std::int64_t total = 0;
   std::vector<Word> out;
   for (const auto& w : words) total += static_cast<std::int64_t>(w.size());

@@ -14,6 +14,7 @@
 
 #include "cliquesim/message.hpp"
 #include "graph/graph.hpp"
+#include "obs/round_ledger.hpp"
 
 namespace lapclique::clique {
 
@@ -23,6 +24,11 @@ class CongestNetwork {
 
   [[nodiscard]] int size() const { return n_; }
   [[nodiscard]] std::int64_t rounds() const { return rounds_; }
+
+  /// Observability: report every executed round to `ledger` (primitive
+  /// "congest_step").  Same null-ledger contract as Network::set_tracer.
+  void set_tracer(obs::RoundLedger* ledger) { tracer_ = ledger; }
+  [[nodiscard]] obs::RoundLedger* tracer() const { return tracer_; }
 
   /// One synchronous round: every message must travel along a topology
   /// edge, and no (ordered) adjacent pair may carry more than one word.
@@ -35,6 +41,7 @@ class CongestNetwork {
  private:
   int n_;
   std::int64_t rounds_ = 0;
+  obs::RoundLedger* tracer_ = nullptr;
   std::vector<std::vector<int>> adj_;
   std::vector<std::vector<Msg>> inboxes_;
 };

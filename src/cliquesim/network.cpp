@@ -12,16 +12,46 @@ void Network::check_node(int v) const {
   if (v < 0 || v >= n_) throw std::out_of_range("Network: node id out of range");
 }
 
-void Network::charge(std::int64_t rounds, std::int64_t words) {
-  if (rounds < 0 || words < 0) throw std::invalid_argument("Network::charge: negative");
-  record(rounds, words, 0);
+void Network::set_phase(std::string phase) {
+  phase_ = std::move(phase);
+#if LAPCLIQUE_TRACE
+  if (tracer_ != nullptr) tracer_->switch_phase(phase_);
+#endif
 }
 
-void Network::record(std::int64_t rounds, std::int64_t words, std::int64_t max_load) {
+void Network::charge(std::int64_t rounds, std::int64_t words) {
+  if (rounds < 0 || words < 0) throw std::invalid_argument("Network::charge: negative");
+  record("charge", rounds, words, 0);
+}
+
+void Network::record(const char* primitive, std::int64_t rounds,
+                     std::int64_t words, std::int64_t max_load) {
   rounds_ += rounds;
   words_ += words;
   ledger_.add(phase_, rounds);
   op_log_.push_back(OpRecord{phase_, rounds, words, max_load});
+#if LAPCLIQUE_TRACE
+  if (tracer_ != nullptr) tracer_->record_op(primitive, rounds, words, max_load);
+#else
+  (void)primitive;
+#endif
+}
+
+void Network::record(const char* primitive, std::int64_t rounds,
+                     std::int64_t words, const std::vector<std::int64_t>& sent,
+                     const std::vector<std::int64_t>& recv) {
+  std::int64_t max_load = 0;
+  for (std::int64_t s : sent) max_load = std::max(max_load, s);
+  for (std::int64_t r : recv) max_load = std::max(max_load, r);
+  rounds_ += rounds;
+  words_ += words;
+  ledger_.add(phase_, rounds);
+  op_log_.push_back(OpRecord{phase_, rounds, words, max_load});
+#if LAPCLIQUE_TRACE
+  if (tracer_ != nullptr) tracer_->record_op(primitive, rounds, words, sent, recv);
+#else
+  (void)primitive;
+#endif
 }
 
 void Network::deliver(const std::vector<Msg>& msgs) {
@@ -47,11 +77,8 @@ void Network::exchange(const std::vector<Msg>& msgs) {
   }
   std::int64_t rounds = 0;
   for (const auto& [pair, k] : mult) rounds = std::max(rounds, k);
-  const std::int64_t max_load =
-      std::max(*std::max_element(sent.begin(), sent.end()),
-               *std::max_element(recv.begin(), recv.end()));
   deliver(msgs);
-  record(rounds, static_cast<std::int64_t>(msgs.size()), max_load);
+  record("exchange", rounds, static_cast<std::int64_t>(msgs.size()), sent, recv);
 }
 
 void Network::lenzen_route(const std::vector<Msg>& msgs) {
@@ -71,11 +98,13 @@ void Network::lenzen_route(const std::vector<Msg>& msgs) {
   const std::int64_t c = (max_load + n_ - 1) / n_;
   if (routing_mode_ == RoutingMode::kExecuted) {
     const std::int64_t used = execute_route(msgs, c);
-    record(used, static_cast<std::int64_t>(msgs.size()), max_load);
+    record("lenzen_route", used, static_cast<std::int64_t>(msgs.size()), sent,
+           recv);
     return;
   }
   deliver(msgs);
-  record(lenzen_constant_ * c, static_cast<std::int64_t>(msgs.size()), max_load);
+  record("lenzen_route", lenzen_constant_ * c,
+         static_cast<std::int64_t>(msgs.size()), sent, recv);
 }
 
 std::int64_t Network::execute_route(const std::vector<Msg>& msgs, std::int64_t c) {

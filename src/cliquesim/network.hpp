@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cliquesim/message.hpp"
+#include "obs/round_ledger.hpp"
 
 namespace lapclique::clique {
 
@@ -56,9 +57,18 @@ class Network {
   [[nodiscard]] const PhaseLedger& ledger() const { return ledger_; }
   [[nodiscard]] const std::vector<OpRecord>& op_log() const { return op_log_; }
 
-  /// Set the label under which subsequent operations are charged.
-  void set_phase(std::string phase) { phase_ = std::move(phase); }
+  /// Set the label under which subsequent operations are charged.  When a
+  /// RoundLedger is attached this also switches the ledger's phase span, so
+  /// the flat PhaseLedger and the span tree stay in sync.
+  void set_phase(std::string phase);
   [[nodiscard]] const std::string& phase() const { return phase_; }
+
+  /// Attach a RoundLedger that observes (never charges) every operation:
+  /// rounds/words per span, per-primitive totals, per-node congestion.
+  /// Pass nullptr to detach.  The null-ledger case costs one pointer
+  /// compare per operation; -DLAPCLIQUE_TRACE=0 compiles even that out.
+  void set_tracer(obs::RoundLedger* ledger) { tracer_ = ledger; }
+  [[nodiscard]] obs::RoundLedger* tracer() const { return tracer_; }
 
   /// Charge `rounds` without moving data.  Used for sub-routines whose round
   /// cost is taken from the literature (e.g. the CKKL+19 O(n^0.158) SSSP —
@@ -94,7 +104,11 @@ class Network {
  private:
   void check_node(int v) const;
   void deliver(const std::vector<Msg>& msgs);
-  void record(std::int64_t rounds, std::int64_t words, std::int64_t max_load);
+  void record(const char* primitive, std::int64_t rounds, std::int64_t words,
+              std::int64_t max_load);
+  void record(const char* primitive, std::int64_t rounds, std::int64_t words,
+              const std::vector<std::int64_t>& sent,
+              const std::vector<std::int64_t>& recv);
   /// Executes the deterministic routing schedule; returns rounds used.
   std::int64_t execute_route(const std::vector<Msg>& msgs, std::int64_t c);
 
@@ -104,6 +118,7 @@ class Network {
   std::int64_t rounds_ = 0;
   std::int64_t words_ = 0;
   std::string phase_ = "default";
+  obs::RoundLedger* tracer_ = nullptr;
   PhaseLedger ledger_;
   std::vector<OpRecord> op_log_;
   std::vector<std::vector<Msg>> inboxes_;

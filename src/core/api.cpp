@@ -10,6 +10,7 @@ solver::CliqueSolveReport solve_laplacian(const Graph& g, std::span<const double
 
 SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
+  net.set_tracer(obs::default_ledger());
   SparsifyReport rep;
   spectral::SparsifyResult r = spectral::deterministic_sparsify(g, opt, &net);
   rep.h = std::move(r.h);
@@ -20,6 +21,7 @@ SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt) {
 
 OrientationReport eulerian_orientation(const Graph& g) {
   clique::Network net(std::max(g.num_vertices(), 2));
+  net.set_tracer(obs::default_ledger());
   OrientationReport rep;
   const euler::OrientationResult r = euler::eulerian_orientation(g, net);
   rep.orientation = r.orientation;
@@ -31,6 +33,7 @@ OrientationReport eulerian_orientation(const Graph& g) {
 RoundFlowReport round_flow(const Digraph& g, const graph::Flow& f, int s, int t,
                            const euler::FlowRoundingOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
+  net.set_tracer(obs::default_ledger());
   RoundFlowReport rep;
   const euler::FlowRoundingResult r = euler::round_flow(g, f, s, t, net, opt);
   rep.flow = r.flow;
@@ -42,6 +45,7 @@ RoundFlowReport round_flow(const Digraph& g, const graph::Flow& f, int s, int t,
 flow::MaxFlowIpmReport max_flow(const Digraph& g, int s, int t,
                                 const flow::MaxFlowIpmOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
+  net.set_tracer(obs::default_ledger());
   return flow::max_flow_clique(g, s, t, net, opt);
 }
 
@@ -49,23 +53,27 @@ flow::MinCostIpmReport min_cost_flow(const Digraph& g,
                                      std::span<const std::int64_t> sigma,
                                      const flow::MinCostIpmOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
+  net.set_tracer(obs::default_ledger());
   return flow::min_cost_flow_clique(g, sigma, net, opt);
 }
 
 flow::MinCostMaxFlowReport min_cost_max_flow(const Digraph& g, int s, int t,
                                              const flow::MinCostIpmOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
+  net.set_tracer(obs::default_ledger());
   return flow::min_cost_max_flow_clique(g, s, t, net, opt);
 }
 
 flow::ApproxMaxFlowReport approx_max_flow(const Graph& g, int s, int t,
                                           const flow::ApproxMaxFlowOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
+  net.set_tracer(obs::default_ledger());
   return flow::approx_max_flow_undirected(g, s, t, net, opt);
 }
 
 mst::MstResult minimum_spanning_forest(const Graph& g) {
   clique::Network net(std::max(g.num_vertices(), 2));
+  net.set_tracer(obs::default_ledger());
   return mst::boruvka_clique(g, net);
 }
 

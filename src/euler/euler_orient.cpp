@@ -488,17 +488,33 @@ OrientationResult eulerian_orientation(const Graph& g, Network& net,
   int level = 0;
   for (; level < max_levels; ++level) {
     mac.level = level;
-    mac.build_rings();
+    {
+      LAPCLIQUE_TRACE_SPAN(net.tracer(), "build_rings");
+      mac.build_rings();
+    }
     const std::vector<int> members = mac.ring_members();
     if (members.empty()) break;
     if (opt.marking == MarkingRule::kColeVishkin) {
-      mac.color_rings(members);
-      mac.match_rings(members);
-      mac.mark_from_matching(members);
+      {
+        LAPCLIQUE_TRACE_SPAN(net.tracer(), "cole_vishkin_coloring");
+        mac.color_rings(members);
+      }
+      {
+        LAPCLIQUE_TRACE_SPAN(net.tracer(), "ring_matching");
+        mac.match_rings(members);
+      }
+      {
+        LAPCLIQUE_TRACE_SPAN(net.tracer(), "mark_from_matching");
+        mac.mark_from_matching(members);
+      }
     } else {
+      LAPCLIQUE_TRACE_SPAN(net.tracer(), "randomized_marking");
       mac.mark_randomized(members);
     }
-    mac.contract(members);
+    {
+      LAPCLIQUE_TRACE_SPAN(net.tracer(), "contract");
+      mac.contract(members);
+    }
   }
   if (level >= max_levels) {
     throw std::logic_error("eulerian_orientation: contraction did not converge");
@@ -524,7 +540,10 @@ OrientationResult eulerian_orientation(const Graph& g, Network& net,
   }
 
   // Step 4: reverse replay of steps 2-3 (paper charges the same rounds).
-  net.charge(mac.forward_rounds);
+  {
+    LAPCLIQUE_TRACE_SPAN(net.tracer(), "reverse_replay");
+    net.charge(mac.forward_rounds);
+  }
 
   out.rounds = net.rounds() - rounds_before;
   return out;

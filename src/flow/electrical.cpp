@@ -32,6 +32,9 @@ linalg::Vec ElectricalSolver::potentials(std::span<const double> chi,
   if (opt_.mode == ElectricalMode::kDirect) {
     return factor_.solve(chi);
   }
+  LAPCLIQUE_TRACE_SPAN(net != nullptr ? net->tracer() : nullptr,
+                       "electrical_solve");
+  obs::count(net != nullptr ? net->tracer() : nullptr, "electrical_solves");
   return solver_->solve(chi, opt_.eps, nullptr, net);
 }
 

@@ -94,6 +94,8 @@ linalg::Vec solve_potentials(const Transformed& tr, std::span<const double> chi,
   ElectricalSolver solver(tr.nv, std::move(ee), eopt);
   ++*solves;
   if (opt.electrical_mode == ElectricalMode::kDirect) {
+    LAPCLIQUE_TRACE_SPAN(net.tracer(), "electrical_solve");
+    obs::count(net.tracer(), "electrical_solves");
     net.charge(rounds_per_solve);
     return solver.potentials(chi);
   }
@@ -131,6 +133,7 @@ std::vector<double> augmentation(Transformed& tr, int s, int t, double target_f,
                                  double delta, const MaxFlowIpmOptions& opt,
                                  clique::Network& net, std::int64_t rps,
                                  int* solves) {
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "augmentation");
   linalg::Vec chi(static_cast<std::size_t>(tr.nv), 0.0);
   chi[static_cast<std::size_t>(s)] = -target_f;
   chi[static_cast<std::size_t>(t)] = target_f;
@@ -157,6 +160,7 @@ std::vector<double> augmentation(Transformed& tr, int s, int t, double target_f,
 /// the correction's residue.
 void fixing(Transformed& tr, const MaxFlowIpmOptions& opt, clique::Network& net,
             std::int64_t rps, int* solves) {
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "fixing");
   const std::size_t m = tr.edges.size();
   std::vector<double> theta(m);
   for (std::size_t i = 0; i < m; ++i) {
@@ -192,6 +196,7 @@ void fixing(Transformed& tr, const MaxFlowIpmOptions& opt, clique::Network& net,
 void boosting(Transformed& tr, const std::vector<double>& rho,
               std::int64_t max_cap, const MaxFlowIpmOptions& opt,
               clique::Network& net) {
+  LAPCLIQUE_TRACE_SPAN(net.tracer(), "boosting");
   // rho is the congestion vector of the *last augmentation*; boosting steps
   // in between may have grown the edge list, so only the edges rho covers
   // are candidates.

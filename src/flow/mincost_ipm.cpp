@@ -280,6 +280,8 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       ++rep.laplacian_solves;
       linalg::Vec phi;
       if (opt.electrical_mode == ElectricalMode::kDirect) {
+        LAPCLIQUE_TRACE_SPAN(net.tracer(), "electrical_solve");
+        obs::count(net.tracer(), "electrical_solves");
         net.charge(rep.rounds_per_solve);
         phi = solver1.potentials(chi);
       } else {
@@ -345,6 +347,8 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       ++rep.laplacian_solves;
       linalg::Vec phi2;
       if (opt.electrical_mode == ElectricalMode::kDirect) {
+        LAPCLIQUE_TRACE_SPAN(net.tracer(), "electrical_solve");
+        obs::count(net.tracer(), "electrical_solves");
         net.charge(rep.rounds_per_solve);
         phi2 = solver2.potentials(chi2);
       } else {

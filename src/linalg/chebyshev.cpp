@@ -49,6 +49,7 @@ Vec preconditioned_chebyshev(const ApplyFn& apply_a, const ApplyFn& solve_b,
     if (stats != nullptr) stats->iterations = k + 1;
   }
   if (stats != nullptr) stats->final_residual = norm2(r);
+  obs::count(opt.ledger, "chebyshev_iterations", iters);
   return x;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/round_ledger.hpp"
 
 namespace lapclique::linalg {
 
@@ -33,6 +34,9 @@ struct ChebyshevOptions {
   double kappa = 2.0;       ///< A <= B <= kappa A
   int max_iterations = -1;  ///< override; -1 = ceil(sqrt(kappa) ln(2/eps)) + 1
   bool record_trace = false;
+  /// Observability: iteration counts are reported here when attached (each
+  /// iteration is one model broadcast round in the clique accounting).
+  obs::RoundLedger* ledger = nullptr;
 };
 
 /// PreconCheby(A, B, b, kappa, eps): returns x ~= A^+ b.

@@ -1,0 +1,73 @@
+// Minimal JSON value type for the trace exporter: enough of RFC 8259 to
+// serialize a RoundLedger snapshot deterministically and parse it back
+// (round-trip tested in tests/test_obs.cpp).  No external dependencies —
+// the container bakes in no JSON library, and the trace schema only needs
+// objects, arrays, strings, and numbers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lapclique::obs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps keys sorted, which makes serialization deterministic —
+/// a requirement for the golden-trace regression tests.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() = default;
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}                    // NOLINT
+  Value(std::int64_t i) : kind_(Kind::kInt), int_(i) {}              // NOLINT
+  Value(int i) : kind_(Kind::kInt), int_(i) {}                       // NOLINT
+  Value(double d) : kind_(Kind::kDouble), double_(d) {}              // NOLINT
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}         // NOLINT
+  Value(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}      // NOLINT
+  Value(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}   // NOLINT
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member access; throws std::out_of_range when absent.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  bool operator==(const Value& other) const;
+
+  /// Compact, deterministic serialization (sorted object keys, no spaces).
+  [[nodiscard]] std::string dump() const;
+  /// Pretty serialization with two-space indentation.
+  [[nodiscard]] std::string dump_pretty() const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse a JSON document.  Throws std::invalid_argument on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace lapclique::obs::json

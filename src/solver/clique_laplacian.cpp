@@ -18,6 +18,7 @@ CliqueSolveReport solve_laplacian_clique(const graph::Graph& g,
         "separately)");
   }
   clique::Network net(g.num_vertices());
+  net.set_tracer(obs::default_ledger());
   CliqueLaplacianSolver solver(g, opt, net);
   CliqueSolveReport rep;
   rep.x = solver.solve(b, eps, &rep.stats);

@@ -156,6 +156,7 @@ Vec LaplacianSolver::solve(std::span<const double> b, double eps,
     linalg::ChebyshevOptions copt;
     copt.eps = eps;
     copt.kappa = kappa;
+    copt.ledger = net != nullptr ? net->tracer() : nullptr;
     linalg::ChebyshevStats cstats;
     x = linalg::preconditioned_chebyshev(apply_a, solve_b, rhs, copt, &cstats);
     total_iters += cstats.iterations;

@@ -32,7 +32,11 @@ void sparsify_class(const Graph& g, const std::vector<int>& class_edges,
       gi.add_edge(ed.u, ed.v, ed.w);
     }
 
-    const ExpanderDecomposition dec = expander_decompose(gi, opt.decomp, net);
+    const ExpanderDecomposition dec = [&] {
+      LAPCLIQUE_TRACE_SPAN(net != nullptr ? net->tracer() : nullptr,
+                           "expander_decomp");
+      return expander_decompose(gi, opt.decomp, net);
+    }();
     if (net != nullptr) net->charge(1);  // every node broadcasts its degree/ID
 
     // Per cluster: replace the induced expander by a product-demand sparsifier.

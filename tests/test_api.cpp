@@ -73,7 +73,9 @@ TEST(Api, MinCostFlowEndToEnd) {
   const auto rep = min_cost_flow(g, sigma, opt);
   const auto oracle = flow::ssp_min_cost_flow(g, sigma);
   ASSERT_EQ(rep.feasible, oracle.feasible);
-  if (oracle.feasible) EXPECT_EQ(rep.cost, oracle.cost);
+  if (oracle.feasible) {
+    EXPECT_EQ(rep.cost, oracle.cost);
+  }
 }
 
 // End-to-end crossover story from §1.1: for small |f*| Ford-Fulkerson beats

@@ -42,7 +42,9 @@ TEST(CliFormats, GenerateSerializeSolveMinCost) {
     const MinCostProblem q = read_dimacs_min_cost(in);
     const auto reparsed = flow::ssp_min_cost_flow(q.g, q.sigma);
     EXPECT_EQ(reparsed.feasible, direct.feasible) << seed;
-    if (direct.feasible) EXPECT_EQ(reparsed.cost, direct.cost) << seed;
+    if (direct.feasible) {
+      EXPECT_EQ(reparsed.cost, direct.cost) << seed;
+    }
   }
 }
 

@@ -45,6 +45,37 @@ TEST(FullBudgetMaxFlow, UnitCapacitiesConvergeFully) {
   EXPECT_LE(r.finishing_augmenting_paths, 2);
 }
 
+// Reduced-budget twins of the FullBudgetMaxFlow pair: same instances and
+// assertions on the final value, but with a scaled-down iteration budget so
+// they run in well under a second.  The full-budget originals are registered
+// only under -DLAPCLIQUE_SLOW_TESTS=ON (ctest -L slow); these keep the code
+// path covered on every default run.
+TEST(FastBudgetMaxFlow, ConvergesToOptimalWithReducedBudget) {
+  const Digraph g = graph::random_flow_network(8, 16, 2, 5);
+  const auto oracle = dinic_max_flow(g, 0, 7);
+  MaxFlowIpmOptions opt;
+  opt.iteration_scale = 0.05;
+  opt.max_iterations = 1000;
+  opt.known_value = oracle.value;
+  clique::Network net(8);
+  const auto r = max_flow_clique(g, 0, 7, net, opt);
+  // The reduced budget leaves real work for the finisher; only the final
+  // value is exact (the convergence claims stay with the full-budget twin).
+  EXPECT_EQ(r.value, oracle.value);
+}
+
+TEST(FastBudgetMaxFlow, UnitCapacitiesConvergeWithReducedBudget) {
+  const Digraph g = graph::random_flow_network(10, 20, 1, 9);
+  const auto oracle = dinic_max_flow(g, 0, 9);
+  MaxFlowIpmOptions opt;
+  opt.iteration_scale = 0.05;
+  opt.max_iterations = 1000;
+  opt.known_value = oracle.value;
+  clique::Network net(10);
+  const auto r = max_flow_clique(g, 0, 9, net, opt);
+  EXPECT_EQ(r.value, oracle.value);
+}
+
 TEST(FullBudgetMinCost, SmallInstanceNeedsFewRepairs) {
   const Digraph g = graph::random_unit_cost_digraph(8, 24, 4, 3);
   const auto sigma = graph::feasible_unit_demands(g, 2, 4);

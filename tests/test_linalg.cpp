@@ -18,7 +18,7 @@ TEST(VectorOps, DotAndNorms) {
   EXPECT_DOUBLE_EQ(dot(a, b), 1.0);
   EXPECT_DOUBLE_EQ(norm2(a), 3.0);
   EXPECT_DOUBLE_EQ(norm_inf(a), 2.0);
-  EXPECT_THROW(dot(a, Vec{1.0}), std::invalid_argument);
+  EXPECT_THROW((void)dot(a, Vec{1.0}), std::invalid_argument);
 }
 
 TEST(VectorOps, AxpyScaleAddSub) {

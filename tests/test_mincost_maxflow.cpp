@@ -66,7 +66,9 @@ TEST_P(MinCostMaxFlowRandom, MatchesSspOracle) {
   for (int a : g.out_arcs(s)) oracle_value += oracle.flow[static_cast<std::size_t>(a)];
   for (int a : g.in_arcs(s)) oracle_value -= oracle.flow[static_cast<std::size_t>(a)];
   EXPECT_EQ(r.value, oracle_value) << GetParam();
-  if (r.value > 0) EXPECT_EQ(r.cost, oracle.cost) << GetParam();
+  if (r.value > 0) {
+    EXPECT_EQ(r.cost, oracle.cost) << GetParam();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MinCostMaxFlowRandom, ::testing::Values(1, 2, 3, 4));

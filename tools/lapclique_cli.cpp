@@ -9,14 +9,20 @@
 //   lapclique_cli gen-maxflow <n> <m> <U> <seed>  random instance to stdout
 //   lapclique_cli gen-mincost <n> <m> <W> <seed>  random instance to stdout
 //
+// Global flags (any command):
+//   --trace <out.json>   write a per-phase round/congestion trace (the
+//                        obs::RoundLedger JSON schema; "-" for stdout)
+//
 // Edge lists: "N M" header then "u v [w]" lines, 0-based.
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "core/api.hpp"
 #include "flow/mincost_maxflow.hpp"
 #include "io/dimacs.hpp"
+#include "obs/round_ledger.hpp"
 #include "solver/resistance.hpp"
 
 namespace {
@@ -82,6 +88,7 @@ int cmd_orient(int argc, char** argv) {
     opt.marking = euler::MarkingRule::kRandomized;
   }
   clique::Network net(std::max(g.num_vertices(), 2));
+  net.set_tracer(obs::default_ledger());
   const auto rep = euler::eulerian_orientation(g, net, nullptr, opt);
   std::cerr << "rounds=" << rep.rounds << " levels=" << rep.levels << "\n";
   for (int e = 0; e < g.num_edges(); ++e) {
@@ -164,20 +171,58 @@ int cmd_gen_mincost(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  // Peel off the global --trace flag before command dispatch.
+  const char* trace_path = nullptr;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--trace requires an output path\n";
+        return 2;
+      }
+      trace_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (args.size() < 2) return usage();
+  const std::string cmd = args[1];
+  char** rest = args.data() + 2;
+  const int nrest = static_cast<int>(args.size()) - 2;
+
+  obs::RoundLedger ledger;
+  obs::TraceSession trace(trace_path != nullptr ? &ledger : nullptr);
+
+  int rc = 2;
   try {
-    if (cmd == "maxflow") return cmd_maxflow(argc - 2, argv + 2);
-    if (cmd == "mincost") return cmd_mincost(argc - 2, argv + 2);
-    if (cmd == "orient") return cmd_orient(argc - 2, argv + 2);
-    if (cmd == "sparsify") return cmd_sparsify(argc - 2, argv + 2);
-    if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
-    if (cmd == "resistance") return cmd_resistance(argc - 2, argv + 2);
-    if (cmd == "gen-maxflow") return cmd_gen_maxflow(argc - 2, argv + 2);
-    if (cmd == "gen-mincost") return cmd_gen_mincost(argc - 2, argv + 2);
+    if (cmd == "maxflow") rc = cmd_maxflow(nrest, rest);
+    else if (cmd == "mincost") rc = cmd_mincost(nrest, rest);
+    else if (cmd == "orient") rc = cmd_orient(nrest, rest);
+    else if (cmd == "sparsify") rc = cmd_sparsify(nrest, rest);
+    else if (cmd == "solve") rc = cmd_solve(nrest, rest);
+    else if (cmd == "resistance") rc = cmd_resistance(nrest, rest);
+    else if (cmd == "gen-maxflow") rc = cmd_gen_maxflow(nrest, rest);
+    else if (cmd == "gen-mincost") rc = cmd_gen_mincost(nrest, rest);
+    else return usage();
   } catch (const std::exception& ex) {
     std::cerr << "error: " << ex.what() << "\n";
     return 1;
   }
-  return usage();
+
+  if (trace_path != nullptr) {
+    if (std::strcmp(trace_path, "-") == 0) {
+      std::cout << ledger.to_json_string() << "\n";
+    } else {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "cannot write " << trace_path << "\n";
+        return 2;
+      }
+      out << ledger.to_json_string() << "\n";
+      std::cerr << "trace: " << trace_path << " (total_rounds="
+                << ledger.total_rounds() << ")\n";
+    }
+  }
+  return rc;
 }
