@@ -1,0 +1,88 @@
+// E7 — robustness: recovery-round overhead as a function of the injected
+// fault rate (docs/ROBUSTNESS.md).  The contract under test: outputs are
+// bit-identical to the fault-free run at every rate, and the only cost of a
+// fault is the extra rounds charged under the "recovery" phase.
+#include "bench_common.hpp"
+#include "core/api.hpp"
+#include "fault/fault_plan.hpp"
+
+int main() {
+  using namespace lapclique;
+  bench::header("E7 (robustness)",
+                "fault recovery: round overhead vs injected fault rate");
+
+  const double rates[] = {0.0, 0.001, 0.01, 0.05};
+  const std::uint64_t seed = 1;
+
+  const auto sweep = [&](const char* name, auto run) {
+    bench::row("%-18s | %7s | %8s | %8s | %9s | %8s | %5s", name, "rate",
+               "rounds", "recovery", "retransmit", "armored", "ident");
+    // Fault-free reference.
+    const auto clean = run(static_cast<fault::FaultPlan*>(nullptr));
+    for (const double rate : rates) {
+      fault::FaultSpec spec;
+      spec.drop = rate / 2;
+      spec.corrupt = rate / 2;
+      spec.duplicate = rate;
+      fault::FaultPlan plan(spec, seed);
+      const auto faulted = run(&plan);
+      const auto& st = plan.stats();
+      bench::row("%-18s | %7.3f | %8lld | %8lld | %9lld | %8lld | %5s", "",
+                 rate, static_cast<long long>(faulted.rounds),
+                 static_cast<long long>(st.recovery_rounds),
+                 static_cast<long long>(st.retransmitted_words),
+                 static_cast<long long>(st.armored_words),
+                 faulted.identical_to(clean) ? "yes" : "NO");
+    }
+  };
+
+  struct LapRun {
+    std::int64_t rounds;
+    linalg::Vec x;
+    bool identical_to(const LapRun& o) const { return x == o.x; }
+  };
+  const Graph lap_g = graph::random_connected_gnm(96, 300, 3);
+  std::vector<double> b(96, 0.0);
+  b[0] = 1.0;
+  b[95] = -1.0;
+  sweep("laplacian n=96", [&](fault::FaultPlan* plan) {
+    fault::FaultSession session(plan);
+    const auto rep = solve_laplacian(lap_g, b, 1e-8);
+    return LapRun{rep.rounds, rep.x};
+  });
+
+  struct EulerRun {
+    std::int64_t rounds;
+    std::vector<std::int8_t> orientation;
+    bool identical_to(const EulerRun& o) const {
+      return orientation == o.orientation;
+    }
+  };
+  const Graph cyc = graph::cycle(64);
+  sweep("euler cycle(64)", [&](fault::FaultPlan* plan) {
+    clique::Network net(64);
+    net.set_fault_plan(plan);
+    const auto r = euler::eulerian_orientation(cyc, net);
+    return EulerRun{r.rounds, r.orientation};
+  });
+
+  struct FlowRun {
+    std::int64_t rounds;
+    std::int64_t value;
+    std::vector<std::int64_t> flow;
+    bool identical_to(const FlowRun& o) const {
+      return value == o.value && flow == o.flow;
+    }
+  };
+  const Digraph fg = graph::random_flow_network(16, 48, 5, 7);
+  sweep("maxflow n=16", [&](fault::FaultPlan* plan) {
+    fault::FaultSession session(plan);
+    flow::MaxFlowIpmOptions opt;
+    opt.iteration_scale = 0.02;
+    opt.max_iterations = 300;
+    const auto rep = max_flow(fg, 0, 15, opt);
+    return FlowRun{rep.rounds, rep.value, rep.flow};
+  });
+
+  return 0;
+}

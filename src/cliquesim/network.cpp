@@ -1,11 +1,46 @@
 #include "cliquesim/network.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace lapclique::clique {
 
+namespace {
+
+std::string violation_message(const std::string& phase,
+                              const std::string& primitive,
+                              std::int64_t offered, std::int64_t limit) {
+  std::ostringstream out;
+  out << "bandwidth violation in " << primitive << " (phase '" << phase
+      << "'): offered load " << offered << " exceeds limit " << limit;
+  return out.str();
+}
+
+}  // namespace
+
+BandwidthViolation::BandwidthViolation(std::string phase, std::string primitive,
+                                       std::int64_t offered, std::int64_t limit)
+    : std::runtime_error(violation_message(phase, primitive, offered, limit)),
+      phase_(std::move(phase)),
+      primitive_(std::move(primitive)),
+      offered_(offered),
+      limit_(limit) {}
+
 Network::Network(int n) : n_(n), inboxes_(static_cast<std::size_t>(std::max(n, 0))) {
   if (n <= 0) throw std::invalid_argument("Network: n must be positive");
+}
+
+void Network::raise_violation(const char* primitive, std::int64_t offered,
+                              std::int64_t limit) {
+  violation_.emplace(phase_, primitive, offered, limit);
+  throw *violation_;
+}
+
+const BandwidthViolation& Network::last_violation() const {
+  if (!violation_.has_value()) {
+    throw std::logic_error("Network::last_violation: no violation occurred");
+  }
+  return *violation_;
 }
 
 void Network::check_node(int v) const {
@@ -22,6 +57,10 @@ void Network::set_phase(std::string phase) {
 void Network::charge(std::int64_t rounds, std::int64_t words) {
   if (rounds < 0 || words < 0) throw std::invalid_argument("Network::charge: negative");
   record("charge", rounds, words, 0);
+  if (fault_plan_ != nullptr && words > 0 &&
+      fault_plan_->spec().any_transport_faults()) {
+    run_bulk_recovery(words);
+  }
 }
 
 void Network::record(const char* primitive, std::int64_t rounds,
@@ -79,6 +118,28 @@ void Network::exchange(const std::vector<Msg>& msgs) {
   for (const auto& [pair, k] : mult) rounds = std::max(rounds, k);
   deliver(msgs);
   record("exchange", rounds, static_cast<std::int64_t>(msgs.size()), sent, recv);
+  run_recovery(msgs);
+}
+
+void Network::transmit_subround(const std::vector<Msg>& msgs) {
+  if (msgs.empty()) return;
+  // Validate the whole batch before touching any state (strong guarantee).
+  std::map<std::pair<int, int>, std::int64_t> mult;
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(n_), 0);
+  std::vector<std::int64_t> recv(static_cast<std::size_t>(n_), 0);
+  std::int64_t worst = 0;
+  for (const Msg& m : msgs) {
+    check_node(m.src);
+    check_node(m.dst);
+    worst = std::max(worst, ++mult[{m.src, m.dst}]);
+    ++sent[static_cast<std::size_t>(m.src)];
+    ++recv[static_cast<std::size_t>(m.dst)];
+  }
+  if (worst > 1) raise_violation("transmit_subround", worst, 1);
+  deliver(msgs);
+  record("transmit_subround", 1, static_cast<std::int64_t>(msgs.size()), sent,
+         recv);
+  run_recovery(msgs);
 }
 
 void Network::lenzen_route(const std::vector<Msg>& msgs) {
@@ -100,11 +161,13 @@ void Network::lenzen_route(const std::vector<Msg>& msgs) {
     const std::int64_t used = execute_route(msgs, c);
     record("lenzen_route", used, static_cast<std::int64_t>(msgs.size()), sent,
            recv);
+    run_recovery(msgs);
     return;
   }
   deliver(msgs);
   record("lenzen_route", lenzen_constant_ * c,
          static_cast<std::int64_t>(msgs.size()), sent, recv);
+  run_recovery(msgs);
 }
 
 std::int64_t Network::execute_route(const std::vector<Msg>& msgs, std::int64_t c) {
@@ -170,9 +233,7 @@ std::int64_t Network::execute_route(const std::vector<Msg>& msgs, std::int64_t c
     }
   }
   const std::int64_t r1 = run_phase(phase1);
-  if (r1 > c) {
-    throw std::logic_error("execute_route: spread phase exceeded its c bound");
-  }
+  if (r1 > c) raise_violation("lenzen_route", r1, c);
   rounds += std::max<std::int64_t>(r1, 1);
 
   std::vector<std::pair<int, int>> phase2;
@@ -184,6 +245,140 @@ std::int64_t Network::execute_route(const std::vector<Msg>& msgs, std::int64_t c
 
   deliver(msgs);
   return rounds;
+}
+
+void Network::run_recovery(const std::vector<Msg>& msgs) {
+  if (fault_plan_ == nullptr || msgs.empty()) return;
+  fault::FaultPlan& plan = *fault_plan_;
+  if (!plan.spec().any_transport_faults()) return;
+  auto& st = plan.stats();
+
+  // Detection: receivers verify the per-batch checksum and sequence numbers
+  // that every sender attaches, so dropped, corrupted, and crash-lost words
+  // are identified exactly and duplicates are discarded on arrival.  The
+  // delivered contents (already in the inboxes) are the corrected copies —
+  // injection perturbs only the accounting, never algorithm-visible data.
+  const std::int64_t op = plan.begin_batch();
+  const int victim = plan.crash_victim(op);
+  const bool crash_hits = victim >= 0 && victim < n_;
+  std::vector<const Msg*> failed;
+  for (const Msg& m : msgs) {
+    if (crash_hits && (m.src == victim || m.dst == victim)) {
+      // All words the crashed node was sending or receiving this batch are
+      // lost and must be replayed after its restart.
+      ++st.crash_affected_words;
+      failed.push_back(&m);
+      continue;
+    }
+    switch (plan.next_word_fate()) {
+      case fault::WordFate::kDrop:
+      case fault::WordFate::kCorrupt:
+        failed.push_back(&m);
+        break;
+      case fault::WordFate::kDuplicate:
+      case fault::WordFate::kOk:
+        break;
+    }
+  }
+
+  std::int64_t rec_rounds = 0;
+  std::int64_t rec_words = 0;
+  if (crash_hits) {
+    ++st.crash_events;
+    rec_rounds += 2;  // restart the node + resynchronize its batch state
+  }
+  if (!failed.empty()) ++st.faulty_batches;
+
+  const auto max_pair_mult = [](const std::vector<const Msg*>& ms) {
+    std::map<std::pair<int, int>, std::int64_t> mult;
+    std::int64_t worst = 0;
+    for (const Msg* m : ms) worst = std::max(worst, ++mult[{m->src, m->dst}]);
+    return worst;
+  };
+
+  int attempts = 0;
+  while (!failed.empty() && attempts < plan.spec().max_retries) {
+    ++attempts;
+    ++st.retransmit_attempts;
+    st.retransmitted_words += static_cast<std::int64_t>(failed.size());
+    rec_words += static_cast<std::int64_t>(failed.size());
+    // One NACK round, then the failed words re-run their sub-round schedule.
+    rec_rounds += 1 + max_pair_mult(failed);
+    // The retransmission itself rides the faulty channel.
+    std::vector<const Msg*> still;
+    for (const Msg* m : failed) {
+      switch (plan.next_word_fate()) {
+        case fault::WordFate::kDrop:
+        case fault::WordFate::kCorrupt:
+          still.push_back(m);
+          break;
+        case fault::WordFate::kDuplicate:
+        case fault::WordFate::kOk:
+          break;
+      }
+    }
+    failed.swap(still);
+  }
+  if (!failed.empty()) {
+    // Retry budget exhausted: switch to the armored channel, which sends
+    // each word three times and takes a majority — modeled as always
+    // succeeding (the adversary corrupts at most one copy per word).
+    ++st.armored_batches;
+    st.armored_words += static_cast<std::int64_t>(failed.size());
+    rec_words += 3 * static_cast<std::int64_t>(failed.size());
+    rec_rounds += 1 + 3 * max_pair_mult(failed);
+  }
+  charge_recovery(rec_rounds, rec_words);
+}
+
+void Network::run_bulk_recovery(std::int64_t words) {
+  fault::FaultPlan& plan = *fault_plan_;
+  auto& st = plan.stats();
+  const std::int64_t op = plan.begin_batch();
+  std::int64_t failed = plan.count_transport_faults(words);
+  const int victim = plan.crash_victim(op);
+  const bool crash_hits = victim >= 0 && victim < n_;
+  std::int64_t rec_rounds = 0;
+  std::int64_t rec_words = 0;
+  if (crash_hits) {
+    // A bulk transfer is load-balanced, so a crashed node accounts for a
+    // 1/n share of the payload (rounded up).
+    const std::int64_t share = (words + n_ - 1) / n_;
+    ++st.crash_events;
+    st.crash_affected_words += share;
+    failed += share;
+    rec_rounds += 2;
+  }
+  if (failed > 0) ++st.faulty_batches;
+  int attempts = 0;
+  while (failed > 0 && attempts < plan.spec().max_retries) {
+    ++attempts;
+    ++st.retransmit_attempts;
+    st.retransmitted_words += failed;
+    rec_words += failed;
+    // Retransmitted words are spread over all n senders: one NACK round
+    // plus ceil(failed / n) delivery sub-rounds.
+    rec_rounds += 1 + (failed + n_ - 1) / n_;
+    failed = plan.count_transport_faults(failed);
+  }
+  if (failed > 0) {
+    ++st.armored_batches;
+    st.armored_words += failed;
+    rec_words += 3 * failed;
+    rec_rounds += 1 + 3 * ((failed + n_ - 1) / n_);
+  }
+  charge_recovery(rec_rounds, rec_words);
+}
+
+void Network::charge_recovery(std::int64_t rec_rounds, std::int64_t rec_words) {
+  if (rec_rounds == 0 && rec_words == 0) return;
+  auto& st = fault_plan_->stats();
+  st.recovery_rounds += rec_rounds;
+  st.recovery_words += rec_words;
+  const std::string prev = phase_;
+  set_phase("recovery");
+  record("recovery", rec_rounds, rec_words, 0);
+  set_phase(prev);
 }
 
 void Network::set_lenzen_constant(int c) {

@@ -9,14 +9,42 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "cliquesim/message.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/round_ledger.hpp"
 
 namespace lapclique::clique {
+
+/// Thrown when an operation would exceed the model's bandwidth limit of one
+/// word per ordered pair per round.  Carries the offending phase and the
+/// offered/allowed quantities; the same information stays queryable on the
+/// Network via last_violation() (strong guarantee: the network's accounting,
+/// inboxes, and op log are untouched by the failed operation).
+class BandwidthViolation : public std::runtime_error {
+ public:
+  BandwidthViolation(std::string phase, std::string primitive,
+                     std::int64_t offered, std::int64_t limit);
+
+  /// Algorithm phase active when the violation occurred.
+  [[nodiscard]] const std::string& phase() const { return phase_; }
+  /// Primitive that rejected the batch ("transmit_subround", "lenzen_route").
+  [[nodiscard]] const std::string& primitive() const { return primitive_; }
+  /// Offered load (words on the hottest ordered pair, or schedule rounds).
+  [[nodiscard]] std::int64_t offered() const { return offered_; }
+  /// The limit that load was checked against.
+  [[nodiscard]] std::int64_t limit() const { return limit_; }
+
+ private:
+  std::string phase_;
+  std::string primitive_;
+  std::int64_t offered_;
+  std::int64_t limit_;
+};
 
 /// Per-phase breakdown of charged rounds, for bench reporting.
 struct PhaseLedger {
@@ -70,6 +98,17 @@ class Network {
   void set_tracer(obs::RoundLedger* ledger) { tracer_ = ledger; }
   [[nodiscard]] obs::RoundLedger* tracer() const { return tracer_; }
 
+  /// Attach a FaultPlan: every delivery path (exchange, lenzen_route,
+  /// transmit_subround, and bulk charges with words > 0) then runs the
+  /// deterministic detect-and-retransmit recovery protocol, charging its
+  /// rounds under the dedicated "recovery" phase.  Injection never mutates
+  /// delivered payloads — corrupted/dropped words are re-sent and duplicates
+  /// are discarded by sequence number — so algorithm outputs stay
+  /// bit-identical to the fault-free run.  Pass nullptr to detach; the
+  /// detached case costs one pointer compare per operation.
+  void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
+  [[nodiscard]] fault::FaultPlan* fault_plan() const { return fault_plan_; }
+
   /// Charge `rounds` without moving data.  Used for sub-routines whose round
   /// cost is taken from the literature (e.g. the CKKL+19 O(n^0.158) SSSP —
   /// see DESIGN.md §3) and for purely internal computation (0 rounds).
@@ -80,6 +119,19 @@ class Network {
   /// pair carries more than one word per charged round.  Charges the number
   /// of sub-rounds (max multiplicity over ordered pairs).
   void exchange(const std::vector<Msg>& msgs);
+
+  /// Deliver `msgs` in exactly one synchronous round.  Unlike exchange(),
+  /// which splits over-subscribed batches into sub-rounds, this primitive
+  /// enforces the model limit strictly: if any ordered (src, dst) pair
+  /// carries more than one word, it throws BandwidthViolation *before* any
+  /// state changes — accounting, inboxes, and the op log are untouched and
+  /// the rejected batch is queryable via last_violation().
+  void transmit_subround(const std::vector<Msg>& msgs);
+
+  /// Whether any operation on this network ever threw BandwidthViolation.
+  [[nodiscard]] bool has_violation() const { return violation_.has_value(); }
+  /// The most recent violation; throws std::logic_error if none occurred.
+  [[nodiscard]] const BandwidthViolation& last_violation() const;
 
   /// Lenzen's deterministic routing: any message set in which every node
   /// sends at most `c*n` and receives at most `c*n` words is delivered in
@@ -111,6 +163,17 @@ class Network {
               const std::vector<std::int64_t>& recv);
   /// Executes the deterministic routing schedule; returns rounds used.
   std::int64_t execute_route(const std::vector<Msg>& msgs, std::int64_t c);
+  [[noreturn]] void raise_violation(const char* primitive, std::int64_t offered,
+                                    std::int64_t limit);
+  /// Detect-and-retransmit pass over a delivered message batch; charges the
+  /// retransmission rounds under the "recovery" phase.
+  void run_recovery(const std::vector<Msg>& msgs);
+  /// Count-based recovery for modeled bulk transfers (collectives, charged
+  /// gossip) where no per-message structure exists.
+  void run_bulk_recovery(std::int64_t words);
+  /// Charge `rec_rounds`/`rec_words` under the dedicated "recovery" phase
+  /// and fold them into the plan's RecoveryStats.
+  void charge_recovery(std::int64_t rec_rounds, std::int64_t rec_words);
 
   int n_;
   RoutingMode routing_mode_ = RoutingMode::kCharged;
@@ -119,6 +182,8 @@ class Network {
   std::int64_t words_ = 0;
   std::string phase_ = "default";
   obs::RoundLedger* tracer_ = nullptr;
+  fault::FaultPlan* fault_plan_ = nullptr;
+  std::optional<BandwidthViolation> violation_;
   PhaseLedger ledger_;
   std::vector<OpRecord> op_log_;
   std::vector<std::vector<Msg>> inboxes_;

@@ -11,6 +11,7 @@ solver::CliqueSolveReport solve_laplacian(const Graph& g, std::span<const double
 SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
   net.set_tracer(obs::default_ledger());
+  net.set_fault_plan(fault::default_plan());
   SparsifyReport rep;
   spectral::SparsifyResult r = spectral::deterministic_sparsify(g, opt, &net);
   rep.h = std::move(r.h);
@@ -22,6 +23,7 @@ SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt) {
 OrientationReport eulerian_orientation(const Graph& g) {
   clique::Network net(std::max(g.num_vertices(), 2));
   net.set_tracer(obs::default_ledger());
+  net.set_fault_plan(fault::default_plan());
   OrientationReport rep;
   const euler::OrientationResult r = euler::eulerian_orientation(g, net);
   rep.orientation = r.orientation;
@@ -34,6 +36,7 @@ RoundFlowReport round_flow(const Digraph& g, const graph::Flow& f, int s, int t,
                            const euler::FlowRoundingOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
   net.set_tracer(obs::default_ledger());
+  net.set_fault_plan(fault::default_plan());
   RoundFlowReport rep;
   const euler::FlowRoundingResult r = euler::round_flow(g, f, s, t, net, opt);
   rep.flow = r.flow;
@@ -46,6 +49,7 @@ flow::MaxFlowIpmReport max_flow(const Digraph& g, int s, int t,
                                 const flow::MaxFlowIpmOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
   net.set_tracer(obs::default_ledger());
+  net.set_fault_plan(fault::default_plan());
   return flow::max_flow_clique(g, s, t, net, opt);
 }
 
@@ -54,6 +58,7 @@ flow::MinCostIpmReport min_cost_flow(const Digraph& g,
                                      const flow::MinCostIpmOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
   net.set_tracer(obs::default_ledger());
+  net.set_fault_plan(fault::default_plan());
   return flow::min_cost_flow_clique(g, sigma, net, opt);
 }
 
@@ -61,6 +66,7 @@ flow::MinCostMaxFlowReport min_cost_max_flow(const Digraph& g, int s, int t,
                                              const flow::MinCostIpmOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
   net.set_tracer(obs::default_ledger());
+  net.set_fault_plan(fault::default_plan());
   return flow::min_cost_max_flow_clique(g, s, t, net, opt);
 }
 
@@ -68,12 +74,14 @@ flow::ApproxMaxFlowReport approx_max_flow(const Graph& g, int s, int t,
                                           const flow::ApproxMaxFlowOptions& opt) {
   clique::Network net(std::max(g.num_vertices(), 2));
   net.set_tracer(obs::default_ledger());
+  net.set_fault_plan(fault::default_plan());
   return flow::approx_max_flow_undirected(g, s, t, net, opt);
 }
 
 mst::MstResult minimum_spanning_forest(const Graph& g) {
   clique::Network net(std::max(g.num_vertices(), 2));
   net.set_tracer(obs::default_ledger());
+  net.set_fault_plan(fault::default_plan());
   return mst::boruvka_clique(g, net);
 }
 

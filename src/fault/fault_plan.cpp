@@ -1,0 +1,239 @@
+#include "fault/fault_plan.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace lapclique::fault {
+
+namespace {
+
+/// SplitMix64 finalizer: a counter-indexed hash, so fault decisions depend
+/// only on (seed, draw index) — never on wall clock or global RNG state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double u01_from(std::uint64_t bits) {
+  // 53 high bits -> [0, 1) with full double resolution.
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+[[noreturn]] void bad_clause(const std::string& clause, const std::string& why) {
+  throw std::invalid_argument("fault spec clause '" + clause + "': " + why);
+}
+
+double parse_probability(const std::string& clause, const std::string& text) {
+  std::size_t pos = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    bad_clause(clause, "expected a probability");
+  }
+  if (pos != text.size()) bad_clause(clause, "trailing junk after probability");
+  if (!(p >= 0.0 && p < 1.0)) bad_clause(clause, "probability must be in [0, 1)");
+  return p;
+}
+
+std::int64_t parse_int(const std::string& clause, const std::string& text,
+                       std::int64_t lo) {
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    bad_clause(clause, "expected an integer");
+  }
+  if (pos != text.size()) bad_clause(clause, "trailing junk after integer");
+  if (v < lo) bad_clause(clause, "value out of range");
+  return v;
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  std::stringstream ss(text);
+  std::string clause;
+  bool any = false;
+  while (std::getline(ss, clause, ',')) {
+    if (clause.empty()) bad_clause(clause, "empty clause");
+    any = true;
+    const auto eq = clause.find('=');
+    const std::string key = clause.substr(0, eq == std::string::npos ? clause.size() : eq);
+    const std::string val = eq == std::string::npos ? "" : clause.substr(eq + 1);
+    if (key == "drop") {
+      spec.drop = parse_probability(clause, val);
+    } else if (key == "corrupt") {
+      spec.corrupt = parse_probability(clause, val);
+    } else if (key == "dup") {
+      spec.duplicate = parse_probability(clause, val);
+    } else if (key == "retries") {
+      spec.max_retries = static_cast<int>(parse_int(clause, val, 0));
+    } else if (key == "crash") {
+      const auto at = val.find('@');
+      if (at == std::string::npos) bad_clause(clause, "expected NODE@OP");
+      CrashPoint cp;
+      cp.node = static_cast<int>(parse_int(clause, val.substr(0, at), 0));
+      cp.op = parse_int(clause, val.substr(at + 1), 0);
+      spec.crashes.push_back(cp);
+    } else if (clause.rfind("ipm-nan@", 0) == 0) {
+      spec.ipm_nan_at = parse_int(clause, clause.substr(8), 0);
+    } else if (clause.rfind("solver-nan@", 0) == 0) {
+      const std::string arg = clause.substr(11);
+      spec.solver_nan_at =
+          arg == "all" ? FaultSpec::kAlways : parse_int(clause, arg, 0);
+    } else {
+      bad_clause(clause, "unknown clause (see docs/ROBUSTNESS.md for the grammar)");
+    }
+  }
+  if (!any) throw std::invalid_argument("fault spec: empty specification");
+  if (spec.drop + spec.corrupt >= 1.0) {
+    throw std::invalid_argument(
+        "fault spec: drop + corrupt must stay below 1 or recovery cannot "
+        "terminate");
+  }
+  return spec;
+}
+
+std::string to_string(const FaultSpec& spec) {
+  std::ostringstream out;
+  const char* sep = "";
+  const auto clause = [&](auto&&... parts) {
+    out << sep;
+    (out << ... << parts);
+    sep = ",";
+  };
+  if (spec.drop > 0) clause("drop=", spec.drop);
+  if (spec.corrupt > 0) clause("corrupt=", spec.corrupt);
+  if (spec.duplicate > 0) clause("dup=", spec.duplicate);
+  for (const CrashPoint& cp : spec.crashes) clause("crash=", cp.node, "@", cp.op);
+  if (spec.max_retries != FaultSpec{}.max_retries) clause("retries=", spec.max_retries);
+  if (spec.ipm_nan_at != FaultSpec::kNever) clause("ipm-nan@", spec.ipm_nan_at);
+  if (spec.solver_nan_at == FaultSpec::kAlways) {
+    clause("solver-nan@all");
+  } else if (spec.solver_nan_at != FaultSpec::kNever) {
+    clause("solver-nan@", spec.solver_nan_at);
+  }
+  return out.str();
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed) {}
+
+double FaultPlan::next_u01() { return u01_from(mix64(seed_ ^ draws_++)); }
+
+bool FaultPlan::crashed_in_batch(std::int64_t op, int node) const {
+  for (const CrashPoint& cp : spec_.crashes) {
+    if (cp.op == op && cp.node == node) return true;
+  }
+  return false;
+}
+
+int FaultPlan::crash_victim(std::int64_t op) const {
+  for (const CrashPoint& cp : spec_.crashes) {
+    if (cp.op == op) return cp.node;
+  }
+  return -1;
+}
+
+WordFate FaultPlan::next_word_fate() {
+  if (!spec_.any_transport_faults()) return WordFate::kOk;
+  const double u = next_u01();
+  if (u < spec_.drop) {
+    ++stats_.words_dropped;
+    return WordFate::kDrop;
+  }
+  if (u < spec_.drop + spec_.corrupt) {
+    ++stats_.words_corrupted;
+    return WordFate::kCorrupt;
+  }
+  if (u < spec_.drop + spec_.corrupt + spec_.duplicate) {
+    ++stats_.words_duplicated;
+    return WordFate::kDuplicate;
+  }
+  return WordFate::kOk;
+}
+
+std::int64_t FaultPlan::count_transport_faults(std::int64_t words) {
+  if (words <= 0) return 0;
+  // Geometric skip-sampling: the gap to the next failing word among a
+  // Bernoulli(p) stream is Geometric(p), so the loop runs O(#events) draws
+  // instead of O(words) — essential for the modeled collectives, where one
+  // broadcast at n=1024 moves ~10^6 words.
+  const auto count_events = [this, words](double p) -> std::int64_t {
+    if (p <= 0.0) return 0;
+    const double log1mp = std::log1p(-p);
+    std::int64_t events = 0;
+    std::int64_t pos = 0;
+    while (true) {
+      const double u = next_u01();
+      const double skip = std::floor(std::log1p(-u) / log1mp);
+      pos += static_cast<std::int64_t>(skip) + 1;
+      if (pos > words) break;
+      ++events;
+    }
+    return events;
+  };
+  const double p = spec_.drop + spec_.corrupt;
+  const std::int64_t failures = count_events(p);
+  // Attribute each failure to drop vs corrupt for the stats breakdown.
+  for (std::int64_t i = 0; i < failures; ++i) {
+    if (next_u01() * p < spec_.drop) {
+      ++stats_.words_dropped;
+    } else {
+      ++stats_.words_corrupted;
+    }
+  }
+  stats_.words_duplicated += count_events(spec_.duplicate);
+  return failures;
+}
+
+bool FaultPlan::ipm_nan_due(std::int64_t iteration) const {
+  return spec_.ipm_nan_at != FaultSpec::kNever &&
+         (spec_.ipm_nan_at == FaultSpec::kAlways ||
+          spec_.ipm_nan_at == iteration);
+}
+
+bool FaultPlan::solver_nan_due(std::int64_t restart) const {
+  return spec_.solver_nan_at != FaultSpec::kNever &&
+         (spec_.solver_nan_at == FaultSpec::kAlways ||
+          spec_.solver_nan_at == restart);
+}
+
+obs::json::Value FaultPlan::to_json() const {
+  obs::json::Object root;
+  root["spec"] = to_string(spec_);
+  root["seed"] = static_cast<std::int64_t>(seed_);
+  obs::json::Object st;
+  st["words_dropped"] = stats_.words_dropped;
+  st["words_corrupted"] = stats_.words_corrupted;
+  st["words_duplicated"] = stats_.words_duplicated;
+  st["crash_events"] = stats_.crash_events;
+  st["crash_affected_words"] = stats_.crash_affected_words;
+  st["faulty_batches"] = stats_.faulty_batches;
+  st["retransmit_attempts"] = stats_.retransmit_attempts;
+  st["retransmitted_words"] = stats_.retransmitted_words;
+  st["armored_batches"] = stats_.armored_batches;
+  st["armored_words"] = stats_.armored_words;
+  st["recovery_rounds"] = stats_.recovery_rounds;
+  st["recovery_words"] = stats_.recovery_words;
+  st["ipm_fallbacks"] = stats_.ipm_fallbacks;
+  st["solver_fallbacks"] = stats_.solver_fallbacks;
+  root["recovery"] = std::move(st);
+  return obs::json::Value(std::move(root));
+}
+
+namespace {
+FaultPlan* g_default_plan = nullptr;
+}  // namespace
+
+FaultPlan* default_plan() { return g_default_plan; }
+void set_default_plan(FaultPlan* plan) { g_default_plan = plan; }
+
+}  // namespace lapclique::fault

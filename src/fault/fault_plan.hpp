@@ -1,0 +1,183 @@
+// Deterministic fault injection for the congested-clique simulator.
+//
+// The paper's theorems assume a perfectly reliable synchronous clique; this
+// subsystem stress-tests the implementation against the failure modes a real
+// deployment would see — dropped words, corrupted words (bit flips),
+// duplicated deliveries, and crash-stop of individual nodes — while keeping
+// every run *bit-for-bit reproducible*:
+//
+//   * a FaultPlan is purely counter-based (SplitMix64 over a seed and a
+//     monotone draw counter, no wall clock, no global RNG), so the same
+//     (spec, seed) pair injects the same faults into the same operations
+//     on every run;
+//   * the recovery layer in Network detects faults via per-batch checksums
+//     and sequence numbers and re-delivers with bounded deterministic
+//     retransmission rounds, charged to the round ledger under a dedicated
+//     "recovery" phase — algorithm outputs stay bit-identical to the
+//     fault-free run, only the round accounting grows (tests/
+//     test_fault_recovery.cpp asserts both properties for any seed).
+//
+// The plan also carries two *drills* that deliberately poison algorithm
+// state (not just transport): `ipm-nan@K` makes the interior point methods'
+// electrical-flow step non-finite at iteration K, and `solver-nan@K` makes
+// the Laplacian solver's residual check fail at restart K.  These exercise
+// the algorithm-level guard rails (IPM fallback to the exact sequential
+// baselines, solver fallback to a direct factorization); they are excluded
+// from the bit-identical contract because they change the execution path.
+//
+// Fault-spec grammar (docs/ROBUSTNESS.md, used by `lapclique_cli --faults`):
+//
+//   spec       := clause ("," clause)*
+//   clause     := "drop=" P | "corrupt=" P | "dup=" P
+//               | "crash=" NODE "@" OP | "retries=" K
+//               | "ipm-nan@" ITER | "solver-nan@" (RESTART | "all")
+//   P          := probability in [0, 1)
+//
+// e.g.  --faults drop=0.01,corrupt=0.005,dup=0.01,crash=2@40 --fault-seed 7
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lapclique::fault {
+
+/// One scheduled crash-stop: node `node` fails during communication batch
+/// `op` (the Network's monotone batch counter) and is restarted by the
+/// recovery layer within the same batch.
+struct CrashPoint {
+  int node = -1;
+  std::int64_t op = -1;
+};
+
+struct FaultSpec {
+  static constexpr std::int64_t kNever = -1;
+  static constexpr std::int64_t kAlways = -2;
+
+  double drop = 0.0;       ///< per-word probability of silent loss
+  double corrupt = 0.0;    ///< per-word probability of a bit flip
+  double duplicate = 0.0;  ///< per-word probability of double delivery
+  std::vector<CrashPoint> crashes;
+  /// Retransmission attempts before the recovery layer switches to the
+  /// triple-redundant "armored" channel that always succeeds.
+  int max_retries = 8;
+  /// Drill: poison the IPM electrical-flow state at this iteration.
+  std::int64_t ipm_nan_at = kNever;
+  /// Drill: fail the Laplacian solver's residual check at this restart
+  /// index (kAlways = every restart, exhausting the budget).
+  std::int64_t solver_nan_at = kNever;
+
+  [[nodiscard]] bool any_transport_faults() const {
+    return drop > 0 || corrupt > 0 || duplicate > 0 || !crashes.empty();
+  }
+};
+
+/// Parse the grammar above.  Throws std::invalid_argument with a pointer to
+/// the offending clause on malformed input.
+FaultSpec parse_fault_spec(const std::string& text);
+std::string to_string(const FaultSpec& spec);
+
+/// Everything the recovery layer counted, for the machine-readable summary
+/// and the bounded-overhead assertions in tests.  Invariants (asserted by
+/// tests/test_fault_recovery.cpp):
+///
+///   retransmitted_words + armored_words
+///       == words_dropped + words_corrupted + crash_affected_words
+///   recovery_rounds
+///       <= retransmit_attempts + retransmitted_words
+///          + armored_batches + 3 * armored_words + 2 * crash_events
+struct RecoveryStats {
+  std::int64_t words_dropped = 0;
+  std::int64_t words_corrupted = 0;
+  std::int64_t words_duplicated = 0;
+  std::int64_t crash_events = 0;
+  std::int64_t crash_affected_words = 0;
+  std::int64_t faulty_batches = 0;       ///< batches needing >= 1 retransmit
+  std::int64_t retransmit_attempts = 0;  ///< detection+redelivery passes
+  std::int64_t retransmitted_words = 0;
+  std::int64_t armored_batches = 0;  ///< batches that exhausted max_retries
+  std::int64_t armored_words = 0;
+  std::int64_t recovery_rounds = 0;  ///< total rounds charged to "recovery"
+  std::int64_t recovery_words = 0;   ///< total words moved by recovery
+  std::int64_t ipm_fallbacks = 0;    ///< IPM -> exact-baseline degradations
+  std::int64_t solver_fallbacks = 0; ///< Chebyshev -> direct-factor degradations
+};
+
+/// How the injector disposed of one transmitted word.
+enum class WordFate { kOk, kDrop, kCorrupt, kDuplicate };
+
+class FaultPlan {
+ public:
+  FaultPlan(const FaultSpec& spec, std::uint64_t seed);
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // --- transport-level injection (called by Network) ---
+
+  /// Start a communication batch; returns its monotone index (the unit the
+  /// crash schedule is expressed in).
+  std::int64_t begin_batch() { return op_counter_++; }
+
+  /// Whether `node` is crash-stopped during batch `op`.
+  [[nodiscard]] bool crashed_in_batch(std::int64_t op, int node) const;
+  /// Any node crashed in batch `op` (-1 if none; specs list one crash per op).
+  [[nodiscard]] int crash_victim(std::int64_t op) const;
+
+  /// Dispose of the next transmitted word (advances the draw counter;
+  /// updates the per-kind stats).
+  WordFate next_word_fate();
+
+  /// Bulk variant for modeled collectives: the number of drop/corrupt
+  /// events among `words` words, computed by geometric skip-sampling in
+  /// O(#events) draws.  Duplicate events are tallied in the stats but need
+  /// no retransmission (sequence numbers discard them on arrival).
+  std::int64_t count_transport_faults(std::int64_t words);
+
+  // --- algorithm-level drills ---
+
+  [[nodiscard]] bool ipm_nan_due(std::int64_t iteration) const;
+  [[nodiscard]] bool solver_nan_due(std::int64_t restart) const;
+
+  // --- stats ---
+
+  [[nodiscard]] RecoveryStats& stats() { return stats_; }
+  [[nodiscard]] const RecoveryStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = RecoveryStats{}; }
+
+  /// Machine-readable recovery summary (schema in docs/ROBUSTNESS.md).
+  [[nodiscard]] obs::json::Value to_json() const;
+
+ private:
+  double next_u01();
+
+  FaultSpec spec_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t draws_ = 0;      ///< word-fate draw counter
+  std::int64_t op_counter_ = 0;  ///< communication-batch counter
+  RecoveryStats stats_;
+};
+
+/// Process-wide default plan, mirroring obs::default_ledger(): Network
+/// construction sites (core/api, the CLI, benches) attach this so one
+/// FaultSession covers a whole run.
+[[nodiscard]] FaultPlan* default_plan();
+void set_default_plan(FaultPlan* plan);
+
+/// RAII: installs `plan` as the process default for its scope.
+class FaultSession {
+ public:
+  explicit FaultSession(FaultPlan* plan) : prev_(default_plan()) {
+    set_default_plan(plan);
+  }
+  ~FaultSession() { set_default_plan(prev_); }
+  FaultSession(const FaultSession&) = delete;
+  FaultSession& operator=(const FaultSession&) = delete;
+
+ private:
+  FaultPlan* prev_;
+};
+
+}  // namespace lapclique::fault

@@ -96,7 +96,10 @@ linalg::Vec solve_potentials(const Transformed& tr, std::span<const double> chi,
   if (opt.electrical_mode == ElectricalMode::kDirect) {
     LAPCLIQUE_TRACE_SPAN(net.tracer(), "electrical_solve");
     obs::count(net.tracer(), "electrical_solves");
-    net.charge(rounds_per_solve);
+    // Each solve round is a clique-wide broadcast (the same words the
+    // kSparsified path charges through LaplacianSolver::solve).
+    const auto nn = static_cast<std::int64_t>(net.size());
+    net.charge(rounds_per_solve, rounds_per_solve * nn * (nn - 1));
     return solver.potentials(chi);
   }
   return solver.potentials(chi, &net);
@@ -147,7 +150,10 @@ std::vector<double> augmentation(Transformed& tr, int s, int t, double target_f,
   for (int v = 0; v < tr.nv; ++v) {
     tr.y[static_cast<std::size_t>(v)] += step * phi[static_cast<std::size_t>(v)];
   }
-  net.charge(2);  // rho-norm allreduce + step announcement
+  {
+    const auto nn = static_cast<std::int64_t>(net.size());
+    net.charge(2, 2 * nn * (nn - 1));  // rho-norm allreduce + step announcement
+  }
 
   std::vector<double> rho(tr.edges.size());
   for (std::size_t i = 0; i < tr.edges.size(); ++i) {
@@ -189,7 +195,7 @@ void fixing(Transformed& tr, const MaxFlowIpmOptions& opt, clique::Network& net,
   for (int v = 0; v < tr.nv; ++v) {
     tr.y[static_cast<std::size_t>(v)] += step2 * phi[static_cast<std::size_t>(v)];
   }
-  net.charge(1);
+  net.charge(1, net.size() - 1);  // step announcement broadcast
 }
 
 /// Algorithm 5 (Boosting): replace the most congested edges by paths.
@@ -268,7 +274,8 @@ void boosting(Transformed& tr, const std::vector<double>& rho,
       }
     }
   }
-  net.charge(1);  // the surgery itself is local; announcing it is O(1)
+  // The surgery itself is local; announcing it is one broadcast.
+  net.charge(1, net.size() - 1);
 }
 
 /// Snap the fractional flow to the Delta grid and repair conservation along
@@ -373,7 +380,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
     return rep;  // no s-t flow possible
   }
   const auto m = static_cast<double>(tr.edges.size());
-  net.charge(1);
+  net.charge(1, net.size() - 1);
 
   // Target: maxflow(transformed) = C + 2mU + 2 f*(G0); we aim at an upper
   // bound for f* from local capacities (overshoot is safe: the finisher is
@@ -406,10 +413,53 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   eopt.mode = ElectricalMode::kSparsified;
   rep.rounds_per_solve =
       ElectricalSolver(tr.nv, std::move(cal), eopt).calibrate(opt.solve_eps);
-  net.charge(rep.rounds_per_solve);  // the calibration solve itself
+  {
+    // The calibration solve itself (broadcast rounds, like every solve).
+    const auto nn = static_cast<std::int64_t>(net.size());
+    net.charge(rep.rounds_per_solve, rep.rounds_per_solve * nn * (nn - 1));
+  }
 
   // Progress loop (Algorithm 2, lines 6-18).
   net.set_phase("maxflow/ipm");
+  fault::FaultPlan* plan = net.fault_plan();
+  // Guard rail: a diverging electrical-flow step leaves NaN/inf in the edge
+  // flows or potentials.  Detect it after every solve and degrade to the
+  // exact sequential baseline (the whole point of the IPM is round count,
+  // not correctness — Dinic gives the same value with zero risk).
+  const auto divergence = [&]() -> const char* {
+    if (plan != nullptr && plan->ipm_nan_due(rep.ipm_iterations) &&
+        !tr.edges.empty()) {
+      // Fault drill: poison the state exactly like an overflowing solve.
+      tr.edges[0].f = std::numeric_limits<double>::quiet_NaN();
+    }
+    for (const TEdge& e : tr.edges) {
+      if (!std::isfinite(e.f)) return "non-finite edge flow in IPM state";
+    }
+    for (double yv : tr.y) {
+      if (!std::isfinite(yv)) return "non-finite potential in IPM state";
+    }
+    return nullptr;
+  };
+  const auto degrade = [&](const char* reason) {
+    if (!opt.fallback_on_divergence) {
+      throw std::runtime_error(std::string("max_flow_clique: ") + reason +
+                               " (fallback disabled)");
+    }
+    rep.used_fallback = true;
+    rep.fallback_reason = reason;
+    if (plan != nullptr) ++plan->stats().ipm_fallbacks;
+    net.set_phase("maxflow/fallback");
+    // The exact baseline is centralized: gather the arc list (3 words per
+    // arc) to a coordinator, solve locally, broadcast the value.
+    const auto words = 3 * static_cast<std::int64_t>(g.num_arcs());
+    const auto nn = static_cast<std::int64_t>(net.size());
+    net.charge((words + nn - 1) / nn + 1, words);
+    const MaxFlowResult exact = dinic_max_flow(g, s, t);
+    rep.value = exact.value;
+    rep.flow = exact.flow;
+    rep.rounds = net.rounds() - rounds_before;
+    return rep;
+  };
   const double delta0 = 1.0 / std::pow(m, 0.5 - opt.eta);
   const double rho_threshold = std::pow(m, 0.5 - opt.eta) / (33.0 * (1.0 - opt.alpha));
   const double budget = 100.0 * opt.iteration_scale / delta0 *
@@ -421,10 +471,12 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
                                          rep.rounds_per_solve, &rep.laplacian_solves);
   fixing(tr, opt, net, rep.rounds_per_solve, &rep.laplacian_solves);
   ++rep.augmentation_steps;
+  if (const char* reason = divergence()) return degrade(reason);
 
   int boosts = 0;
   for (std::int64_t it = 0; it < iters; ++it) {
     ++rep.ipm_iterations;
+    if (const char* reason = divergence()) return degrade(reason);
     const double val = tr.value_out_of(s);
     if (val >= target_f - opt.target_slack) break;
 
@@ -445,6 +497,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
       ++rep.boosting_steps;
     }
   }
+  if (const char* reason = divergence()) return degrade(reason);
   rep.routed_fraction = tr.value_out_of(s) / std::max(target_f, 1e-9);
 
   // Line 19: round the flow (Lemma 4.2 with Delta = O(1/m)).
@@ -453,7 +506,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   while ((1 << k) < 4 * static_cast<int>(tr.edges.size())) ++k;
   const double delta_grid = 1.0 / static_cast<double>(1 << k);
   snap_and_repair(tr, s, t, delta_grid);
-  net.charge(1);
+  net.charge(1, net.size() - 1);
 
   // Orient two-sided edges by flow sign for the rounding digraph.
   Digraph rg(tr.nv);
@@ -475,7 +528,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   clique::Network lifted_net(std::max(tr.nv, 2));
   const euler::FlowRoundingResult rounded =
       euler::round_flow(rg, rf, s, t, lifted_net, ropt);
-  net.charge(lifted_net.rounds());
+  net.charge(lifted_net.rounds(), lifted_net.words_sent());
   rep.rounding_phases = rounded.phases;
 
   // Extraction to the original digraph: h_a = (g_a + c_a) / 2, then repair
@@ -491,7 +544,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
         (gval + static_cast<double>(g.arc(e.orig).cap)) / 2.0;
   }
   std::vector<std::int64_t> warm = repair_to_feasible(g, s, t, h);
-  net.charge(1);
+  net.charge(1, net.size() - 1);
 
   // Lines 20-21: augmenting paths to exact optimality.
   net.set_phase("maxflow/augmenting");
@@ -508,7 +561,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
     for (const auto& [a, fwd] : *path) {
       warm[static_cast<std::size_t>(a)] += fwd ? bottleneck : -bottleneck;
     }
-    net.charge(1);
+    net.charge(1, net.size() - 1);
   }
 
   rep.flow = std::move(warm);

@@ -57,6 +57,11 @@ struct MaxFlowIpmOptions {
   /// IPM in its intended successful-guess regime).  -1 = derive an upper
   /// bound from local capacities.
   std::int64_t known_value = -1;
+  /// Guard rail: when the electrical-flow state goes non-finite (solver
+  /// divergence, or the ipm-nan fault drill), degrade gracefully to the
+  /// exact sequential Dinic baseline and set MaxFlowIpmReport::used_fallback
+  /// instead of propagating NaNs.  Set false to throw instead.
+  bool fallback_on_divergence = true;
 };
 
 struct MaxFlowIpmReport {
@@ -71,6 +76,11 @@ struct MaxFlowIpmReport {
   int finishing_augmenting_paths = 0;
   double routed_fraction = 0;  ///< of the transformed-graph target F
   int rounding_phases = 0;
+  /// The IPM diverged and the result came from the exact Dinic baseline
+  /// (value/flow are still exact; rounds include the "maxflow/fallback"
+  /// gather).  See MaxFlowIpmOptions::fallback_on_divergence.
+  bool used_fallback = false;
+  std::string fallback_reason;
 };
 
 /// Exact max flow on a digraph with integer capacities (Theorem 1.2).

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "euler/flow_round.hpp"
+#include "flow/ssp_mincost.hpp"
 
 namespace lapclique::flow {
 
@@ -175,7 +176,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
   Lifted lf = build_lifted(g, sigma);
   const int me = 2 * lf.nq;
   const auto m = static_cast<double>(std::max(me, 2));
-  net.charge(1);
+  net.charge(1, net.size() - 1);
 
   // Demand vector for the electrical solves: the bipartite flow goes P -> Q,
   // so P vertices are producers (-b) and Q vertices consumers (+b).
@@ -202,11 +203,57 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
     eopt.mode = ElectricalMode::kSparsified;
     rep.rounds_per_solve =
         ElectricalSolver(be.nv, std::move(be.edges), eopt).calibrate(opt.solve_eps);
-    net.charge(rep.rounds_per_solve);
+    // The calibration solve itself (broadcast rounds, like every solve).
+    const auto nn = static_cast<std::int64_t>(net.size());
+    net.charge(rep.rounds_per_solve, rep.rounds_per_solve * nn * (nn - 1));
   }
 
   // Main loop (Algorithm 6) with the CMSV budget and early exit on mu_hat.
   net.set_phase("mincost/ipm");
+  fault::FaultPlan* plan = net.fault_plan();
+  // Guard rail: a diverging electrical-flow step leaves NaN/inf in the
+  // central-path state.  Detect it after every Progress step and degrade to
+  // the exact sequential SSP baseline.
+  const auto divergence = [&]() -> const char* {
+    if (plan != nullptr && plan->ipm_nan_due(rep.ipm_iterations) && me > 0) {
+      // Fault drill: poison the state exactly like an overflowing solve.
+      lf.f[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+    for (int e = 0; e < me; ++e) {
+      if (!std::isfinite(lf.f[static_cast<std::size_t>(e)]) ||
+          !std::isfinite(lf.s[static_cast<std::size_t>(e)])) {
+        return "non-finite flow/slack in IPM state";
+      }
+    }
+    for (double yv : lf.y) {
+      if (!std::isfinite(yv)) return "non-finite potential in IPM state";
+    }
+    if (!std::isfinite(lf.mu_hat)) return "non-finite central-path parameter";
+    return nullptr;
+  };
+  const auto degrade = [&](const char* reason) {
+    if (!opt.fallback_on_divergence) {
+      throw std::runtime_error(std::string("min_cost_flow_clique: ") + reason +
+                               " (fallback disabled)");
+    }
+    rep.used_fallback = true;
+    rep.fallback_reason = reason;
+    if (plan != nullptr) ++plan->stats().ipm_fallbacks;
+    net.set_phase("mincost/fallback");
+    // The exact baseline is centralized: gather the arc list (4 words per
+    // arc) plus the demand vector to a coordinator, solve locally,
+    // broadcast feasibility and cost.
+    const auto words = 4 * static_cast<std::int64_t>(g.num_arcs()) +
+                       static_cast<std::int64_t>(g.num_vertices());
+    const auto nn = static_cast<std::int64_t>(net.size());
+    net.charge((words + nn - 1) / nn + 1, words);
+    const MinCostFlowResult exact = ssp_min_cost_flow(g, sigma);
+    rep.feasible = exact.feasible;
+    rep.cost = exact.feasible ? exact.cost : 0;
+    if (exact.feasible) rep.flow = exact.flow;
+    rep.rounds = net.rounds() - rounds_before;
+    return rep;
+  };
   const double eta = opt.eta;
   const double logw = std::log2(lf.c_inf + 2.0);
   const double c_rho = 400.0 * std::sqrt(3.0) * std::cbrt(std::max(logw, 1.0));
@@ -221,6 +268,9 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
 
   std::vector<double> rho(static_cast<std::size_t>(me), 0.0);
   std::int64_t total_progress = 0;
+  // Check once at iteration 0 so a poisoned initial point (or the ipm-nan@0
+  // drill) degrades before any Progress step, mirroring the max-flow IPM.
+  if (const char* reason = divergence()) return degrade(reason);
   bool done = false;
   for (std::int64_t i = 0; i < outer && !done; ++i) {
     for (std::int64_t j = 0; j < inner && !done; ++j) {
@@ -258,7 +308,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
               std::max(lf.f[static_cast<std::size_t>(ebar)], 1e-12);
           rho[static_cast<std::size_t>(e)] /= 2.0;
         }
-        net.charge(1);
+        net.charge(1, net.size() - 1);  // perturbation announcement broadcast
       }
 
       // Progress (Algorithm 9): two Laplacian solves.
@@ -282,7 +332,10 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       if (opt.electrical_mode == ElectricalMode::kDirect) {
         LAPCLIQUE_TRACE_SPAN(net.tracer(), "electrical_solve");
         obs::count(net.tracer(), "electrical_solves");
-        net.charge(rep.rounds_per_solve);
+        // Each solve round is a clique-wide broadcast (the same words the
+        // kSparsified path charges through LaplacianSolver::solve).
+        const auto nn = static_cast<std::int64_t>(net.size());
+        net.charge(rep.rounds_per_solve, rep.rounds_per_solve * nn * (nn - 1));
         phi = solver1.potentials(chi);
       } else {
         phi = solver1.potentials(chi, &net);
@@ -349,7 +402,10 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       if (opt.electrical_mode == ElectricalMode::kDirect) {
         LAPCLIQUE_TRACE_SPAN(net.tracer(), "electrical_solve");
         obs::count(net.tracer(), "electrical_solves");
-        net.charge(rep.rounds_per_solve);
+        // Each solve round is a clique-wide broadcast (the same words the
+        // kSparsified path charges through LaplacianSolver::solve).
+        const auto nn = static_cast<std::int64_t>(net.size());
+        net.charge(rep.rounds_per_solve, rep.rounds_per_solve * nn * (nn - 1));
         phi2 = solver2.potentials(chi2);
       } else {
         phi2 = solver2.potentials(chi2, &net);
@@ -369,11 +425,16 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
         lf.s[static_cast<std::size_t>(e)] = std::max(snew, 1e-12);
       }
       lf.mu_hat *= (1.0 - delta);
-      net.charge(2);  // norm allreduces
+      {
+        const auto nn = static_cast<std::int64_t>(net.size());
+        net.charge(2, 2 * nn * (nn - 1));  // norm allreduces
+      }
+      if (divergence() != nullptr) done = true;
       if (lf.mu_hat < mu_exit) done = true;
       if (total_progress >= opt.max_iterations) done = true;
     }
   }
+  if (const char* reason = divergence()) return degrade(reason);
 
   // Repairing (Algorithm 10): round to an integral matching, meet the
   // remaining demands with shortest augmenting paths, then cancel negative
@@ -435,7 +496,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
     for (int q = 0; q < lf.nq; ++q) rg_costed.add_arc(lf.np + q, t_node, 3, 0);
     const euler::FlowRoundingResult rr =
         euler::round_flow(rg_costed, rf, s_node, t_node, lifted_net, ropt);
-    net.charge(lifted_net.rounds());
+    net.charge(lifted_net.rounds(), lifted_net.words_sent());
     rep.rounding_phases = rr.phases;
 
     // Matched side per arc of G1.
@@ -569,7 +630,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       f1[static_cast<std::size_t>(a)] = fwd ? 1 : 0;
       v = r.rg.arc(ra).from;
     }
-    net.charge(1);
+    net.charge(1, net.size() - 1);
     cancel_negative_cycles();
   }
 

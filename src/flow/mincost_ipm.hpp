@@ -43,6 +43,11 @@ struct MinCostIpmOptions {
   ElectricalMode electrical_mode = ElectricalMode::kDirect;
   double solve_eps = 1e-10;
   SsspOptions sssp;
+  /// Guard rail: when the central-path state goes non-finite (solver
+  /// divergence, or the ipm-nan fault drill), degrade gracefully to the
+  /// exact sequential SSP baseline and set MinCostIpmReport::used_fallback
+  /// instead of propagating NaNs.  Set false to throw instead.
+  bool fallback_on_divergence = true;
 };
 
 struct MinCostIpmReport {
@@ -57,6 +62,11 @@ struct MinCostIpmReport {
   int finishing_paths = 0;
   int negative_cycles_cancelled = 0;
   int rounding_phases = 0;
+  /// The IPM diverged and the result came from the exact SSP baseline
+  /// (feasible/cost/flow are still exact; rounds include the
+  /// "mincost/fallback" gather).  See MinCostIpmOptions::fallback_on_divergence.
+  bool used_fallback = false;
+  std::string fallback_reason;
 };
 
 /// Exact min-cost flow on a unit-capacity digraph with integer costs and an

@@ -1,5 +1,6 @@
 #include "io/dimacs.hpp"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -29,6 +30,16 @@ class LineReader {
   int line_no_ = 0;
 };
 
+/// Sizes past this are virtually certainly a corrupted header, and letting
+/// them through would turn one flipped byte into a multi-gigabyte allocation.
+constexpr std::int64_t kMaxPlausibleSize = 50'000'000;
+
+void check_plausible(int line_no, std::int64_t n, std::int64_t m) {
+  if (n > kMaxPlausibleSize || m > kMaxPlausibleSize) {
+    throw ParseError(line_no, "implausibly large problem size in header");
+  }
+}
+
 }  // namespace
 
 MaxFlowProblem read_dimacs_max_flow(std::istream& in) {
@@ -44,15 +55,22 @@ MaxFlowProblem read_dimacs_max_flow(std::istream& in) {
     ss >> kind;
     switch (kind) {
       case 'p': {
+        if (n >= 0) {
+          throw ParseError(reader.line_no(), "duplicate problem line");
+        }
         std::string prob;
         ss >> prob >> n >> m;
         if (!ss || prob != "max" || n <= 0 || m < 0) {
           throw ParseError(reader.line_no(), "bad problem line (want 'p max N M')");
         }
+        check_plausible(reader.line_no(), n, m);
         p.g = graph::Digraph(n);
         break;
       }
       case 'n': {
+        if (n < 0) {
+          throw ParseError(reader.line_no(), "node descriptor before problem line");
+        }
         int id = 0;
         char role = 0;
         ss >> id >> role;
@@ -69,6 +87,9 @@ MaxFlowProblem read_dimacs_max_flow(std::istream& in) {
         break;
       }
       case 'a': {
+        if (n < 0) {
+          throw ParseError(reader.line_no(), "arc descriptor before problem line");
+        }
         int u = 0;
         int v = 0;
         std::int64_t cap = 0;
@@ -117,16 +138,23 @@ MinCostProblem read_dimacs_min_cost(std::istream& in) {
     ss >> kind;
     switch (kind) {
       case 'p': {
+        if (n >= 0) {
+          throw ParseError(reader.line_no(), "duplicate problem line");
+        }
         std::string prob;
         ss >> prob >> n >> m;
         if (!ss || prob != "min" || n <= 0 || m < 0) {
           throw ParseError(reader.line_no(), "bad problem line (want 'p min N M')");
         }
+        check_plausible(reader.line_no(), n, m);
         p.g = graph::Digraph(n);
         p.sigma.assign(static_cast<std::size_t>(n), 0);
         break;
       }
       case 'n': {
+        if (n < 0) {
+          throw ParseError(reader.line_no(), "node descriptor before problem line");
+        }
         int id = 0;
         std::int64_t supply = 0;
         ss >> id >> supply;
@@ -138,6 +166,9 @@ MinCostProblem read_dimacs_min_cost(std::istream& in) {
         break;
       }
       case 'a': {
+        if (n < 0) {
+          throw ParseError(reader.line_no(), "arc descriptor before problem line");
+        }
         int u = 0;
         int v = 0;
         std::int64_t low = 0;
@@ -189,6 +220,7 @@ graph::Graph read_edge_list(std::istream& in) {
   if (!head || n < 0 || m < 0) {
     throw ParseError(reader.line_no(), "bad header (want 'N M')");
   }
+  check_plausible(reader.line_no(), n, m);
   graph::Graph g(n);
   for (std::int64_t i = 0; i < m; ++i) {
     if (!reader.next(line)) {
@@ -202,9 +234,21 @@ graph::Graph read_edge_list(std::istream& in) {
     if (!ss || u < 0 || v < 0 || u >= n || v >= n) {
       throw ParseError(reader.line_no(), "bad edge line");
     }
-    if (!(ss >> w)) w = 1.0;
-    if (!(w > 0)) throw ParseError(reader.line_no(), "weight must be positive");
+    if (!(ss >> w)) {
+      ss.clear();
+      w = 1.0;
+    }
+    std::string rest;
+    if (ss >> rest) {
+      throw ParseError(reader.line_no(), "trailing junk on edge line");
+    }
+    if (!(w > 0) || !std::isfinite(w)) {
+      throw ParseError(reader.line_no(), "weight must be positive and finite");
+    }
     g.add_edge(u, v, w);
+  }
+  if (reader.next(line)) {
+    throw ParseError(reader.line_no(), "more edges than the header promised");
   }
   return g;
 }

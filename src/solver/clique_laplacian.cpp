@@ -19,6 +19,7 @@ CliqueSolveReport solve_laplacian_clique(const graph::Graph& g,
   }
   clique::Network net(g.num_vertices());
   net.set_tracer(obs::default_ledger());
+  net.set_fault_plan(fault::default_plan());
   CliqueLaplacianSolver solver(g, opt, net);
   CliqueSolveReport rep;
   rep.x = solver.solve(b, eps, &rep.stats);

@@ -1,6 +1,7 @@
 #include "solver/laplacian_solver.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "linalg/vector_ops.hpp"
@@ -141,6 +142,7 @@ Vec LaplacianSolver::solve(std::span<const double> b, double eps,
     return y;
   };
 
+  fault::FaultPlan* plan = net != nullptr ? net->fault_plan() : nullptr;
   double kappa = kappa_;
   Vec x;
   int total_iters = 0;
@@ -161,12 +163,38 @@ Vec LaplacianSolver::solve(std::span<const double> b, double eps,
     x = linalg::preconditioned_chebyshev(apply_a, solve_b, rhs, copt, &cstats);
     total_iters += cstats.iterations;
     rel = cstats.final_residual / bnorm;
+    if (plan != nullptr && plan->solver_nan_due(restarts)) {
+      // Fault drill: pretend this pass diverged so the restart guard rail
+      // (and, under solver-nan@all, the exact fallback) is exercised.
+      rel = std::numeric_limits<double>::quiet_NaN();
+    }
     // eps is an energy-norm bound; the 2-norm residual check below is a
-    // conservative proxy used only to trigger robustness restarts.
+    // conservative proxy used only to trigger robustness restarts.  A NaN
+    // residual fails the comparison, so divergence also restarts.
     if (rel <= eps) break;
     kappa *= 2.0;
   }
   linalg::project_out_ones(x);
+
+  bool healthy = rel <= eps;
+  for (std::size_t i = 0; healthy && i < x.size(); ++i) {
+    if (!std::isfinite(x[i])) healthy = false;
+  }
+  const bool fallback = !healthy;
+  if (fallback) {
+    // Guard rail: every Chebyshev budget was exhausted without a certified
+    // residual (or the iterate went non-finite).  Degrade to the exact
+    // direct factorization of L_G — slower, but always correct.
+    if (!lg_factor_.has_value()) {
+      lg_factor_.emplace(linalg::LaplacianFactor::factor(lg_));
+    }
+    x = lg_factor_->solve(rhs);
+    linalg::project_out_ones(x);
+    Vec res = lg_.multiply(x);
+    for (std::size_t i = 0; i < res.size(); ++i) res[i] -= rhs[i];
+    rel = linalg::norm2(res) / bnorm;
+    if (plan != nullptr) ++plan->stats().solver_fallbacks;
+  }
 
   if (net != nullptr) {
     // One broadcast round per Chebyshev iteration (the matvec by L_G);
@@ -174,9 +202,17 @@ Vec LaplacianSolver::solve(std::span<const double> b, double eps,
     net->set_phase("solver/chebyshev");
     net->charge(total_iters + 1, static_cast<std::int64_t>(total_iters + 1) *
                                      net->size() * (net->size() - 1));
+    if (fallback) {
+      // The exact solve is centralized: gather b to a coordinator and
+      // broadcast x back (2 n-word vectors through one node's links).
+      net->set_phase("solver/fallback");
+      const auto nn = static_cast<std::int64_t>(net->size());
+      net->charge(4, 2 * nn);
+    }
   }
 
   if (stats != nullptr) {
+    stats->exact_fallback = fallback;
     stats->chebyshev_iterations = total_iters;
     stats->restarts = restarts;
     stats->kappa = kappa;

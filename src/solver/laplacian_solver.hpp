@@ -38,6 +38,11 @@ struct LaplacianSolveStats {
   double relative_residual = 0;    ///< ||L_G x - b||_2 / ||b||_2
   spectral::SparsifyStats sparsify_stats;
   int sparsifier_edges = 0;
+  /// Guard rail fired: Chebyshev never certified its residual (divergence,
+  /// non-finite iterates, or an exhausted restart budget) and the solver
+  /// degraded to an exact direct factorization of L_G, charged under the
+  /// "solver/fallback" phase.
+  bool exact_fallback = false;
 };
 
 /// Reusable solver: the sparsifier and its factorization are built once at
@@ -75,6 +80,9 @@ class LaplacianSolver {
   linalg::CsrMatrix lg_;
   linalg::CsrMatrix lh_;
   linalg::LaplacianFactor lh_factor_;
+  /// Exact factorization of L_G itself, built lazily the first time the
+  /// residual guard rail trips (see LaplacianSolveStats::exact_fallback).
+  mutable std::optional<linalg::LaplacianFactor> lg_factor_;
   spectral::SparsifyStats sparsify_stats_;
   double lambda_min_ = 0;
   double lambda_max_ = 0;

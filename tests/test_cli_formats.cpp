@@ -73,6 +73,48 @@ TEST(CliFormats, SolutionLinesParseableShape) {
   EXPECT_EQ(f_lines, 2);
 }
 
+TEST(CliFormats, MalformedInputsProduceLocatedDiagnostics) {
+  // The CLI turns ParseError into "error: ..." + exit 1; what makes that
+  // diagnostic usable is the line number and a human-readable reason, which
+  // this test pins for each hardening case.
+  struct Case {
+    const char* doc;
+    int line;
+  };
+  const Case cases[] = {
+      {"p max 2 1\np max 2 1\n", 2},              // duplicate problem line
+      {"n 1 s\n", 1},                             // descriptor before header
+      {"p max 2000000000 1\n", 1},                // implausible size
+      {"p max 2 1\nn 1 s\nn 2 t\na 1 9 1\n", 4},  // out-of-range vertex
+  };
+  for (const Case& c : cases) {
+    std::istringstream in(c.doc);
+    try {
+      (void)read_dimacs_max_flow(in);
+      FAIL() << "expected ParseError for: " << c.doc;
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), c.line) << c.doc;
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+    }
+  }
+}
+
+TEST(CliFormats, EdgeListDiagnosticsNameTheProblem) {
+  const auto message_of = [](const char* doc) {
+    std::istringstream in(doc);
+    try {
+      (void)read_edge_list(in);
+    } catch (const ParseError& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_NE(message_of("2 1\n0 1 nan\n").find("junk"), std::string::npos);
+  EXPECT_NE(message_of("2 1\n0 1\n1 0\n").find("more edges"), std::string::npos);
+  EXPECT_NE(message_of("2 2\n0 1\n").find("fewer edges"), std::string::npos);
+  EXPECT_NE(message_of("2 1\n0 1 -3\n").find("positive"), std::string::npos);
+}
+
 TEST(CliFormats, CommentsAndBlankLinesIgnoredEverywhere) {
   std::istringstream in(
       "c leading comment\n"

@@ -190,6 +190,51 @@ TEST(Router, EmptyFlushChargesNothing) {
   EXPECT_EQ(inboxes.size(), 4u);
 }
 
+TEST(Network, TransmitSubroundDeliversInOneRound) {
+  Network net(4);
+  std::vector<Msg> msgs{{0, 1, 0, Word(std::int64_t{1})},
+                        {2, 3, 0, Word(std::int64_t{2})},
+                        {1, 0, 0, Word(std::int64_t{3})}};
+  net.transmit_subround(msgs);
+  EXPECT_EQ(net.rounds(), 1);
+  EXPECT_EQ(net.words_sent(), 3);
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(3).size(), 1u);
+  EXPECT_FALSE(net.has_violation());
+}
+
+TEST(Network, TransmitSubroundRejectsOversubscribedPairStrongly) {
+  Network net(4);
+  net.set_phase("testing");
+  net.charge(2, 5);
+  const std::size_t ops_before = net.op_log().size();
+  // Two words on the ordered pair (0, 1) exceed the one-word-per-pair limit.
+  std::vector<Msg> msgs{{0, 1, 0, Word(std::int64_t{1})},
+                        {0, 1, 1, Word(std::int64_t{2})},
+                        {2, 3, 0, Word(std::int64_t{3})}};
+  EXPECT_THROW(net.transmit_subround(msgs), BandwidthViolation);
+  // Strong guarantee: the failed operation left no trace in the accounting,
+  // the op log, or any inbox — not even for the valid (2, 3) message.
+  EXPECT_EQ(net.rounds(), 2);
+  EXPECT_EQ(net.words_sent(), 5);
+  EXPECT_EQ(net.op_log().size(), ops_before);
+  EXPECT_TRUE(net.inbox(1).empty());
+  EXPECT_TRUE(net.inbox(3).empty());
+  // ... but the rejected batch stays queryable.
+  ASSERT_TRUE(net.has_violation());
+  const BandwidthViolation& v = net.last_violation();
+  EXPECT_EQ(v.phase(), "testing");
+  EXPECT_EQ(v.primitive(), "transmit_subround");
+  EXPECT_EQ(v.offered(), 2);
+  EXPECT_EQ(v.limit(), 1);
+}
+
+TEST(Network, LastViolationWithoutAnyThrowsLogicError) {
+  Network net(4);
+  EXPECT_FALSE(net.has_violation());
+  EXPECT_THROW((void)net.last_violation(), std::logic_error);
+}
+
 // Congestion audit invariant: an operation never moves more words through a
 // single node than the model's bandwidth times the rounds charged allows.
 TEST(Network, CongestionAuditHolds) {

@@ -9,6 +9,7 @@
 #include "flow/dinic.hpp"
 #include "graph/generators.hpp"
 #include "mst/boruvka.hpp"
+#include "test_seed.hpp"
 
 namespace lapclique {
 namespace {
@@ -33,7 +34,8 @@ TEST_P(EulerAudit, OrientationRespectsBandwidth) {
   expect_audit_clean(net);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EulerAudit, ::testing::Values(1, 2, 3, 4, 5));
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerAudit,
+                         ::testing::Range(test::base_seed(), test::base_seed() + 5));
 
 TEST(EulerAuditDense, HighMultiplicityMultigraph) {
   // Many parallel edges concentrate occurrences on two nodes; the audit

@@ -6,6 +6,7 @@
 #include "cliquesim/network.hpp"
 #include "graph/generators.hpp"
 #include "euler/euler_orient.hpp"
+#include "test_seed.hpp"
 
 namespace lapclique::euler {
 namespace {
@@ -70,7 +71,7 @@ TEST_P(EulerFamilies, RandomClosedWalkUnions) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EulerFamilies,
-                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+                         ::testing::Range(test::base_seed(), test::base_seed() + 10));
 
 class EulerDoubled : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -80,7 +81,8 @@ TEST_P(EulerDoubled, DoubledRandomGraphs) {
   EXPECT_TRUE(is_eulerian_orientation(g, r.orientation)) << GetParam();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EulerDoubled, ::testing::Values(11, 12, 13, 14, 15));
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerDoubled,
+                         ::testing::Range(test::base_seed() + 10, test::base_seed() + 15));
 
 TEST(EulerOrient, EvenCirculants) {
   for (int n : {8, 16, 32, 64}) {

@@ -76,6 +76,24 @@ TEST(DimacsMaxFlow, ParseErrorCarriesLineNumber) {
   }
 }
 
+TEST(DimacsMaxFlow, RejectsDuplicateProblemLine) {
+  std::istringstream in("p max 2 1\np max 2 1\nn 1 s\nn 2 t\na 1 2 1\n");
+  EXPECT_THROW((void)read_dimacs_max_flow(in), ParseError);
+}
+
+TEST(DimacsMaxFlow, RejectsDescriptorsBeforeProblemLine) {
+  std::istringstream in_node("n 1 s\np max 2 1\nn 2 t\na 1 2 1\n");
+  EXPECT_THROW((void)read_dimacs_max_flow(in_node), ParseError);
+  std::istringstream in_arc("a 1 2 1\np max 2 1\nn 1 s\nn 2 t\n");
+  EXPECT_THROW((void)read_dimacs_max_flow(in_arc), ParseError);
+}
+
+TEST(DimacsMaxFlow, RejectsImplausiblyLargeHeader) {
+  // One flipped byte must not become a multi-gigabyte allocation.
+  std::istringstream in("p max 2000000000 1\nn 1 s\nn 2 t\na 1 2 1\n");
+  EXPECT_THROW((void)read_dimacs_max_flow(in), ParseError);
+}
+
 TEST(DimacsMinCost, ParsesAndConvertsSupplies) {
   std::istringstream in(
       "p min 3 2\n"
@@ -92,6 +110,21 @@ TEST(DimacsMinCost, ParsesAndConvertsSupplies) {
 
 TEST(DimacsMinCost, RejectsLowerBounds) {
   std::istringstream in("p min 2 1\na 1 2 1 1 4\n");
+  EXPECT_THROW((void)read_dimacs_min_cost(in), ParseError);
+}
+
+TEST(DimacsMinCost, RejectsDuplicateProblemLine) {
+  std::istringstream in("p min 2 0\np min 2 0\n");
+  EXPECT_THROW((void)read_dimacs_min_cost(in), ParseError);
+}
+
+TEST(DimacsMinCost, RejectsDescriptorsBeforeProblemLine) {
+  std::istringstream in("n 1 1\np min 2 0\n");
+  EXPECT_THROW((void)read_dimacs_min_cost(in), ParseError);
+}
+
+TEST(DimacsMinCost, RejectsImplausiblyLargeHeader) {
+  std::istringstream in("p min 3 100000000\n");
   EXPECT_THROW((void)read_dimacs_min_cost(in), ParseError);
 }
 
@@ -142,6 +175,30 @@ TEST(EdgeList, RejectsTruncatedInput) {
 
 TEST(EdgeList, RejectsNonPositiveWeight) {
   std::istringstream in("2 1\n0 1 -3\n");
+  EXPECT_THROW((void)read_edge_list(in), ParseError);
+}
+
+TEST(EdgeList, RejectsNonFiniteWeight) {
+  std::istringstream in_nan("2 1\n0 1 nan\n");
+  EXPECT_THROW((void)read_edge_list(in_nan), ParseError);
+  std::istringstream in_inf("2 1\n0 1 inf\n");
+  EXPECT_THROW((void)read_edge_list(in_inf), ParseError);
+}
+
+TEST(EdgeList, RejectsTrailingEdges) {
+  // More edge lines than the header promised: silently ignoring them would
+  // mask a truncated or mis-stitched file.
+  std::istringstream in("2 1\n0 1\n1 0\n");
+  EXPECT_THROW((void)read_edge_list(in), ParseError);
+}
+
+TEST(EdgeList, RejectsImplausiblyLargeHeader) {
+  std::istringstream in("3 900000000\n");
+  EXPECT_THROW((void)read_edge_list(in), ParseError);
+}
+
+TEST(EdgeList, RejectsNegativeHeader) {
+  std::istringstream in("-3 1\n0 1\n");
   EXPECT_THROW((void)read_edge_list(in), ParseError);
 }
 

@@ -8,6 +8,7 @@
 #include "euler/euler_orient.hpp"
 #include "graph/generators.hpp"
 #include "graph/rng.hpp"
+#include "test_seed.hpp"
 
 namespace lapclique::clique {
 namespace {
@@ -115,7 +116,8 @@ TEST_P(ExecutedVsCharged, ExecutedRoundsWithinChargedEnvelope) {
   EXPECT_LE(executed.rounds(), charged.rounds()) << GetParam();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ExecutedVsCharged, ::testing::Values(1, 2, 3, 4, 5));
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutedVsCharged,
+                         ::testing::Range(test::base_seed(), test::base_seed() + 5));
 
 TEST(ExecutedRouting, EulerOrientationEndToEnd) {
   // The whole Theorem 1.4 pipeline on an executed-routing network: the

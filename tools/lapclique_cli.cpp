@@ -10,16 +10,28 @@
 //   lapclique_cli gen-mincost <n> <m> <W> <seed>  random instance to stdout
 //
 // Global flags (any command):
-//   --trace <out.json>   write a per-phase round/congestion trace (the
-//                        obs::RoundLedger JSON schema; "-" for stdout)
+//   --trace <out.json>     write a per-phase round/congestion trace (the
+//                          obs::RoundLedger JSON schema; "-" for stdout)
+//   --faults <spec>        inject deterministic faults into every simulated
+//                          delivery (grammar in docs/ROBUSTNESS.md, e.g.
+//                          "drop=0.01,corrupt=0.005,crash=2@40"); recovery
+//                          rounds are charged under the "recovery" phase
+//   --fault-seed <n>       seed for the fault plan (default 1)
+//   --fault-report <path>  write the machine-readable recovery summary JSON
+//                          to <path> ("-" for stdout; default: stderr)
 //
 // Edge lists: "N M" header then "u v [w]" lines, 0-based.
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/api.hpp"
+#include "fault/fault_plan.hpp"
 #include "flow/mincost_maxflow.hpp"
 #include "io/dimacs.hpp"
 #include "obs/round_ledger.hpp"
@@ -28,6 +40,48 @@
 namespace {
 
 using namespace lapclique;
+
+// Checked numeric argument parsing: atoi/atof silently turn junk into 0 and
+// overflow into UB; malformed command lines must fail loudly instead.
+std::int64_t arg_int(const char* what, const char* text, std::int64_t lo,
+                     std::int64_t hi) {
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(what) + ": expected an integer, got '" +
+                                text + "'");
+  }
+  if (pos != std::strlen(text)) {
+    throw std::invalid_argument(std::string(what) + ": trailing junk in '" + text +
+                                "'");
+  }
+  if (v < lo || v > hi) {
+    throw std::invalid_argument(std::string(what) + ": " + text + " out of range [" +
+                                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+double arg_double(const char* what, const char* text, double lo, double hi) {
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(what) + ": expected a number, got '" +
+                                text + "'");
+  }
+  if (pos != std::strlen(text)) {
+    throw std::invalid_argument(std::string(what) + ": trailing junk in '" + text +
+                                "'");
+  }
+  if (!(v >= lo && v <= hi)) {
+    throw std::invalid_argument(std::string(what) + ": " + text + " out of range");
+  }
+  return v;
+}
 
 int usage() {
   std::cerr << "usage: lapclique_cli "
@@ -89,6 +143,7 @@ int cmd_orient(int argc, char** argv) {
   }
   clique::Network net(std::max(g.num_vertices(), 2));
   net.set_tracer(obs::default_ledger());
+  net.set_fault_plan(fault::default_plan());
   const auto rep = euler::eulerian_orientation(g, net, nullptr, opt);
   std::cerr << "rounds=" << rep.rounds << " levels=" << rep.levels << "\n";
   for (int e = 0; e < g.num_edges(); ++e) {
@@ -117,9 +172,9 @@ int cmd_solve(int argc, char** argv) {
   if (argc < 3) return usage();
   std::ifstream in = open_or_die(argv[0]);
   const Graph g = io::read_edge_list(in);
-  const int u = std::atoi(argv[1]);
-  const int v = std::atoi(argv[2]);
-  const double eps = argc >= 4 ? std::atof(argv[3]) : 1e-8;
+  const int u = static_cast<int>(arg_int("solve: u", argv[1], 0, g.num_vertices() - 1));
+  const int v = static_cast<int>(arg_int("solve: v", argv[2], 0, g.num_vertices() - 1));
+  const double eps = argc >= 4 ? arg_double("solve: eps", argv[3], 1e-300, 0.5) : 1e-8;
   std::vector<double> b(static_cast<std::size_t>(g.num_vertices()), 0.0);
   b.at(static_cast<std::size_t>(u)) = 1.0;
   b.at(static_cast<std::size_t>(v)) = -1.0;
@@ -134,8 +189,10 @@ int cmd_resistance(int argc, char** argv) {
   if (argc < 3) return usage();
   std::ifstream in = open_or_die(argv[0]);
   const Graph g = io::read_edge_list(in);
-  const auto rep = solver::effective_resistance_clique(g, std::atoi(argv[1]),
-                                                       std::atoi(argv[2]));
+  const auto rep = solver::effective_resistance_clique(
+      g,
+      static_cast<int>(arg_int("resistance: u", argv[1], 0, g.num_vertices() - 1)),
+      static_cast<int>(arg_int("resistance: v", argv[2], 0, g.num_vertices() - 1)));
   std::cerr << "rounds=" << rep.rounds << "\n";
   std::cout << rep.resistance << "\n";
   return 0;
@@ -143,10 +200,12 @@ int cmd_resistance(int argc, char** argv) {
 
 int cmd_gen_maxflow(int argc, char** argv) {
   if (argc < 4) return usage();
-  const int n = std::atoi(argv[0]);
-  const int m = std::atoi(argv[1]);
-  const std::int64_t cap = std::atoll(argv[2]);
-  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  const int n = static_cast<int>(arg_int("gen-maxflow: n", argv[0], 2, 1000000));
+  const int m = static_cast<int>(arg_int("gen-maxflow: m", argv[1], 0, 100000000));
+  const std::int64_t cap =
+      arg_int("gen-maxflow: U", argv[2], 1, std::int64_t{1} << 40);
+  const auto seed = static_cast<std::uint64_t>(
+      arg_int("gen-maxflow: seed", argv[3], 0, std::numeric_limits<std::int64_t>::max()));
   io::MaxFlowProblem p;
   p.g = graph::random_flow_network(n, m, cap, seed);
   p.source = 0;
@@ -157,10 +216,12 @@ int cmd_gen_maxflow(int argc, char** argv) {
 
 int cmd_gen_mincost(int argc, char** argv) {
   if (argc < 4) return usage();
-  const int n = std::atoi(argv[0]);
-  const int m = std::atoi(argv[1]);
-  const std::int64_t w = std::atoll(argv[2]);
-  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  const int n = static_cast<int>(arg_int("gen-mincost: n", argv[0], 2, 1000000));
+  const int m = static_cast<int>(arg_int("gen-mincost: m", argv[1], 0, 100000000));
+  const std::int64_t w =
+      arg_int("gen-mincost: W", argv[2], 1, std::int64_t{1} << 40);
+  const auto seed = static_cast<std::uint64_t>(
+      arg_int("gen-mincost: seed", argv[3], 0, std::numeric_limits<std::int64_t>::max()));
   io::MinCostProblem p;
   p.g = graph::random_unit_cost_digraph(n, m, w, seed);
   p.sigma = graph::feasible_unit_demands(p.g, std::max(2, n / 5), seed + 1);
@@ -171,20 +232,39 @@ int cmd_gen_mincost(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off the global --trace flag before command dispatch.
+  // Peel off the global flags before command dispatch.
   const char* trace_path = nullptr;
+  const char* fault_spec = nullptr;
+  const char* fault_report = nullptr;
+  std::uint64_t fault_seed = 1;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
+  const auto flag_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << flag << " requires a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
-      if (i + 1 >= argc) {
-        std::cerr << "--trace requires an output path\n";
+      trace_path = flag_value(i, "--trace");
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      fault_spec = flag_value(i, "--faults");
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+      const char* v = flag_value(i, "--fault-seed");
+      try {
+        fault_seed = static_cast<std::uint64_t>(
+            arg_int("--fault-seed", v, 0, std::numeric_limits<std::int64_t>::max()));
+      } catch (const std::exception& ex) {
+        std::cerr << "error: " << ex.what() << "\n";
         return 2;
       }
-      trace_path = argv[++i];
-      continue;
+    } else if (std::strcmp(argv[i], "--fault-report") == 0) {
+      fault_report = flag_value(i, "--fault-report");
+    } else {
+      args.push_back(argv[i]);
     }
-    args.push_back(argv[i]);
   }
   if (args.size() < 2) return usage();
   const std::string cmd = args[1];
@@ -193,6 +273,18 @@ int main(int argc, char** argv) {
 
   obs::RoundLedger ledger;
   obs::TraceSession trace(trace_path != nullptr ? &ledger : nullptr);
+
+  std::unique_ptr<fault::FaultPlan> plan;
+  if (fault_spec != nullptr) {
+    try {
+      plan = std::make_unique<fault::FaultPlan>(fault::parse_fault_spec(fault_spec),
+                                                fault_seed);
+    } catch (const std::exception& ex) {
+      std::cerr << "error: " << ex.what() << "\n";
+      return 2;
+    }
+  }
+  fault::FaultSession faults(plan.get());
 
   int rc = 2;
   try {
@@ -222,6 +314,23 @@ int main(int argc, char** argv) {
       out << ledger.to_json_string() << "\n";
       std::cerr << "trace: " << trace_path << " (total_rounds="
                 << ledger.total_rounds() << ")\n";
+    }
+  }
+  if (plan != nullptr) {
+    const std::string summary = plan->to_json().dump_pretty();
+    if (fault_report == nullptr) {
+      std::cerr << summary << "\n";
+    } else if (std::strcmp(fault_report, "-") == 0) {
+      std::cout << summary << "\n";
+    } else {
+      std::ofstream out(fault_report);
+      if (!out) {
+        std::cerr << "cannot write " << fault_report << "\n";
+        return 2;
+      }
+      out << summary << "\n";
+      std::cerr << "fault report: " << fault_report << " (recovery_rounds="
+                << plan->stats().recovery_rounds << ")\n";
     }
   }
   return rc;
