@@ -7,6 +7,10 @@
 
 #include "bench_common.hpp"
 #include "core/api.hpp"
+#include "euler/euler_orient.hpp"
+#include "flow/dinic.hpp"
+#include "graph/generators.hpp"
+#include "spectral/sparsify.hpp"
 #include "graph/laplacian.hpp"
 #include "linalg/jacobi_eigen.hpp"
 
@@ -75,7 +79,7 @@ int main() {
     const bool ok = on.value == oracle.value && off.value == oracle.value;
     bench::row("%-10llu | %12lld | %12lld | %10d | %10d%s",
                static_cast<unsigned long long>(seed),
-               static_cast<long long>(on.rounds), static_cast<long long>(off.rounds),
+               static_cast<long long>(on.run.rounds), static_cast<long long>(off.run.rounds),
                on.finishing_augmenting_paths, off.finishing_augmenting_paths,
                ok ? "" : "  [MISMATCH]");
   }

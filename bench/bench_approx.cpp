@@ -6,6 +6,8 @@
 
 #include "bench_common.hpp"
 #include "core/api.hpp"
+#include "flow/baselines.hpp"
+#include "graph/generators.hpp"
 #include "flow/approx_maxflow.hpp"
 
 int main() {
@@ -26,7 +28,7 @@ int main() {
     const auto r = flow::approx_max_flow_undirected(g, 0, 23, net, opt);
     bench::row("%-8.2f | %6d | %10.2f | %10lld | %10lld | %8d | %8d", eps,
                g.num_edges(), r.value, static_cast<long long>(exact),
-               static_cast<long long>(r.rounds), r.iterations, r.probes);
+               static_cast<long long>(r.run.rounds), r.iterations, r.probes);
   }
 
   bench::row("%s", "");
@@ -43,7 +45,7 @@ int main() {
     opt.iteration_scale = 0.2;
     const auto r = flow::approx_max_flow_undirected(g, 0, n - 1, net, opt);
     bench::row("%-8s | %6d | %10.2f | %10lld | %10lld", "", m, r.value,
-               static_cast<long long>(exact), static_cast<long long>(r.rounds));
+               static_cast<long long>(exact), static_cast<long long>(r.run.rounds));
   }
   return 0;
 }

@@ -1,12 +1,54 @@
 // Shared table-printing helpers for the experiment binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
+#include "exec/pool.hpp"
 #include "obs/round_ledger.hpp"
 
 namespace lapclique::bench {
+
+/// Parse a `--threads 1,2,8` flag (comma-separated counts) into the list of
+/// thread counts a bench should sweep.  Empty / absent flag means the exec
+/// default (LAPCLIQUE_THREADS or 1), i.e. one row.  Values are clamped to
+/// [1, exec::kMaxThreads].
+inline std::vector<int> thread_sweep(int argc, char** argv) {
+  std::vector<int> out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") != 0) continue;
+    const char* p = argv[i + 1];
+    int v = 0;
+    bool digits = false;
+    for (;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        v = v * 10 + (*p - '0');
+        digits = true;
+        continue;
+      }
+      if (digits) {
+        if (v < 1) v = 1;
+        if (v > exec::kMaxThreads) v = exec::kMaxThreads;
+        out.push_back(v);
+      }
+      v = 0;
+      digits = false;
+      if (*p != ',') break;
+    }
+  }
+  if (out.empty()) out.push_back(exec::default_threads());
+  return out;
+}
+
+/// Monotonic wall-clock milliseconds (for thread-sweep speedup columns).
+inline double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 inline void header(const char* exp_id, const char* claim) {
   std::printf("=============================================================\n");

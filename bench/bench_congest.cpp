@@ -6,6 +6,7 @@
 #include "bench_common.hpp"
 #include "cliquesim/congest.hpp"
 #include "core/api.hpp"
+#include "graph/generators.hpp"
 
 int main() {
   using namespace lapclique;

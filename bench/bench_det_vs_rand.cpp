@@ -5,6 +5,8 @@
 
 #include "bench_common.hpp"
 #include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "spectral/random_sparsify.hpp"
 #include "graph/laplacian.hpp"
 #include "linalg/chebyshev.hpp"
 #include "linalg/cholesky.hpp"
@@ -56,7 +58,7 @@ int main() {
     net.charge(stats.iterations);
 
     bench::row("%-6d | %12d | %12lld | %12d | %12lld", n,
-               det.stats.sparsifier_edges, static_cast<long long>(det.rounds),
+               det.stats.sparsifier_edges, static_cast<long long>(det.run.rounds),
                h.num_edges(), static_cast<long long>(net.rounds()));
   }
   bench::row("%s", "");

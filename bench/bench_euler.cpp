@@ -3,6 +3,8 @@
 
 #include "bench_common.hpp"
 #include "core/api.hpp"
+#include "euler/euler_orient.hpp"
+#include "graph/generators.hpp"
 
 int main() {
   using namespace lapclique;

@@ -4,7 +4,9 @@
 // fault is the extra rounds charged under the "recovery" phase.
 #include "bench_common.hpp"
 #include "core/api.hpp"
+#include "euler/euler_orient.hpp"
 #include "fault/fault_plan.hpp"
+#include "graph/generators.hpp"
 
 int main() {
   using namespace lapclique;
@@ -48,7 +50,7 @@ int main() {
   sweep("laplacian n=96", [&](fault::FaultPlan* plan) {
     fault::FaultSession session(plan);
     const auto rep = solve_laplacian(lap_g, b, 1e-8);
-    return LapRun{rep.rounds, rep.x};
+    return LapRun{rep.run.rounds, rep.x};
   });
 
   struct EulerRun {
@@ -81,7 +83,7 @@ int main() {
     opt.iteration_scale = 0.02;
     opt.max_iterations = 300;
     const auto rep = max_flow(fg, 0, 15, opt);
-    return FlowRun{rep.rounds, rep.value, rep.flow};
+    return FlowRun{rep.run.rounds, rep.value, rep.flow};
   });
 
   return 0;

@@ -6,8 +6,10 @@
 
 #include "bench_common.hpp"
 #include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "solver/laplacian_solver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lapclique;
   bench::header("E1 (Theorem 1.1)",
                 "Laplacian solver: n^{o(1)} log(U/eps) rounds, deterministic");
@@ -53,6 +55,29 @@ int main() {
                static_cast<double>(cheb) / n);
   }
 
+  bench::row("%-28s | %7s | %10s | %12s", "sweep: threads (n=256)",
+             "threads", "wall ms", "rounds");
+  {
+    // Determinism on display: the round count (and the solution bits) must
+    // not move as the wall clock drops with more worker threads.
+    const Graph g = graph::random_connected_gnm(256, 1024, 29);
+    std::vector<double> b(256, 0.0);
+    b[0] = 1.0;
+    b[255] = -1.0;
+    std::int64_t rounds0 = -1;
+    for (int t : bench::thread_sweep(argc, argv)) {
+      Runtime rt;
+      rt.threads = t;
+      const double t0 = bench::now_ms();
+      const auto rep = solve_laplacian(g, b, 1e-6, {}, rt);
+      const double t1 = bench::now_ms();
+      if (rounds0 < 0) rounds0 = rep.run.rounds;
+      bench::row("%-28s | %7d | %10.1f | %12lld%s", "", t, t1 - t0,
+                 static_cast<long long>(rep.run.rounds),
+                 rep.run.rounds == rounds0 ? "" : "  [ROUNDS DIVERGED]");
+    }
+  }
+
   bench::row("%-28s | %6s | %12s", "sweep: U (n=96, eps=1e-6)", "U", "rounds");
   for (std::int64_t u : {1, 16, 256, 4096, 65536}) {
     const Graph g = graph::with_random_weights(
@@ -64,7 +89,7 @@ int main() {
       return b;
     }(), 1e-6);
     bench::row("%-28s | %6lld | %12lld", "", static_cast<long long>(u),
-               static_cast<long long>(rep.rounds));
+               static_cast<long long>(rep.run.rounds));
   }
   return 0;
 }

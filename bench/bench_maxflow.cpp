@@ -4,6 +4,9 @@
 
 #include "bench_common.hpp"
 #include "core/api.hpp"
+#include "flow/baselines.hpp"
+#include "flow/dinic.hpp"
+#include "graph/generators.hpp"
 
 int main() {
   using namespace lapclique;
@@ -37,7 +40,7 @@ int main() {
     bench::row("%-10s | %4d | %5d | %4lld | %9lld | %9lld | %9lld | %10.1f | %6d%s",
                name, g.num_vertices(), g.num_arcs(),
                static_cast<long long>(g.max_capacity()),
-               static_cast<long long>(ipm.rounds),
+               static_cast<long long>(ipm.run.rounds),
                static_cast<long long>(tr.rounds), static_cast<long long>(ff.rounds),
                bound, ipm.finishing_augmenting_paths, ok ? "" : "  [MISMATCH!]");
     if (show_breakdown) bench::breakdown("ipm phases", ledger);

@@ -4,6 +4,8 @@
 
 #include "bench_common.hpp"
 #include "core/api.hpp"
+#include "flow/ssp_mincost.hpp"
+#include "graph/generators.hpp"
 
 int main() {
   using namespace lapclique;
@@ -31,7 +33,7 @@ int main() {
     bench::row("%-8s | %4d | %5d | %5lld | %9lld | %12.1f | %7d | %6d | %6d%s",
                name, g.num_vertices(), g.num_arcs(),
                static_cast<long long>(g.max_cost()),
-               static_cast<long long>(ipm.rounds), bound, ipm.laplacian_solves,
+               static_cast<long long>(ipm.run.rounds), bound, ipm.laplacian_solves,
                ipm.finishing_paths, ipm.negative_cycles_cancelled,
                ok ? "" : "  [MISMATCH!]");
   };

@@ -3,6 +3,9 @@
 
 #include "bench_common.hpp"
 #include "core/api.hpp"
+#include "euler/flow_round.hpp"
+#include "flow/dinic.hpp"
+#include "graph/generators.hpp"
 #include "graph/rng.hpp"
 
 int main() {

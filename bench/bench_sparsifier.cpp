@@ -4,6 +4,7 @@
 
 #include "bench_common.hpp"
 #include "core/api.hpp"
+#include "graph/generators.hpp"
 #include "graph/laplacian.hpp"
 #include "linalg/jacobi_eigen.hpp"
 

@@ -9,6 +9,7 @@
 #include <map>
 
 #include "core/api.hpp"
+#include "graph/generators.hpp"
 #include "spectral/expander_decomp.hpp"
 
 int main() {

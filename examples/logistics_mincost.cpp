@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "core/api.hpp"
+#include "flow/ssp_mincost.hpp"
+#include "graph/generators.hpp"
 
 int main() {
   using namespace lapclique;
@@ -42,7 +44,7 @@ int main() {
               "%lld rounds each,\n   %d finishing paths, %d negative cycles "
               "cancelled)\n",
               ipm.feasible ? 1 : 0, static_cast<long long>(ipm.cost),
-              static_cast<long long>(ipm.rounds), ipm.ipm_iterations,
+              static_cast<long long>(ipm.run.rounds), ipm.ipm_iterations,
               ipm.perturbations, ipm.laplacian_solves,
               static_cast<long long>(ipm.rounds_per_solve), ipm.finishing_paths,
               ipm.negative_cycles_cancelled);

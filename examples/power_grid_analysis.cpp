@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "core/api.hpp"
+#include "graph/generators.hpp"
 #include "graph/rng.hpp"
 #include "solver/resistance.hpp"
 
@@ -35,7 +36,7 @@ int main() {
   const auto sp = sparsify(g);
   std::printf("Sparsifier: %d -> %d lines (%lld clique rounds), known to all "
               "controllers\n",
-              g.num_edges(), sp.h.num_edges(), static_cast<long long>(sp.rounds));
+              g.num_edges(), sp.h.num_edges(), static_cast<long long>(sp.run.rounds));
 
   // Electrical distances: corner-to-corner on the mesh, and a feeder pair.
   struct Pair {
@@ -59,14 +60,14 @@ int main() {
   // One distributed-accounted resistance query (Theorem 1.1 under the hood).
   const auto rep = effective_resistance(g, 0, 35, 1e-8);
   std::printf("Distributed query R(0,35) = %.4f in %lld clique rounds\n",
-              rep.resistance, static_cast<long long>(rep.rounds));
+              rep.resistance, static_cast<long long>(rep.run.rounds));
 
   // Cheap MST for the switching skeleton, while we are here ([LPSPP05]).
   const auto forest = minimum_spanning_forest(g);
   std::printf("Switching skeleton: %zu lines, weight %.1f, %d Boruvka phases, "
               "%lld rounds\n",
               forest.edges.size(), forest.total_weight, forest.phases,
-              static_cast<long long>(forest.rounds));
+              static_cast<long long>(forest.run.rounds));
 
   if (!ok) {
     std::printf("ERROR: sparsifier distorted a resistance beyond tolerance\n");

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/api.hpp"
+#include "graph/generators.hpp"
 
 int main() {
   using namespace lapclique;
@@ -22,7 +23,7 @@ int main() {
   const auto lap = solve_laplacian(g, b, /*eps=*/1e-8);
   std::printf("Laplacian solve:   n=64 m=256 eps=1e-8 -> %lld rounds "
               "(%d Chebyshev iterations, kappa=%.1f)\n",
-              static_cast<long long>(lap.rounds),
+              static_cast<long long>(lap.run.rounds),
               lap.stats.chebyshev_iterations, lap.stats.kappa);
 
   // --- 2. Spectral sparsifier ---------------------------------------------
@@ -30,14 +31,14 @@ int main() {
   const auto sp = sparsify(dense);
   std::printf("Sparsifier:        K48 (%d edges) -> %d edges in %lld rounds\n",
               dense.num_edges(), sp.h.num_edges(),
-              static_cast<long long>(sp.rounds));
+              static_cast<long long>(sp.run.rounds));
 
   // --- 3. Eulerian orientation ---------------------------------------------
   const Graph euler_graph = graph::doubled(graph::grid(6, 6));
   const auto orient = eulerian_orientation(euler_graph);
   std::printf("Euler orientation: doubled 6x6 grid (%d edges) -> balanced in "
               "%lld rounds (%d contraction levels)\n",
-              euler_graph.num_edges(), static_cast<long long>(orient.rounds),
+              euler_graph.num_edges(), static_cast<long long>(orient.run.rounds),
               orient.levels);
 
   // --- 4. Exact maximum flow ----------------------------------------------
@@ -48,7 +49,7 @@ int main() {
   std::printf("Max flow:          n=20 m=60 U=8 -> value %lld in %lld rounds "
               "(%d IPM iterations, %d finishing paths)\n",
               static_cast<long long>(mf.value),
-              static_cast<long long>(mf.rounds), mf.ipm_iterations,
+              static_cast<long long>(mf.run.rounds), mf.ipm_iterations,
               mf.finishing_augmenting_paths);
   return 0;
 }

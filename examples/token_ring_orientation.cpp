@@ -11,6 +11,8 @@
 #include <cstdio>
 
 #include "core/api.hpp"
+#include "euler/euler_orient.hpp"
+#include "graph/generators.hpp"
 
 int main() {
   using namespace lapclique;
@@ -24,7 +26,7 @@ int main() {
     std::printf("n=%5d switches, %6d channels: balanced=%s, %lld rounds, "
                 "%d contraction levels\n",
                 n, overlay.num_edges(), ok ? "yes" : "NO",
-                static_cast<long long>(rep.rounds), rep.levels);
+                static_cast<long long>(rep.run.rounds), rep.levels);
     if (!ok) return 1;
   }
 

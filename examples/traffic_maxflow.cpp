@@ -9,6 +9,9 @@
 #include <cstdio>
 
 #include "core/api.hpp"
+#include "flow/baselines.hpp"
+#include "flow/dinic.hpp"
+#include "graph/generators.hpp"
 
 int main() {
   using namespace lapclique;
@@ -35,7 +38,7 @@ int main() {
               "  (%d IPM iterations, %d Laplacian solves at %lld rounds each, "
               "%d boosting steps, %d finishing paths)\n",
               static_cast<long long>(ipm.value),
-              static_cast<long long>(ipm.rounds), ipm.ipm_iterations,
+              static_cast<long long>(ipm.run.rounds), ipm.ipm_iterations,
               ipm.laplacian_solves, static_cast<long long>(ipm.rounds_per_solve),
               ipm.boosting_steps, ipm.finishing_augmenting_paths);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "exec/pool.hpp"
+
 namespace lapclique::clique {
 
 namespace {
@@ -14,6 +16,73 @@ std::string violation_message(const std::string& phase,
   out << "bandwidth violation in " << primitive << " (phase '" << phase
       << "'): offered load " << offered << " exceeds limit " << limit;
   return out.str();
+}
+
+/// Messages per shard for batch scans; integer tallies are exact under any
+/// sharding, so the grain is purely a dispatch-cost knob.
+constexpr std::int64_t kMsgGrain = 4096;
+
+/// Per-node send/receive histograms plus the worst ordered-pair multiplicity
+/// for one message batch.  Built in parallel: per-shard integer histograms
+/// merged in shard-index order (exact), multiplicity via a key sort (the max
+/// run length is order-independent).  Validation happens here, before any
+/// network state changes, so callers keep the strong exception guarantee.
+struct BatchTally {
+  std::vector<std::int64_t> sent;
+  std::vector<std::int64_t> recv;
+  std::int64_t worst_mult = 0;
+};
+
+BatchTally tally_batch(int n, const std::vector<Msg>& msgs, bool want_mult) {
+  const auto m = static_cast<std::int64_t>(msgs.size());
+  BatchTally t;
+  t.sent.assign(static_cast<std::size_t>(n), 0);
+  t.recv.assign(static_cast<std::size_t>(n), 0);
+
+  struct ShardHist {
+    std::vector<std::int64_t> sent;
+    std::vector<std::int64_t> recv;
+  };
+  std::vector<ShardHist> parts = exec::sharded_map<ShardHist>(
+      m, kMsgGrain, [n, &msgs](std::int64_t /*shard*/, std::int64_t b, std::int64_t e) {
+        ShardHist h;
+        h.sent.assign(static_cast<std::size_t>(n), 0);
+        h.recv.assign(static_cast<std::size_t>(n), 0);
+        for (std::int64_t i = b; i < e; ++i) {
+          const Msg& msg = msgs[static_cast<std::size_t>(i)];
+          if (msg.src < 0 || msg.src >= n || msg.dst < 0 || msg.dst >= n) {
+            throw std::out_of_range("Network: node id out of range");
+          }
+          ++h.sent[static_cast<std::size_t>(msg.src)];
+          ++h.recv[static_cast<std::size_t>(msg.dst)];
+        }
+        return h;
+      });
+  for (const ShardHist& h : parts) {
+    for (int v = 0; v < n; ++v) {
+      t.sent[static_cast<std::size_t>(v)] += h.sent[static_cast<std::size_t>(v)];
+      t.recv[static_cast<std::size_t>(v)] += h.recv[static_cast<std::size_t>(v)];
+    }
+  }
+
+  if (want_mult && m > 0) {
+    std::vector<std::int64_t> keys(static_cast<std::size_t>(m));
+    exec::parallel_for(m, kMsgGrain, [n, &msgs, &keys](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const Msg& msg = msgs[static_cast<std::size_t>(i)];
+        keys[static_cast<std::size_t>(i)] =
+            static_cast<std::int64_t>(msg.src) * n + msg.dst;
+      }
+    });
+    std::sort(keys.begin(), keys.end());
+    std::int64_t run = 1;
+    t.worst_mult = 1;
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+      run = keys[i] == keys[i - 1] ? run + 1 : 1;
+      t.worst_mult = std::max(t.worst_mult, run);
+    }
+  }
+  return t;
 }
 
 }  // namespace
@@ -94,79 +163,77 @@ void Network::record(const char* primitive, std::int64_t rounds,
 }
 
 void Network::deliver(const std::vector<Msg>& msgs) {
-  for (const Msg& m : msgs) {
-    check_node(m.src);
-    check_node(m.dst);
-    inboxes_[static_cast<std::size_t>(m.dst)].push_back(m);
+  const auto m = static_cast<std::int64_t>(msgs.size());
+  if (m == 0) return;
+  // Slot-based parallel delivery.  A sequential pass fixes each message's
+  // inbox slot in arrival order (so inbox contents are byte-identical to the
+  // old push_back loop at every thread count); the message copies then fan
+  // out over the pool.
+  std::vector<std::int64_t> cnt(static_cast<std::size_t>(n_), 0);
+  for (const Msg& msg : msgs) {
+    check_node(msg.src);
+    check_node(msg.dst);
+    ++cnt[static_cast<std::size_t>(msg.dst)];
   }
+  std::vector<Msg*> cursor(static_cast<std::size_t>(n_));
+  for (int v = 0; v < n_; ++v) {
+    auto& box = inboxes_[static_cast<std::size_t>(v)];
+    const std::size_t old = box.size();
+    box.resize(old + static_cast<std::size_t>(cnt[static_cast<std::size_t>(v)]));
+    cursor[static_cast<std::size_t>(v)] = box.data() + old;
+  }
+  std::vector<Msg*> slot(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    slot[static_cast<std::size_t>(i)] =
+        cursor[static_cast<std::size_t>(msgs[static_cast<std::size_t>(i)].dst)]++;
+  }
+  exec::parallel_for(m, kMsgGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      *slot[static_cast<std::size_t>(i)] = msgs[static_cast<std::size_t>(i)];
+    }
+  });
 }
 
 void Network::exchange(const std::vector<Msg>& msgs) {
   if (msgs.empty()) return;
   // Rounds = max multiplicity over ordered (src,dst) pairs.
-  std::map<std::pair<int, int>, std::int64_t> mult;
-  std::vector<std::int64_t> sent(static_cast<std::size_t>(n_), 0);
-  std::vector<std::int64_t> recv(static_cast<std::size_t>(n_), 0);
-  for (const Msg& m : msgs) {
-    check_node(m.src);
-    check_node(m.dst);
-    ++mult[{m.src, m.dst}];
-    ++sent[static_cast<std::size_t>(m.src)];
-    ++recv[static_cast<std::size_t>(m.dst)];
-  }
-  std::int64_t rounds = 0;
-  for (const auto& [pair, k] : mult) rounds = std::max(rounds, k);
+  BatchTally t = tally_batch(n_, msgs, /*want_mult=*/true);
   deliver(msgs);
-  record("exchange", rounds, static_cast<std::int64_t>(msgs.size()), sent, recv);
+  record("exchange", t.worst_mult, static_cast<std::int64_t>(msgs.size()),
+         t.sent, t.recv);
   run_recovery(msgs);
 }
 
 void Network::transmit_subround(const std::vector<Msg>& msgs) {
   if (msgs.empty()) return;
-  // Validate the whole batch before touching any state (strong guarantee).
-  std::map<std::pair<int, int>, std::int64_t> mult;
-  std::vector<std::int64_t> sent(static_cast<std::size_t>(n_), 0);
-  std::vector<std::int64_t> recv(static_cast<std::size_t>(n_), 0);
-  std::int64_t worst = 0;
-  for (const Msg& m : msgs) {
-    check_node(m.src);
-    check_node(m.dst);
-    worst = std::max(worst, ++mult[{m.src, m.dst}]);
-    ++sent[static_cast<std::size_t>(m.src)];
-    ++recv[static_cast<std::size_t>(m.dst)];
-  }
-  if (worst > 1) raise_violation("transmit_subround", worst, 1);
+  // Validate the whole batch before touching any state (strong guarantee):
+  // tally_batch only reads msgs.
+  BatchTally t = tally_batch(n_, msgs, /*want_mult=*/true);
+  if (t.worst_mult > 1) raise_violation("transmit_subround", t.worst_mult, 1);
   deliver(msgs);
-  record("transmit_subround", 1, static_cast<std::int64_t>(msgs.size()), sent,
-         recv);
+  record("transmit_subround", 1, static_cast<std::int64_t>(msgs.size()), t.sent,
+         t.recv);
   run_recovery(msgs);
 }
 
 void Network::lenzen_route(const std::vector<Msg>& msgs) {
   if (msgs.empty()) return;
-  std::vector<std::int64_t> sent(static_cast<std::size_t>(n_), 0);
-  std::vector<std::int64_t> recv(static_cast<std::size_t>(n_), 0);
-  for (const Msg& m : msgs) {
-    check_node(m.src);
-    check_node(m.dst);
-    ++sent[static_cast<std::size_t>(m.src)];
-    ++recv[static_cast<std::size_t>(m.dst)];
-  }
+  BatchTally t = tally_batch(n_, msgs, /*want_mult=*/false);
   const std::int64_t max_load =
-      std::max(*std::max_element(sent.begin(), sent.end()),
-               *std::max_element(recv.begin(), recv.end()));
+      std::max(*std::max_element(t.sent.begin(), t.sent.end()),
+               *std::max_element(t.recv.begin(), t.recv.end()));
   // Load c = ceil(max_load / n); Lenzen routes a c-load instance in O(c).
   const std::int64_t c = (max_load + n_ - 1) / n_;
   if (routing_mode_ == RoutingMode::kExecuted) {
     const std::int64_t used = execute_route(msgs, c);
-    record("lenzen_route", used, static_cast<std::int64_t>(msgs.size()), sent,
-           recv);
+    record("lenzen_route", used, static_cast<std::int64_t>(msgs.size()), t.sent,
+           t.recv);
     run_recovery(msgs);
     return;
   }
   deliver(msgs);
   record("lenzen_route", lenzen_constant_ * c,
-         static_cast<std::int64_t>(msgs.size()), sent, recv);
+         static_cast<std::int64_t>(msgs.size()), t.sent, t.recv);
   run_recovery(msgs);
 }
 
@@ -200,14 +267,22 @@ std::int64_t Network::execute_route(const std::vector<Msg>& msgs, std::int64_t c
   std::int64_t rounds = 4;  // the sorting primitive
 
   // Schedule one phase of moves into sub-rounds (no ordered pair repeats
-  // within one sub-round); returns the number of sub-rounds used.
-  const auto run_phase = [](const std::vector<std::pair<int, int>>& moves) {
-    std::map<std::pair<int, int>, std::int64_t> next_free;
-    std::int64_t used = 0;
+  // within one sub-round); the greedy slot assignment uses `used` =
+  // max multiplicity over ordered pairs, counted by key sort.
+  const auto run_phase = [this](const std::vector<std::pair<int, int>>& moves) {
+    std::vector<std::int64_t> keys;
+    keys.reserve(moves.size());
     for (const auto& mv : moves) {
       if (mv.first == mv.second) continue;  // staying put is free
-      const std::int64_t slot = next_free[mv]++;
-      used = std::max(used, slot + 1);
+      keys.push_back(static_cast<std::int64_t>(mv.first) * n_ + mv.second);
+    }
+    if (keys.empty()) return std::int64_t{0};
+    std::sort(keys.begin(), keys.end());
+    std::int64_t used = 1;
+    std::int64_t run = 1;
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+      run = keys[i] == keys[i - 1] ? run + 1 : 1;
+      used = std::max(used, run);
     }
     return used;
   };
@@ -289,10 +364,20 @@ void Network::run_recovery(const std::vector<Msg>& msgs) {
   }
   if (!failed.empty()) ++st.faulty_batches;
 
-  const auto max_pair_mult = [](const std::vector<const Msg*>& ms) {
-    std::map<std::pair<int, int>, std::int64_t> mult;
-    std::int64_t worst = 0;
-    for (const Msg* m : ms) worst = std::max(worst, ++mult[{m->src, m->dst}]);
+  const auto max_pair_mult = [this](const std::vector<const Msg*>& ms) {
+    std::vector<std::int64_t> keys;
+    keys.reserve(ms.size());
+    for (const Msg* m : ms) {
+      keys.push_back(static_cast<std::int64_t>(m->src) * n_ + m->dst);
+    }
+    if (keys.empty()) return std::int64_t{0};
+    std::sort(keys.begin(), keys.end());
+    std::int64_t worst = 1;
+    std::int64_t run = 1;
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+      run = keys[i] == keys[i - 1] ? run + 1 : 1;
+      worst = std::max(worst, run);
+    }
     return worst;
   };
 

@@ -1,93 +1,153 @@
 #include "core/api.hpp"
 
+#include "euler/euler_orient.hpp"
+#include "exec/pool.hpp"
+
 namespace lapclique {
+
+// Every entry point: bound the pool to the runtime's thread count for the
+// duration of the call, build a Network configured by the runtime, run the
+// algorithm, snapshot the accounting into report.run.  The parameterless
+// overloads delegate with default_runtime().
 
 solver::CliqueSolveReport solve_laplacian(const Graph& g, std::span<const double> b,
                                           double eps,
                                           const solver::LaplacianSolverOptions& opt) {
-  return solver::solve_laplacian_clique(g, b, eps, opt);
+  return solve_laplacian(g, b, eps, opt, default_runtime());
+}
+
+solver::CliqueSolveReport solve_laplacian(const Graph& g, std::span<const double> b,
+                                          double eps,
+                                          const solver::LaplacianSolverOptions& opt,
+                                          const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
+  return solver::solve_laplacian_clique(g, b, eps, opt, net);
 }
 
 SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt) {
-  clique::Network net(std::max(g.num_vertices(), 2));
-  net.set_tracer(obs::default_ledger());
-  net.set_fault_plan(fault::default_plan());
+  return sparsify(g, opt, default_runtime());
+}
+
+SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt,
+                        const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
   SparsifyReport rep;
   spectral::SparsifyResult r = spectral::deterministic_sparsify(g, opt, &net);
   rep.h = std::move(r.h);
   rep.stats = r.stats;
-  rep.rounds = net.rounds();
+  rep.run.capture(net);
   return rep;
 }
 
 OrientationReport eulerian_orientation(const Graph& g) {
-  clique::Network net(std::max(g.num_vertices(), 2));
-  net.set_tracer(obs::default_ledger());
-  net.set_fault_plan(fault::default_plan());
+  return eulerian_orientation(g, default_runtime());
+}
+
+OrientationReport eulerian_orientation(const Graph& g, const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
   OrientationReport rep;
   const euler::OrientationResult r = euler::eulerian_orientation(g, net);
   rep.orientation = r.orientation;
-  rep.rounds = r.rounds;
   rep.levels = r.levels;
+  rep.run.capture(net);
   return rep;
 }
 
 RoundFlowReport round_flow(const Digraph& g, const graph::Flow& f, int s, int t,
                            const euler::FlowRoundingOptions& opt) {
-  clique::Network net(std::max(g.num_vertices(), 2));
-  net.set_tracer(obs::default_ledger());
-  net.set_fault_plan(fault::default_plan());
+  return round_flow(g, f, s, t, opt, default_runtime());
+}
+
+RoundFlowReport round_flow(const Digraph& g, const graph::Flow& f, int s, int t,
+                           const euler::FlowRoundingOptions& opt,
+                           const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
   RoundFlowReport rep;
   const euler::FlowRoundingResult r = euler::round_flow(g, f, s, t, net, opt);
   rep.flow = r.flow;
-  rep.rounds = r.rounds;
   rep.phases = r.phases;
+  rep.run.capture(net);
   return rep;
 }
 
 flow::MaxFlowIpmReport max_flow(const Digraph& g, int s, int t,
                                 const flow::MaxFlowIpmOptions& opt) {
-  clique::Network net(std::max(g.num_vertices(), 2));
-  net.set_tracer(obs::default_ledger());
-  net.set_fault_plan(fault::default_plan());
+  return max_flow(g, s, t, opt, default_runtime());
+}
+
+flow::MaxFlowIpmReport max_flow(const Digraph& g, int s, int t,
+                                const flow::MaxFlowIpmOptions& opt,
+                                const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
   return flow::max_flow_clique(g, s, t, net, opt);
 }
 
 flow::MinCostIpmReport min_cost_flow(const Digraph& g,
                                      std::span<const std::int64_t> sigma,
                                      const flow::MinCostIpmOptions& opt) {
-  clique::Network net(std::max(g.num_vertices(), 2));
-  net.set_tracer(obs::default_ledger());
-  net.set_fault_plan(fault::default_plan());
+  return min_cost_flow(g, sigma, opt, default_runtime());
+}
+
+flow::MinCostIpmReport min_cost_flow(const Digraph& g,
+                                     std::span<const std::int64_t> sigma,
+                                     const flow::MinCostIpmOptions& opt,
+                                     const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
   return flow::min_cost_flow_clique(g, sigma, net, opt);
 }
 
 flow::MinCostMaxFlowReport min_cost_max_flow(const Digraph& g, int s, int t,
                                              const flow::MinCostIpmOptions& opt) {
-  clique::Network net(std::max(g.num_vertices(), 2));
-  net.set_tracer(obs::default_ledger());
-  net.set_fault_plan(fault::default_plan());
+  return min_cost_max_flow(g, s, t, opt, default_runtime());
+}
+
+flow::MinCostMaxFlowReport min_cost_max_flow(const Digraph& g, int s, int t,
+                                             const flow::MinCostIpmOptions& opt,
+                                             const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
   return flow::min_cost_max_flow_clique(g, s, t, net, opt);
 }
 
 flow::ApproxMaxFlowReport approx_max_flow(const Graph& g, int s, int t,
                                           const flow::ApproxMaxFlowOptions& opt) {
-  clique::Network net(std::max(g.num_vertices(), 2));
-  net.set_tracer(obs::default_ledger());
-  net.set_fault_plan(fault::default_plan());
+  return approx_max_flow(g, s, t, opt, default_runtime());
+}
+
+flow::ApproxMaxFlowReport approx_max_flow(const Graph& g, int s, int t,
+                                          const flow::ApproxMaxFlowOptions& opt,
+                                          const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
   return flow::approx_max_flow_undirected(g, s, t, net, opt);
 }
 
 mst::MstResult minimum_spanning_forest(const Graph& g) {
-  clique::Network net(std::max(g.num_vertices(), 2));
-  net.set_tracer(obs::default_ledger());
-  net.set_fault_plan(fault::default_plan());
+  return minimum_spanning_forest(g, default_runtime());
+}
+
+mst::MstResult minimum_spanning_forest(const Graph& g, const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
   return mst::boruvka_clique(g, net);
 }
 
 solver::ResistanceReport effective_resistance(const Graph& g, int u, int v,
                                               double eps) {
-  return solver::effective_resistance_clique(g, u, v, eps);
+  return effective_resistance(g, u, v, eps, default_runtime());
+}
+
+solver::ResistanceReport effective_resistance(const Graph& g, int u, int v,
+                                              double eps, const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
+  return solver::effective_resistance_clique(g, u, v, eps, {}, net);
 }
 
 }  // namespace lapclique

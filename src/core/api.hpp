@@ -9,88 +9,88 @@
 //   * lapclique::min_cost_flow     — Theorem 1.3
 //
 // Every entry point returns the answer together with the congested-clique
-// round report (the quantity the theorems bound).  See README.md for a
-// quickstart and DESIGN.md for the architecture.
+// accounting block (`report.run` — the quantity the theorems bound), and
+// every entry point has a second overload taking a `lapclique::Runtime`
+// (threads, trace sink, fault plan, routing options); the short forms run
+// on default_runtime().  Results are bit-identical for every thread count.
+//
+// This header carries declarations only; result structs live in
+// core/api_types.hpp.  Generators, DIMACS I/O, and the sequential baselines
+// are NOT re-exported here — include graph/generators.hpp, io/dimacs.hpp,
+// flow/baselines.hpp, ... directly.  See README.md for a quickstart and
+// DESIGN.md for the architecture.
 #pragma once
 
-#include "euler/euler_orient.hpp"
-#include "euler/flow_round.hpp"
-#include "flow/approx_maxflow.hpp"
-#include "flow/baselines.hpp"
-#include "flow/dinic.hpp"
-#include "flow/maxflow_ipm.hpp"
-#include "flow/mincost_ipm.hpp"
-#include "flow/mincost_maxflow.hpp"
-#include "flow/ssp_mincost.hpp"
-#include "graph/digraph.hpp"
-#include "graph/generators.hpp"
-#include "graph/graph.hpp"
-#include "io/dimacs.hpp"
-#include "mst/boruvka.hpp"
-#include "solver/clique_laplacian.hpp"
-#include "solver/resistance.hpp"
-#include "spectral/random_sparsify.hpp"
-#include "spectral/sparsify.hpp"
+#include "core/api_types.hpp"
+#include "core/runtime.hpp"
 
 namespace lapclique {
-
-using graph::Digraph;
-using graph::Graph;
 
 /// Theorem 1.1: solve L_G x = b up to eps in the L_G norm, deterministically,
 /// with full congested-clique round accounting.
 solver::CliqueSolveReport solve_laplacian(
     const Graph& g, std::span<const double> b, double eps,
     const solver::LaplacianSolverOptions& opt = {});
+solver::CliqueSolveReport solve_laplacian(const Graph& g,
+                                          std::span<const double> b, double eps,
+                                          const solver::LaplacianSolverOptions& opt,
+                                          const Runtime& rt);
 
 /// Theorem 3.3: deterministic spectral sparsifier (known to every node).
-struct SparsifyReport {
-  Graph h;
-  spectral::SparsifyStats stats;
-  std::int64_t rounds = 0;
-};
 SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt = {});
+SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt,
+                        const Runtime& rt);
 
 /// Theorem 1.4: Eulerian orientation of an even-degree graph.
-struct OrientationReport {
-  std::vector<std::int8_t> orientation;  ///< +1: u->v, -1: v->u
-  std::int64_t rounds = 0;
-  int levels = 0;
-};
 OrientationReport eulerian_orientation(const Graph& g);
+OrientationReport eulerian_orientation(const Graph& g, const Runtime& rt);
 
 /// Lemma 4.2: round a Delta-granular fractional s-t flow to integral.
-struct RoundFlowReport {
-  graph::Flow flow;
-  std::int64_t rounds = 0;
-  int phases = 0;
-};
 RoundFlowReport round_flow(const Digraph& g, const graph::Flow& f, int s, int t,
                            const euler::FlowRoundingOptions& opt = {});
+RoundFlowReport round_flow(const Digraph& g, const graph::Flow& f, int s, int t,
+                           const euler::FlowRoundingOptions& opt,
+                           const Runtime& rt);
 
 /// Theorem 1.2: exact maximum flow.
 flow::MaxFlowIpmReport max_flow(const Digraph& g, int s, int t,
                                 const flow::MaxFlowIpmOptions& opt = {});
+flow::MaxFlowIpmReport max_flow(const Digraph& g, int s, int t,
+                                const flow::MaxFlowIpmOptions& opt,
+                                const Runtime& rt);
 
 /// Theorem 1.3: exact unit-capacity minimum-cost flow.
 flow::MinCostIpmReport min_cost_flow(const Digraph& g,
                                      std::span<const std::int64_t> sigma,
                                      const flow::MinCostIpmOptions& opt = {});
+flow::MinCostIpmReport min_cost_flow(const Digraph& g,
+                                     std::span<const std::int64_t> sigma,
+                                     const flow::MinCostIpmOptions& opt,
+                                     const Runtime& rt);
 
 /// §2.4 remark: min-cost *maximum* s-t flow by binary search over values.
 flow::MinCostMaxFlowReport min_cost_max_flow(const Digraph& g, int s, int t,
                                              const flow::MinCostIpmOptions& opt = {});
+flow::MinCostMaxFlowReport min_cost_max_flow(const Digraph& g, int s, int t,
+                                             const flow::MinCostIpmOptions& opt,
+                                             const Runtime& rt);
 
 /// §1.1 comparison family: (1+eps)-approximate undirected max flow via
 /// multiplicative-weights electrical flows.
 flow::ApproxMaxFlowReport approx_max_flow(const Graph& g, int s, int t,
                                           const flow::ApproxMaxFlowOptions& opt = {});
+flow::ApproxMaxFlowReport approx_max_flow(const Graph& g, int s, int t,
+                                          const flow::ApproxMaxFlowOptions& opt,
+                                          const Runtime& rt);
 
 /// [LPSPP05] (the model's founding problem): minimum spanning forest.
 mst::MstResult minimum_spanning_forest(const Graph& g);
+mst::MstResult minimum_spanning_forest(const Graph& g, const Runtime& rt);
 
 /// Effective resistance via one Theorem 1.1 solve.
 solver::ResistanceReport effective_resistance(const Graph& g, int u, int v,
                                               double eps = 1e-8);
+solver::ResistanceReport effective_resistance(const Graph& g, int u, int v,
+                                              double eps, const Runtime& rt);
 
 }  // namespace lapclique

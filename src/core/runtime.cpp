@@ -1,0 +1,55 @@
+#include "core/runtime.hpp"
+
+#include <utility>
+
+#include "exec/pool.hpp"
+
+namespace lapclique {
+
+int Runtime::resolved_threads() const {
+  if (threads < 1) return exec::default_threads();
+  return threads > exec::kMaxThreads ? exec::kMaxThreads : threads;
+}
+
+obs::RoundLedger* Runtime::resolved_trace() const {
+  return trace != nullptr ? trace : obs::default_ledger();
+}
+
+fault::FaultPlan* Runtime::resolved_faults() const {
+  return faults != nullptr ? faults : fault::default_plan();
+}
+
+namespace {
+Runtime g_default_runtime;
+}  // namespace
+
+const Runtime& default_runtime() { return g_default_runtime; }
+
+void set_default_runtime(const Runtime& rt) { g_default_runtime = rt; }
+
+clique::Network make_network(int n, const Runtime& rt) {
+  clique::Network net(n < 2 ? 2 : n);
+  net.set_tracer(rt.resolved_trace());
+  net.set_fault_plan(rt.resolved_faults());
+  net.set_routing_mode(rt.routing_mode);
+  net.set_lenzen_constant(rt.lenzen_constant);
+  return net;
+}
+
+obs::json::Value runtime_to_json(const Runtime& rt) {
+  obs::json::Object o;
+  o["threads"] = rt.resolved_threads();
+  o["trace_enabled"] = rt.resolved_trace() != nullptr;
+  const fault::FaultPlan* plan = rt.resolved_faults();
+  o["faults_enabled"] = plan != nullptr;
+  if (plan != nullptr) {
+    o["fault_spec"] = fault::to_string(plan->spec());
+    o["fault_seed"] = static_cast<std::int64_t>(plan->seed());
+  }
+  o["routing_mode"] =
+      rt.routing_mode == clique::RoutingMode::kCharged ? "charged" : "executed";
+  o["lenzen_constant"] = rt.lenzen_constant;
+  return obs::json::Value(std::move(o));
+}
+
+}  // namespace lapclique

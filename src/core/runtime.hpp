@@ -1,0 +1,61 @@
+// lapclique::Runtime — the execution context every public entry point
+// accepts: worker threads, trace sink, fault plan, and routing options.
+//
+// Threads, tracing, and fault injection used to be configured through three
+// unrelated globals (exec::set_threads, obs::set_default_ledger,
+// fault::set_default_plan); a Runtime carries them together so one value
+// describes a run completely:
+//
+//   lapclique::Runtime rt;
+//   rt.threads = 8;
+//   rt.trace = &my_ledger;
+//   auto rep = lapclique::solve_laplacian(g, b, 1e-8, {}, rt);
+//
+// Every field has a "resolve from the process defaults" null state, and the
+// parameterless API entry points are thin wrappers over default_runtime(),
+// so existing callers compile unchanged.  Determinism note: the thread
+// count never affects results — see exec/pool.hpp and docs/PERFORMANCE.md.
+#pragma once
+
+#include <string>
+
+#include "cliquesim/network.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/round_ledger.hpp"
+
+namespace lapclique {
+
+struct Runtime {
+  /// Worker threads for exec::parallel_for regions; 0 resolves to
+  /// exec::default_threads() (the LAPCLIQUE_THREADS env var, else 1).
+  int threads = 0;
+  /// Round ledger observing every network op; nullptr resolves to
+  /// obs::default_ledger() (which may itself be null = tracing off).
+  obs::RoundLedger* trace = nullptr;
+  /// Fault plan driving the recovery drills; nullptr resolves to
+  /// fault::default_plan() (which may itself be null = faults off).
+  fault::FaultPlan* faults = nullptr;
+  /// How lenzen_route realizes batches (charged vs executed schedules).
+  clique::RoutingMode routing_mode = clique::RoutingMode::kCharged;
+  /// Constant in the charged Lenzen bound (Theorem 1.4 uses 16).
+  int lenzen_constant = 16;
+
+  [[nodiscard]] int resolved_threads() const;
+  [[nodiscard]] obs::RoundLedger* resolved_trace() const;
+  [[nodiscard]] fault::FaultPlan* resolved_faults() const;
+};
+
+/// The process-wide runtime used by the parameterless API entry points.
+[[nodiscard]] const Runtime& default_runtime();
+void set_default_runtime(const Runtime& rt);
+
+/// Build an n-node Network configured by `rt` (tracer, fault plan, routing
+/// mode, Lenzen constant).  n is clamped to >= 2 as the facades always did.
+[[nodiscard]] clique::Network make_network(int n,
+                                           const Runtime& rt = default_runtime());
+
+/// JSON object describing the resolved runtime config — the CLI embeds this
+/// under the "runtime" key of --trace / --fault-report output.
+[[nodiscard]] obs::json::Value runtime_to_json(const Runtime& rt = default_runtime());
+
+}  // namespace lapclique

@@ -105,6 +105,7 @@ ApproxMaxFlowReport approx_max_flow_undirected(const Graph& g, int s, int t,
   }
   net.set_phase("approx_maxflow");
   const std::int64_t before = net.rounds();
+  const std::int64_t words_before = net.words_sent();
   ApproxMaxFlowReport rep;
   rep.flow.assign(static_cast<std::size_t>(g.num_edges()), 0.0);
 
@@ -124,7 +125,7 @@ ApproxMaxFlowReport approx_max_flow_undirected(const Graph& g, int s, int t,
   double lo = 0;
   double hi = std::min(g.weighted_degree(s), g.weighted_degree(t));
   if (hi <= 0) {
-    rep.rounds = net.rounds() - before;
+    rep.run.capture(net, before, words_before);
     return rep;
   }
   // Establish a feasible starting point at the scale of the answer.
@@ -144,7 +145,7 @@ ApproxMaxFlowReport approx_max_flow_undirected(const Graph& g, int s, int t,
       hi = mid;
     }
   }
-  rep.rounds = net.rounds() - before;
+  rep.run.capture(net, before, words_before);
   return rep;
 }
 

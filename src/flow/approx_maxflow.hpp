@@ -17,6 +17,7 @@
 #pragma once
 
 #include "cliquesim/network.hpp"
+#include "cliquesim/run_info.hpp"
 #include "flow/electrical.hpp"
 #include "graph/graph.hpp"
 
@@ -33,7 +34,7 @@ struct ApproxMaxFlowOptions {
 struct ApproxMaxFlowReport {
   double value = 0;              ///< feasible flow value found ( >= (1-eps) F* )
   std::vector<double> flow;      ///< signed flow per undirected edge (+ = u->v)
-  std::int64_t rounds = 0;
+  RunInfo run;                   ///< accounting across all probes
   std::int64_t rounds_per_solve = 0;
   int iterations = 0;            ///< electrical-flow computations
   int probes = 0;                ///< binary-search probes

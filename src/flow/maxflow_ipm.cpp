@@ -369,6 +369,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   }
   net.set_phase("maxflow/setup");
   const std::int64_t rounds_before = net.rounds();
+  const std::int64_t words_before = net.words_sent();
   const std::int64_t max_cap = std::max<std::int64_t>(g.max_capacity(), 1);
 
   MaxFlowIpmReport rep;
@@ -376,7 +377,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
 
   Transformed tr = build_transformed(g, s, t, max_cap);
   if (tr.edges.empty()) {
-    rep.rounds = net.rounds() - rounds_before;
+    rep.run.capture(net, rounds_before, words_before);
     return rep;  // no s-t flow possible
   }
   const auto m = static_cast<double>(tr.edges.size());
@@ -445,8 +446,8 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
       throw std::runtime_error(std::string("max_flow_clique: ") + reason +
                                " (fallback disabled)");
     }
-    rep.used_fallback = true;
-    rep.fallback_reason = reason;
+    rep.run.used_fallback = true;
+    rep.run.fallback_reason = reason;
     if (plan != nullptr) ++plan->stats().ipm_fallbacks;
     net.set_phase("maxflow/fallback");
     // The exact baseline is centralized: gather the arc list (3 words per
@@ -457,7 +458,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
     const MaxFlowResult exact = dinic_max_flow(g, s, t);
     rep.value = exact.value;
     rep.flow = exact.flow;
-    rep.rounds = net.rounds() - rounds_before;
+    rep.run.capture(net, rounds_before, words_before);
     return rep;
   };
   const double delta0 = 1.0 / std::pow(m, 0.5 - opt.eta);
@@ -567,7 +568,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   rep.flow = std::move(warm);
   for (int a : g.out_arcs(s)) rep.value += rep.flow[static_cast<std::size_t>(a)];
   for (int a : g.in_arcs(s)) rep.value -= rep.flow[static_cast<std::size_t>(a)];
-  rep.rounds = net.rounds() - rounds_before;
+  rep.run.capture(net, rounds_before, words_before);
   return rep;
 }
 

@@ -30,6 +30,7 @@
 #include <cstdint>
 
 #include "cliquesim/network.hpp"
+#include "cliquesim/run_info.hpp"
 #include "flow/distributed_sssp.hpp"
 #include "flow/electrical.hpp"
 #include "graph/digraph.hpp"
@@ -67,7 +68,11 @@ struct MaxFlowIpmOptions {
 struct MaxFlowIpmReport {
   std::int64_t value = 0;
   std::vector<std::int64_t> flow;  ///< per original arc
-  std::int64_t rounds = 0;         ///< total charged model rounds
+  /// Shared accounting block: run.rounds are the charged model rounds;
+  /// run.used_fallback means the IPM diverged and the result came from the
+  /// exact Dinic baseline (value/flow are still exact; rounds include the
+  /// "maxflow/fallback" gather) — see MaxFlowIpmOptions::fallback_on_divergence.
+  RunInfo run;
   std::int64_t rounds_per_solve = 0;  ///< calibrated Theorem 1.1 cost
   int ipm_iterations = 0;
   int augmentation_steps = 0;
@@ -76,11 +81,6 @@ struct MaxFlowIpmReport {
   int finishing_augmenting_paths = 0;
   double routed_fraction = 0;  ///< of the transformed-graph target F
   int rounding_phases = 0;
-  /// The IPM diverged and the result came from the exact Dinic baseline
-  /// (value/flow are still exact; rounds include the "maxflow/fallback"
-  /// gather).  See MaxFlowIpmOptions::fallback_on_divergence.
-  bool used_fallback = false;
-  std::string fallback_reason;
 };
 
 /// Exact max flow on a digraph with integer capacities (Theorem 1.2).

@@ -170,6 +170,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
   }
   net.set_phase("mincost/setup");
   const std::int64_t rounds_before = net.rounds();
+  const std::int64_t words_before = net.words_sent();
   MinCostIpmReport rep;
   rep.flow.assign(static_cast<std::size_t>(g.num_arcs()), 0);
 
@@ -236,8 +237,8 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       throw std::runtime_error(std::string("min_cost_flow_clique: ") + reason +
                                " (fallback disabled)");
     }
-    rep.used_fallback = true;
-    rep.fallback_reason = reason;
+    rep.run.used_fallback = true;
+    rep.run.fallback_reason = reason;
     if (plan != nullptr) ++plan->stats().ipm_fallbacks;
     net.set_phase("mincost/fallback");
     // The exact baseline is centralized: gather the arc list (4 words per
@@ -251,7 +252,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
     rep.feasible = exact.feasible;
     rep.cost = exact.feasible ? exact.cost : 0;
     if (exact.feasible) rep.flow = exact.flow;
-    rep.rounds = net.rounds() - rounds_before;
+    rep.run.capture(net, rounds_before, words_before);
     return rep;
   };
   const double eta = opt.eta;
@@ -653,7 +654,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       rep.cost += g.arc(a).cost * f1[static_cast<std::size_t>(a)];
     }
   }
-  rep.rounds = net.rounds() - rounds_before;
+  rep.run.capture(net, rounds_before, words_before);
   return rep;
 }
 

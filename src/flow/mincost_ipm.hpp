@@ -29,6 +29,7 @@
 #include <span>
 
 #include "cliquesim/network.hpp"
+#include "cliquesim/run_info.hpp"
 #include "flow/distributed_sssp.hpp"
 #include "flow/electrical.hpp"
 #include "graph/digraph.hpp"
@@ -54,7 +55,11 @@ struct MinCostIpmReport {
   bool feasible = false;
   std::int64_t cost = 0;
   std::vector<std::int64_t> flow;  ///< per original arc (0/1)
-  std::int64_t rounds = 0;
+  /// Shared accounting block: run.used_fallback means the IPM diverged and
+  /// the result came from the exact SSP baseline (feasible/cost/flow are
+  /// still exact; rounds include the "mincost/fallback" gather) — see
+  /// MinCostIpmOptions::fallback_on_divergence.
+  RunInfo run;
   std::int64_t rounds_per_solve = 0;
   int ipm_iterations = 0;
   int perturbations = 0;
@@ -62,11 +67,6 @@ struct MinCostIpmReport {
   int finishing_paths = 0;
   int negative_cycles_cancelled = 0;
   int rounding_phases = 0;
-  /// The IPM diverged and the result came from the exact SSP baseline
-  /// (feasible/cost/flow are still exact; rounds include the
-  /// "mincost/fallback" gather).  See MinCostIpmOptions::fallback_on_divergence.
-  bool used_fallback = false;
-  std::string fallback_reason;
 };
 
 /// Exact min-cost flow on a unit-capacity digraph with integer costs and an

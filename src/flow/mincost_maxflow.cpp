@@ -14,6 +14,7 @@ MinCostMaxFlowReport min_cost_max_flow_clique(const Digraph& g, int s, int t,
     throw std::invalid_argument("min_cost_max_flow_clique: bad s/t");
   }
   const std::int64_t before = net.rounds();
+  const std::int64_t words_before = net.words_sent();
   MinCostMaxFlowReport rep;
   rep.flow.assign(static_cast<std::size_t>(g.num_arcs()), 0);
 
@@ -42,7 +43,7 @@ MinCostMaxFlowReport min_cost_max_flow_clique(const Digraph& g, int s, int t,
     rep.cost = best.cost;
     rep.flow = best.flow;
   }
-  rep.rounds = net.rounds() - before;
+  rep.run.capture(net, before, words_before);
   return rep;
 }
 

@@ -16,7 +16,7 @@ struct MinCostMaxFlowReport {
   std::int64_t value = 0;
   std::int64_t cost = 0;
   std::vector<std::int64_t> flow;
-  std::int64_t rounds = 0;
+  RunInfo run;     ///< accounting across all probes
   int probes = 0;  ///< binary-search probes (full Theorem 1.3 runs)
 };
 

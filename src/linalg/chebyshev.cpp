@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/pool.hpp"
+
 namespace lapclique::linalg {
 
 int chebyshev_iteration_bound(double kappa, double eps) {
@@ -38,7 +40,13 @@ Vec preconditioned_chebyshev(const ApplyFn& apply_a, const ApplyFn& solve_b,
       const double beta_num = c * alpha / 2.0;
       const double beta = beta_num * beta_num;
       alpha = 1.0 / (d - beta / alpha);
-      for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+      exec::parallel_for(static_cast<std::int64_t>(n),
+                         [&](std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                             const auto iu = static_cast<std::size_t>(i);
+                             p[iu] = z[iu] + beta * p[iu];
+                           }
+                         });
     }
     axpy(alpha, p, x);
     Vec ap = apply_a(p);

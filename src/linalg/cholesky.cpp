@@ -1,9 +1,25 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/pool.hpp"
+
 namespace lapclique::linalg {
+
+namespace {
+
+/// Column-block width for the blocked triangular solves.  A pure constant:
+/// block boundaries must not depend on the thread count (exec/pool.hpp).
+constexpr std::int64_t kSolveBlock = 128;
+
+/// Minimum flop count before a loop goes through the pool; below this the
+/// dispatch overhead dominates.  Depends only on problem size, so the
+/// sequential/parallel decision is itself deterministic.
+constexpr std::int64_t kParallelFlops = 16384;
+
+}  // namespace
 
 DenseLdlt DenseLdlt::factor(int n, std::span<const double> dense, double min_pivot) {
   if (static_cast<std::size_t>(n) * static_cast<std::size_t>(n) != dense.size()) {
@@ -13,32 +29,56 @@ DenseLdlt DenseLdlt::factor(int n, std::span<const double> dense, double min_piv
   f.n_ = n;
   f.l_.assign(dense.begin(), dense.end());
   f.d_.assign(static_cast<std::size_t>(n), 0.0);
-  auto at = [&f, n](int r, int c) -> double& {
-    return f.l_[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
-                static_cast<std::size_t>(c)];
-  };
+  const auto nn = static_cast<std::size_t>(n);
+  double* l = f.l_.data();
+
+  // Left-looking LDL^T.  For a fixed column j the updates of rows
+  // i = j+1..n-1 are independent and each runs the exact arithmetic the
+  // sequential loop would, so sharding rows over the pool is bit-identical
+  // to a single-threaded factorization.
   for (int j = 0; j < n; ++j) {
-    double dj = at(j, j);
-    for (int k = 0; k < j; ++k) dj -= at(j, k) * at(j, k) * f.d_[static_cast<std::size_t>(k)];
+    const std::size_t ju = static_cast<std::size_t>(j);
+    double dj = l[ju * nn + ju];
+    for (std::size_t k = 0; k < ju; ++k) {
+      dj -= l[ju * nn + k] * l[ju * nn + k] * f.d_[k];
+    }
     if (!(std::abs(dj) > min_pivot)) {
       throw std::runtime_error("DenseLdlt: pivot collapsed; matrix not SPD enough");
     }
-    f.d_[static_cast<std::size_t>(j)] = dj;
-    for (int i = j + 1; i < n; ++i) {
-      double lij = at(i, j);
-      for (int k = 0; k < j; ++k) {
-        lij -= at(i, k) * at(j, k) * f.d_[static_cast<std::size_t>(k)];
+    f.d_[ju] = dj;
+    const std::int64_t tail = n - j - 1;
+    const auto row_update = [l, nn, ju, dj, d = f.d_.data()](std::int64_t b,
+                                                             std::int64_t e) {
+      for (std::int64_t t = b; t < e; ++t) {
+        const std::size_t i = ju + 1 + static_cast<std::size_t>(t);
+        double lij = l[i * nn + ju];
+        const double* li = l + i * nn;
+        const double* lj = l + ju * nn;
+        for (std::size_t k = 0; k < ju; ++k) lij -= li[k] * lj[k] * d[k];
+        l[i * nn + ju] = lij / dj;
       }
-      at(i, j) = lij / dj;
+    };
+    if (tail * static_cast<std::int64_t>(ju) >= kParallelFlops) {
+      // Shard so each task carries a few thousand multiply-adds.
+      const std::int64_t grain =
+          std::max<std::int64_t>(1, kParallelFlops / std::max<std::int64_t>(1, ju));
+      exec::parallel_for(tail, grain, row_update);
+    } else {
+      row_update(0, tail);
     }
   }
-  return f;
-}
 
-Vec DenseLdlt::solve(std::span<const double> b) const {
-  Vec x(b.begin(), b.end());
-  solve_inplace(x);
-  return x;
+  // Transposed copy of the strictly-lower triangle (row i of lt_ holds
+  // column i of L), so backward substitution streams memory contiguously.
+  f.lt_.assign(nn * nn, 0.0);
+  double* lt = f.lt_.data();
+  exec::parallel_for(n, 64, [l, lt, nn](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      for (std::size_t k = iu + 1; k < nn; ++k) lt[iu * nn + k] = l[k * nn + iu];
+    }
+  });
+  return f;
 }
 
 void DenseLdlt::solve_inplace(std::span<double> x) const {
@@ -46,20 +86,84 @@ void DenseLdlt::solve_inplace(std::span<double> x) const {
     throw std::invalid_argument("DenseLdlt::solve: size mismatch");
   }
   const auto n = static_cast<std::size_t>(n_);
-  // Forward: L y = b
-  for (std::size_t i = 0; i < n; ++i) {
-    double s = x[i];
-    for (std::size_t k = 0; k < i; ++k) s -= l_[i * n + k] * x[k];
-    x[i] = s;
+  const double* l = l_.data();
+  const double* lt = lt_.data();
+  double* xs = x.data();
+
+  // Both substitutions run the same blocked schedule at every thread count:
+  // a sequential triangular solve on the diagonal block, then a fan-out
+  // update of the remaining rows sharded over the pool.  Each row's
+  // accumulation order is fixed by the block walk (never by the thread
+  // count), which is what makes the solver bit-reproducible in parallel.
+
+  // Forward: L y = b.  Row i accumulates columns in ascending order —
+  // identical to the classic row-oriented loop.
+  for (std::size_t c0 = 0; c0 < n; c0 += kSolveBlock) {
+    const std::size_t c1 = std::min(n, c0 + static_cast<std::size_t>(kSolveBlock));
+    for (std::size_t i = c0; i < c1; ++i) {
+      double s = xs[i];
+      for (std::size_t k = c0; k < i; ++k) s -= l[i * n + k] * xs[k];
+      xs[i] = s;
+    }
+    const std::int64_t tail = static_cast<std::int64_t>(n - c1);
+    const auto update = [l, xs, n, c0, c1](std::int64_t b, std::int64_t e) {
+      for (std::int64_t t = b; t < e; ++t) {
+        const std::size_t i = c1 + static_cast<std::size_t>(t);
+        double s = xs[i];
+        for (std::size_t k = c0; k < c1; ++k) s -= l[i * n + k] * xs[k];
+        xs[i] = s;
+      }
+    };
+    if (tail * static_cast<std::int64_t>(c1 - c0) >= kParallelFlops) {
+      exec::parallel_for(tail, std::max<std::int64_t>(1, kParallelFlops / kSolveBlock),
+                         update);
+    } else {
+      update(0, tail);
+    }
   }
-  // Diagonal
-  for (std::size_t i = 0; i < n; ++i) x[i] /= d_[i];
-  // Backward: L^T x = y
-  for (std::size_t ii = n; ii-- > 0;) {
-    double s = x[ii];
-    for (std::size_t k = ii + 1; k < n; ++k) s -= l_[k * n + ii] * x[k];
-    x[ii] = s;
+
+  // Diagonal.
+  for (std::size_t i = 0; i < n; ++i) xs[i] /= d_[i];
+
+  // Backward: L^T x = y, walking column blocks from the bottom.  Row i first
+  // absorbs the already-final entries of later blocks (ascending k), then
+  // the in-block tail — the fixed canonical order for this kernel.
+  const std::size_t nblocks = (n + kSolveBlock - 1) / kSolveBlock;
+  for (std::size_t blk = nblocks; blk-- > 0;) {
+    const std::size_t c0 = blk * static_cast<std::size_t>(kSolveBlock);
+    const std::size_t c1 = std::min(n, c0 + static_cast<std::size_t>(kSolveBlock));
+    const std::int64_t rows = static_cast<std::int64_t>(c1 - c0);
+    const auto absorb = [lt, xs, n, c0, c1](std::int64_t b, std::int64_t e) {
+      for (std::int64_t t = b; t < e; ++t) {
+        const std::size_t i = c0 + static_cast<std::size_t>(t);
+        double s = xs[i];
+        for (std::size_t k = c1; k < n; ++k) s -= lt[i * n + k] * xs[k];
+        xs[i] = s;
+      }
+    };
+    const std::int64_t absorb_flops = rows * static_cast<std::int64_t>(n - c1);
+    if (absorb_flops >= kParallelFlops) {
+      exec::parallel_for(
+          rows,
+          std::max<std::int64_t>(1, kParallelFlops /
+                                        std::max<std::int64_t>(1, n - c1)),
+          absorb);
+    } else {
+      absorb(0, rows);
+    }
+    for (std::size_t ii = c1; ii-- > c0;) {
+      double s = xs[ii];
+      for (std::size_t k = ii + 1; k < c1; ++k) s -= lt[ii * n + k] * xs[k];
+      xs[ii] = s;
+      if (ii == 0) break;  // size_t wrap guard when c0 == 0
+    }
   }
+}
+
+Vec DenseLdlt::solve(std::span<const double> b) const {
+  Vec x(b.begin(), b.end());
+  solve_inplace(x);
+  return x;
 }
 
 LaplacianFactor LaplacianFactor::factor(const CsrMatrix& laplacian) {
@@ -94,20 +198,23 @@ LaplacianFactor LaplacianFactor::factor(const CsrMatrix& laplacian) {
   }
   f.num_components_ = comps;
 
-  // Pin grounded rows/cols to identity; the result is SPD.
+  // Pin grounded rows/cols to identity; the result is SPD.  Row-sharded:
+  // each row is written by exactly one task.
   std::vector<double> dense = laplacian.to_dense();
   std::vector<char> is_grounded(static_cast<std::size_t>(n), 0);
   for (int g : f.grounded_) is_grounded[static_cast<std::size_t>(g)] = 1;
-  for (int r = 0; r < n; ++r) {
-    for (int c = 0; c < n; ++c) {
-      const bool gr = is_grounded[static_cast<std::size_t>(r)] != 0;
-      const bool gc = is_grounded[static_cast<std::size_t>(c)] != 0;
-      if (gr || gc) {
-        dense[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
-              static_cast<std::size_t>(c)] = (r == c) ? 1.0 : 0.0;
+  exec::parallel_for(n, 64, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t r = b; r < e; ++r) {
+      const auto ru = static_cast<std::size_t>(r);
+      const bool gr = is_grounded[ru] != 0;
+      double* row = dense.data() + ru * static_cast<std::size_t>(n);
+      for (int c = 0; c < n; ++c) {
+        if (gr || is_grounded[static_cast<std::size_t>(c)] != 0) {
+          row[static_cast<std::size_t>(c)] = (static_cast<int>(r) == c) ? 1.0 : 0.0;
+        }
       }
     }
-  }
+  });
   f.ldlt_ = DenseLdlt::factor(n, dense);
   return f;
 }

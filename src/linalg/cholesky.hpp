@@ -33,8 +33,10 @@ class DenseLdlt {
 
  private:
   int n_ = 0;
-  std::vector<double> l_;  ///< unit lower triangle, row-major packed n*n
-  std::vector<double> d_;  ///< diagonal of D
+  std::vector<double> l_;   ///< unit lower triangle, row-major packed n*n
+  std::vector<double> lt_;  ///< transpose of l_ (row i = column i of L), so
+                            ///< backward substitution streams contiguously
+  std::vector<double> d_;   ///< diagonal of D
 };
 
 /// Solves Laplacian systems L x = b exactly (up to fp error) for a connected

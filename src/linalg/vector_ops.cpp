@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/pool.hpp"
+
 namespace lapclique::linalg {
 
 namespace {
@@ -10,6 +12,12 @@ void check_same(std::size_t a, std::size_t b) {
   if (a != b) throw std::invalid_argument("vector_ops: size mismatch");
 }
 }  // namespace
+
+// Elementwise ops shard over the pool: each index has a fixed arithmetic
+// sequence, so any sharding is bit-identical to sequential.  Reductions
+// (dot, norm2, sum, project_out_ones) stay sequential on purpose — their
+// accumulation order feeds iteration counts and restart boundaries, and the
+// determinism contract pins those to the canonical ascending-index order.
 
 double dot(std::span<const double> a, std::span<const double> b) {
   check_same(a.size(), b.size());
@@ -28,30 +36,61 @@ double norm_inf(std::span<const double> a) {
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   check_same(x.size(), y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  exec::parallel_for(static_cast<std::int64_t>(x.size()),
+                     [&](std::int64_t b, std::int64_t e) {
+                       for (std::int64_t i = b; i < e; ++i) {
+                         y[static_cast<std::size_t>(i)] +=
+                             alpha * x[static_cast<std::size_t>(i)];
+                       }
+                     });
 }
 
 void scale(double alpha, std::span<double> x) {
-  for (double& v : x) v *= alpha;
+  exec::parallel_for(static_cast<std::int64_t>(x.size()),
+                     [&](std::int64_t b, std::int64_t e) {
+                       for (std::int64_t i = b; i < e; ++i) {
+                         x[static_cast<std::size_t>(i)] *= alpha;
+                       }
+                     });
 }
 
 Vec add(std::span<const double> a, std::span<const double> b) {
   check_same(a.size(), b.size());
   Vec r(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  exec::parallel_for(static_cast<std::int64_t>(a.size()),
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) {
+                         r[static_cast<std::size_t>(i)] =
+                             a[static_cast<std::size_t>(i)] +
+                             b[static_cast<std::size_t>(i)];
+                       }
+                     });
   return r;
 }
 
 Vec sub(std::span<const double> a, std::span<const double> b) {
   check_same(a.size(), b.size());
   Vec r(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  exec::parallel_for(static_cast<std::int64_t>(a.size()),
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) {
+                         r[static_cast<std::size_t>(i)] =
+                             a[static_cast<std::size_t>(i)] -
+                             b[static_cast<std::size_t>(i)];
+                       }
+                     });
   return r;
 }
 
 Vec scaled(double alpha, std::span<const double> x) {
   Vec r(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) r[i] = alpha * x[i];
+  exec::parallel_for(static_cast<std::int64_t>(x.size()),
+                     [&](std::int64_t b, std::int64_t e) {
+                       for (std::int64_t i = b; i < e; ++i) {
+                         r[static_cast<std::size_t>(i)] =
+                             alpha * x[static_cast<std::size_t>(i)];
+                       }
+                     });
   return r;
 }
 

@@ -49,6 +49,7 @@ bool better(const Graph& g, int a, int b) {
 MstResult boruvka_clique(const Graph& g, clique::Network& net) {
   net.set_phase("mst/boruvka");
   const std::int64_t before = net.rounds();
+  const std::int64_t words_before = net.words_sent();
   const int n = g.num_vertices();
   MstResult out;
   UnionFind uf(n);
@@ -94,7 +95,7 @@ MstResult boruvka_clique(const Graph& g, clique::Network& net) {
     }
   }
   std::sort(out.edges.begin(), out.edges.end());
-  out.rounds = net.rounds() - before;
+  out.run.capture(net, before, words_before);
   return out;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cliquesim/network.hpp"
+#include "cliquesim/run_info.hpp"
 #include "graph/graph.hpp"
 
 namespace lapclique::mst {
@@ -24,7 +25,7 @@ struct MstResult {
   std::vector<int> edges;  ///< edge ids of the minimum spanning forest
   double total_weight = 0;
   int phases = 0;
-  std::int64_t rounds = 0;
+  RunInfo run;  ///< empty for the sequential kruskal() oracle
 };
 
 /// Boruvka in the clique (works on disconnected graphs: returns a forest).

@@ -9,6 +9,16 @@ namespace lapclique::solver {
 CliqueSolveReport solve_laplacian_clique(const graph::Graph& g,
                                          std::span<const double> b, double eps,
                                          const LaplacianSolverOptions& opt) {
+  clique::Network net(std::max(g.num_vertices(), 2));
+  net.set_tracer(obs::default_ledger());
+  net.set_fault_plan(fault::default_plan());
+  return solve_laplacian_clique(g, b, eps, opt, net);
+}
+
+CliqueSolveReport solve_laplacian_clique(const graph::Graph& g,
+                                         std::span<const double> b, double eps,
+                                         const LaplacianSolverOptions& opt,
+                                         clique::Network& net) {
   if (g.num_vertices() < 2) {
     throw std::invalid_argument("solve_laplacian_clique: n >= 2 required");
   }
@@ -17,15 +27,10 @@ CliqueSolveReport solve_laplacian_clique(const graph::Graph& g,
         "solve_laplacian_clique: graph must be connected (solve components "
         "separately)");
   }
-  clique::Network net(g.num_vertices());
-  net.set_tracer(obs::default_ledger());
-  net.set_fault_plan(fault::default_plan());
   CliqueLaplacianSolver solver(g, opt, net);
   CliqueSolveReport rep;
   rep.x = solver.solve(b, eps, &rep.stats);
-  rep.rounds = net.rounds();
-  rep.words = net.words_sent();
-  rep.phases = net.ledger();
+  rep.run.capture(net);
   return rep;
 }
 

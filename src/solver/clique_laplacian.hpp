@@ -11,15 +11,14 @@
 #include <string>
 
 #include "cliquesim/network.hpp"
+#include "cliquesim/run_info.hpp"
 #include "solver/laplacian_solver.hpp"
 
 namespace lapclique::solver {
 
 struct CliqueSolveReport {
   linalg::Vec x;
-  std::int64_t rounds = 0;        ///< total charged model rounds
-  std::int64_t words = 0;
-  clique::PhaseLedger phases;     ///< breakdown: sparsify / gather / range / cheby
+  RunInfo run;  ///< rounds/words/phase breakdown (sparsify / gather / ...)
   LaplacianSolveStats stats;
 };
 
@@ -28,6 +27,13 @@ struct CliqueSolveReport {
 CliqueSolveReport solve_laplacian_clique(const graph::Graph& g,
                                          std::span<const double> b, double eps,
                                          const LaplacianSolverOptions& opt = {});
+
+/// As above, but on a caller-configured Network (tracer, fault plan, routing
+/// mode) — the lapclique::Runtime entry points use this.
+CliqueSolveReport solve_laplacian_clique(const graph::Graph& g,
+                                         std::span<const double> b, double eps,
+                                         const LaplacianSolverOptions& opt,
+                                         clique::Network& net);
 
 /// Reusable variant: keeps the sparsifier/factorization and the Network so
 /// interior-point methods can issue many solves against one graph topology

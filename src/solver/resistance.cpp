@@ -1,6 +1,7 @@
 #include "solver/resistance.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "graph/laplacian.hpp"
 #include "linalg/cholesky.hpp"
@@ -39,7 +40,21 @@ ResistanceReport effective_resistance_clique(const graph::Graph& g, int u, int v
   CliqueSolveReport rep = solve_laplacian_clique(g, chi, eps, opt);
   ResistanceReport out;
   out.resistance = linalg::dot(chi, rep.x);
-  out.rounds = rep.rounds + 1;  // + one broadcast of the two potentials
+  out.run = std::move(rep.run);
+  out.run.rounds += 1;  // + one broadcast of the two potentials
+  return out;
+}
+
+ResistanceReport effective_resistance_clique(const graph::Graph& g, int u, int v,
+                                             double eps,
+                                             const LaplacianSolverOptions& opt,
+                                             clique::Network& net) {
+  const Vec chi = pair_demand(g.num_vertices(), u, v);
+  CliqueSolveReport rep = solve_laplacian_clique(g, chi, eps, opt, net);
+  ResistanceReport out;
+  out.resistance = linalg::dot(chi, rep.x);
+  out.run = std::move(rep.run);
+  out.run.rounds += 1;  // + one broadcast of the two potentials
   return out;
 }
 

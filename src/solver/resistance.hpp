@@ -17,7 +17,7 @@ double effective_resistance_exact(const graph::Graph& g, int u, int v);
 
 struct ResistanceReport {
   double resistance = 0;
-  std::int64_t rounds = 0;
+  RunInfo run;  ///< the solve's rounds + one broadcast of the two potentials
 };
 
 /// Theorem 1.1-powered approximation: one eps-accurate Laplacian solve.
@@ -25,6 +25,12 @@ struct ResistanceReport {
 ResistanceReport effective_resistance_clique(const graph::Graph& g, int u, int v,
                                              double eps = 1e-8,
                                              const LaplacianSolverOptions& opt = {});
+
+/// As above on a caller-configured Network (the Runtime entry points).
+ResistanceReport effective_resistance_clique(const graph::Graph& g, int u, int v,
+                                             double eps,
+                                             const LaplacianSolverOptions& opt,
+                                             clique::Network& net);
 
 /// All-pairs-to-one resistances: R_eff(u, v) for a fixed u against every v,
 /// from a single solve (the potential vector gives them all at once up to

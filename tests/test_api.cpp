@@ -4,6 +4,11 @@
 #include <gtest/gtest.h>
 
 #include "core/api.hpp"
+#include "euler/euler_orient.hpp"
+#include "flow/baselines.hpp"
+#include "flow/dinic.hpp"
+#include "flow/ssp_mincost.hpp"
+#include "graph/generators.hpp"
 #include "graph/laplacian.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/jacobi_eigen.hpp"
@@ -17,7 +22,7 @@ TEST(Api, SolveLaplacianEndToEnd) {
   b[0] = 1.0;
   b[19] = -1.0;
   const auto rep = solve_laplacian(g, b, 1e-6);
-  EXPECT_GT(rep.rounds, 0);
+  EXPECT_GT(rep.run.rounds, 0);
   const auto l = graph::laplacian(g);
   const auto exact = linalg::LaplacianFactor::factor(l);
   const auto xstar = exact.solve(b);
@@ -30,7 +35,7 @@ TEST(Api, SparsifyEndToEnd) {
   const Graph g = graph::complete(30);
   const auto rep = sparsify(g);
   EXPECT_LT(rep.h.num_edges(), g.num_edges());
-  EXPECT_GT(rep.rounds, 0);
+  EXPECT_GT(rep.run.rounds, 0);
   const double cond = linalg::generalized_condition_number(
       graph::laplacian(g), graph::laplacian(rep.h));
   EXPECT_LT(cond, 50.0);
@@ -40,7 +45,7 @@ TEST(Api, EulerianOrientationEndToEnd) {
   const Graph g = graph::doubled(graph::grid(4, 4));
   const auto rep = eulerian_orientation(g);
   EXPECT_TRUE(euler::is_eulerian_orientation(g, rep.orientation));
-  EXPECT_GT(rep.rounds, 0);
+  EXPECT_GT(rep.run.rounds, 0);
 }
 
 TEST(Api, RoundFlowEndToEnd) {

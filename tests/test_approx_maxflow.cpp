@@ -81,7 +81,7 @@ TEST(ApproxMaxFlow, TighterEpsGetsCloser) {
 TEST(ApproxMaxFlow, ChargesTheoremRounds) {
   const Graph g = graph::random_connected_gnm(12, 36, 7);
   const auto r = run(g, 0, 11, 0.2);
-  EXPECT_GT(r.rounds, 0);
+  EXPECT_GT(r.run.rounds, 0);
   EXPECT_GT(r.rounds_per_solve, 0);
   EXPECT_GT(r.iterations, 0);
   EXPECT_GT(r.probes, 0);

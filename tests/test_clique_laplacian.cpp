@@ -25,8 +25,8 @@ TEST(CliqueLaplacian, SolvesAndCharges) {
   const Graph g = graph::random_connected_gnm(24, 80, 2);
   const Vec b = demand_pair(24, 0, 23);
   const CliqueSolveReport rep = solve_laplacian_clique(g, b, 1e-6);
-  EXPECT_GT(rep.rounds, 0);
-  EXPECT_GT(rep.words, 0);
+  EXPECT_GT(rep.run.rounds, 0);
+  EXPECT_GT(rep.run.words, 0);
   // Verify the answer.
   const auto l = graph::laplacian(g);
   const auto exact = linalg::LaplacianFactor::factor(l);
@@ -40,14 +40,14 @@ TEST(CliqueLaplacian, PhaseLedgerCoversPipeline) {
   const Graph g = graph::random_connected_gnm(24, 80, 3);
   const Vec b = demand_pair(24, 1, 11);
   const CliqueSolveReport rep = solve_laplacian_clique(g, b, 1e-6);
-  const auto& phases = rep.phases.rounds_by_phase;
+  const auto& phases = rep.run.phases.rounds_by_phase;
   EXPECT_TRUE(phases.count("solver/sparsify"));
   EXPECT_TRUE(phases.count("solver/gather_sparsifier"));
   EXPECT_TRUE(phases.count("solver/range_estimation"));
   EXPECT_TRUE(phases.count("solver/chebyshev"));
   std::int64_t total = 0;
   for (const auto& [name, r] : phases) total += r;
-  EXPECT_EQ(total, rep.rounds);
+  EXPECT_EQ(total, rep.run.rounds);
 }
 
 TEST(CliqueLaplacian, RoundsScaleWithLogEps) {

@@ -13,6 +13,10 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "euler/euler_orient.hpp"
+#include "flow/dinic.hpp"
+#include "flow/ssp_mincost.hpp"
+#include "graph/generators.hpp"
 #include "fault/fault_plan.hpp"
 #include "graph/laplacian.hpp"
 #include "test_seed.hpp"
@@ -221,9 +225,9 @@ TEST(FaultRecovery, SolveLaplacianBitIdenticalUnderFaults) {
     const auto faulted = solve_laplacian(g, b, 1e-6);
     EXPECT_EQ(faulted.x, clean.x) << seed;
     EXPECT_FALSE(faulted.stats.exact_fallback);
-    EXPECT_EQ(faulted.rounds, clean.rounds + plan.stats().recovery_rounds) << seed;
-    const auto it = faulted.phases.rounds_by_phase.find("recovery");
-    ASSERT_NE(it, faulted.phases.rounds_by_phase.end()) << seed;
+    EXPECT_EQ(faulted.run.rounds, clean.run.rounds + plan.stats().recovery_rounds) << seed;
+    const auto it = faulted.run.phases.rounds_by_phase.find("recovery");
+    ASSERT_NE(it, faulted.run.phases.rounds_by_phase.end()) << seed;
     EXPECT_EQ(it->second, plan.stats().recovery_rounds) << seed;
     EXPECT_GT(it->second, 0) << seed;
     expect_stats_invariants(plan.stats());
@@ -240,11 +244,11 @@ TEST(FaultRecovery, MaxFlowBitIdenticalUnderFaults) {
     FaultPlan plan(parse_fault_spec(kTransportSpec), seed);
     FaultSession session(&plan);
     const auto faulted = max_flow(g, 0, 11, opt);
-    EXPECT_FALSE(faulted.used_fallback);
+    EXPECT_FALSE(faulted.run.used_fallback);
     EXPECT_EQ(faulted.value, clean.value) << seed;
     EXPECT_EQ(faulted.flow, clean.flow) << seed;
     EXPECT_EQ(faulted.ipm_iterations, clean.ipm_iterations) << seed;
-    EXPECT_GE(faulted.rounds, clean.rounds) << seed;
+    EXPECT_GE(faulted.run.rounds, clean.run.rounds) << seed;
     EXPECT_GT(plan.stats().recovery_rounds, 0) << seed;
     expect_stats_invariants(plan.stats());
   }
@@ -261,11 +265,11 @@ TEST(FaultRecovery, MinCostFlowBitIdenticalUnderFaults) {
     FaultPlan plan(parse_fault_spec(kTransportSpec), seed);
     FaultSession session(&plan);
     const auto faulted = min_cost_flow(g, sigma, opt);
-    EXPECT_FALSE(faulted.used_fallback);
+    EXPECT_FALSE(faulted.run.used_fallback);
     EXPECT_EQ(faulted.feasible, clean.feasible) << seed;
     EXPECT_EQ(faulted.cost, clean.cost) << seed;
     EXPECT_EQ(faulted.flow, clean.flow) << seed;
-    EXPECT_GE(faulted.rounds, clean.rounds) << seed;
+    EXPECT_GE(faulted.run.rounds, clean.run.rounds) << seed;
     EXPECT_GT(plan.stats().recovery_rounds, 0) << seed;
     expect_stats_invariants(plan.stats());
   }
@@ -283,7 +287,7 @@ TEST(SolverGuardRail, ExhaustedRestartsFallBackToExactFactorization) {
   const auto rep = solver::solve_laplacian_clique(g, b, 1e-8);
   EXPECT_TRUE(rep.stats.exact_fallback);
   EXPECT_EQ(plan.stats().solver_fallbacks, 1);
-  EXPECT_GT(rep.phases.rounds_by_phase.count("solver/fallback"), 0u);
+  EXPECT_GT(rep.run.phases.rounds_by_phase.count("solver/fallback"), 0u);
   // The fallback is a direct factorization: the answer is exact even though
   // every Chebyshev certification was poisoned.
   const auto l = graph::laplacian(g);
@@ -317,8 +321,8 @@ TEST(IpmGuardRail, MaxFlowDegradesToExactDinic) {
   FaultPlan plan(parse_fault_spec("ipm-nan@0"), base_seed());
   FaultSession session(&plan);
   const auto rep = max_flow(g, 0, 11, opt);
-  EXPECT_TRUE(rep.used_fallback);
-  EXPECT_FALSE(rep.fallback_reason.empty());
+  EXPECT_TRUE(rep.run.used_fallback);
+  EXPECT_FALSE(rep.run.fallback_reason.empty());
   EXPECT_EQ(plan.stats().ipm_fallbacks, 1);
   EXPECT_EQ(rep.value, flow::dinic_max_flow(g, 0, 11).value);
 }
@@ -332,8 +336,8 @@ TEST(IpmGuardRail, MinCostFlowDegradesToExactSsp) {
   FaultPlan plan(parse_fault_spec("ipm-nan@0"), base_seed());
   FaultSession session(&plan);
   const auto rep = min_cost_flow(g, sigma, opt);
-  EXPECT_TRUE(rep.used_fallback);
-  EXPECT_FALSE(rep.fallback_reason.empty());
+  EXPECT_TRUE(rep.run.used_fallback);
+  EXPECT_FALSE(rep.run.fallback_reason.empty());
   EXPECT_EQ(plan.stats().ipm_fallbacks, 1);
   const auto oracle = flow::ssp_min_cost_flow(g, sigma);
   ASSERT_EQ(rep.feasible, oracle.feasible);

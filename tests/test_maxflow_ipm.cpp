@@ -96,7 +96,7 @@ TEST(MaxFlowIpm, KnownValueHintRoutesCloseToTarget) {
 TEST(MaxFlowIpm, ReportIsPopulated) {
   const Digraph g = graph::random_flow_network(10, 24, 3, 2);
   const auto r = run(g, 0, 9, quick_options());
-  EXPECT_GT(r.rounds, 0);
+  EXPECT_GT(r.run.rounds, 0);
   EXPECT_GT(r.rounds_per_solve, 0);
   EXPECT_GT(r.laplacian_solves, 0);
   EXPECT_GT(r.ipm_iterations, 0);
@@ -138,7 +138,7 @@ TEST(MaxFlowIpm, DeterministicAcrossRuns) {
   const auto a = run(g, 0, 9, quick_options());
   const auto b = run(g, 0, 9, quick_options());
   EXPECT_EQ(a.value, b.value);
-  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.run.rounds, b.run.rounds);
   EXPECT_EQ(a.flow, b.flow);
 }
 

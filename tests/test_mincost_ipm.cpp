@@ -102,7 +102,7 @@ TEST(MinCostIpm, ReportIsPopulated) {
   const auto sigma = graph::feasible_unit_demands(g, 2, 60);
   const auto r = run(g, std::vector<std::int64_t>(sigma.begin(), sigma.end()),
                      quick_options());
-  EXPECT_GT(r.rounds, 0);
+  EXPECT_GT(r.run.rounds, 0);
   EXPECT_GT(r.rounds_per_solve, 0);
   EXPECT_GT(r.laplacian_solves, 0);
 }
@@ -126,7 +126,7 @@ TEST(MinCostIpm, DeterministicAcrossRuns) {
   const auto b = run(g, std::vector<std::int64_t>(sigma.begin(), sigma.end()),
                      quick_options());
   EXPECT_EQ(a.cost, b.cost);
-  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.run.rounds, b.run.rounds);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "cliquesim/collectives.hpp"
 #include "cliquesim/network.hpp"
 #include "core/api.hpp"
+#include "graph/generators.hpp"
 #include "euler/euler_orient.hpp"
 #include "obs/json.hpp"
 #include "obs/round_ledger.hpp"
@@ -288,7 +289,7 @@ TEST(RoundLedger, DefaultLedgerSessionScoping) {
     // core/api entry points attach the session ledger.
     const Graph g = graph::cycle(16);
     const auto rep = eulerian_orientation(g);
-    EXPECT_EQ(ledger.total_rounds(), rep.rounds);
+    EXPECT_EQ(ledger.total_rounds(), rep.run.rounds);
   }
   EXPECT_EQ(obs::default_ledger(), nullptr);
 }

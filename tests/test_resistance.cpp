@@ -64,7 +64,7 @@ TEST(Resistance, CliqueVariantMatchesExact) {
     const double exact = effective_resistance_exact(g, 0, 23);
     const ResistanceReport rep = effective_resistance_clique(g, 0, 23, 1e-8);
     EXPECT_NEAR(rep.resistance, exact, 1e-5 * std::max(exact, 1.0)) << seed;
-    EXPECT_GT(rep.rounds, 0) << seed;
+    EXPECT_GT(rep.run.rounds, 0) << seed;
   }
 }
 

@@ -9,6 +9,10 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "euler/euler_orient.hpp"
+#include "euler/flow_round.hpp"
+#include "graph/generators.hpp"
+#include "solver/laplacian_solver.hpp"
 #include "graph/rng.hpp"
 #include "obs/round_ledger.hpp"
 

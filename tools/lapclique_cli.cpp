@@ -10,6 +10,9 @@
 //   lapclique_cli gen-mincost <n> <m> <W> <seed>  random instance to stdout
 //
 // Global flags (any command):
+//   --threads <n>          shard node-local compute across n worker threads
+//                          (outputs are bit-identical for every n; default
+//                          LAPCLIQUE_THREADS or 1)
 //   --trace <out.json>     write a per-phase round/congestion trace (the
 //                          obs::RoundLedger JSON schema; "-" for stdout)
 //   --faults <spec>        inject deterministic faults into every simulated
@@ -19,6 +22,9 @@
 //   --fault-seed <n>       seed for the fault plan (default 1)
 //   --fault-report <path>  write the machine-readable recovery summary JSON
 //                          to <path> ("-" for stdout; default: stderr)
+//
+// Both JSON outputs embed a "runtime" block (threads, fault spec, routing
+// mode) so a saved trace records the configuration that produced it.
 //
 // Edge lists: "N M" header then "u v [w]" lines, 0-based.
 #include <cstring>
@@ -31,8 +37,11 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "euler/euler_orient.hpp"
+#include "exec/pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "flow/mincost_maxflow.hpp"
+#include "graph/generators.hpp"
 #include "io/dimacs.hpp"
 #include "obs/round_ledger.hpp"
 #include "solver/resistance.hpp"
@@ -110,7 +119,7 @@ int cmd_maxflow(int argc, char** argv) {
   opt.iteration_scale = 0.02;
   opt.max_iterations = 1000;
   const auto rep = max_flow(p.g, p.source, p.sink, opt);
-  std::cerr << "rounds=" << rep.rounds << " ipm_iterations=" << rep.ipm_iterations
+  std::cerr << "rounds=" << rep.run.rounds << " ipm_iterations=" << rep.ipm_iterations
             << " finishing_paths=" << rep.finishing_augmenting_paths << "\n";
   io::write_dimacs_flow(std::cout, p.g, rep.flow, rep.value);
   return 0;
@@ -128,7 +137,7 @@ int cmd_mincost(int argc, char** argv) {
     std::cerr << "infeasible\n";
     return 1;
   }
-  std::cerr << "rounds=" << rep.rounds << " cost=" << rep.cost << "\n";
+  std::cerr << "rounds=" << rep.run.rounds << " cost=" << rep.cost << "\n";
   io::write_dimacs_flow(std::cout, p.g, rep.flow, rep.cost);
   return 0;
 }
@@ -162,7 +171,7 @@ int cmd_sparsify(int argc, char** argv) {
   std::ifstream in = open_or_die(argv[0]);
   const Graph g = io::read_edge_list(in);
   const auto rep = sparsify(g);
-  std::cerr << "rounds=" << rep.rounds << " edges " << g.num_edges() << " -> "
+  std::cerr << "rounds=" << rep.run.rounds << " edges " << g.num_edges() << " -> "
             << rep.h.num_edges() << "\n";
   io::write_edge_list(std::cout, rep.h);
   return 0;
@@ -179,7 +188,7 @@ int cmd_solve(int argc, char** argv) {
   b.at(static_cast<std::size_t>(u)) = 1.0;
   b.at(static_cast<std::size_t>(v)) = -1.0;
   const auto rep = solve_laplacian(g, b, eps);
-  std::cerr << "rounds=" << rep.rounds
+  std::cerr << "rounds=" << rep.run.rounds
             << " chebyshev_iterations=" << rep.stats.chebyshev_iterations << "\n";
   for (double x : rep.x) std::cout << x << '\n';
   return 0;
@@ -193,7 +202,7 @@ int cmd_resistance(int argc, char** argv) {
       g,
       static_cast<int>(arg_int("resistance: u", argv[1], 0, g.num_vertices() - 1)),
       static_cast<int>(arg_int("resistance: v", argv[2], 0, g.num_vertices() - 1)));
-  std::cerr << "rounds=" << rep.rounds << "\n";
+  std::cerr << "rounds=" << rep.run.rounds << "\n";
   std::cout << rep.resistance << "\n";
   return 0;
 }
@@ -233,6 +242,7 @@ int cmd_gen_mincost(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   // Peel off the global flags before command dispatch.
+  int threads = 0;  // 0 = exec::default_threads() (LAPCLIQUE_THREADS or 1)
   const char* trace_path = nullptr;
   const char* fault_spec = nullptr;
   const char* fault_report = nullptr;
@@ -247,7 +257,15 @@ int main(int argc, char** argv) {
     return argv[++i];
   };
   for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = flag_value(i, "--threads");
+      try {
+        threads = static_cast<int>(arg_int("--threads", v, 1, exec::kMaxThreads));
+      } catch (const std::exception& ex) {
+        std::cerr << "error: " << ex.what() << "\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace_path = flag_value(i, "--trace");
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       fault_spec = flag_value(i, "--faults");
@@ -286,6 +304,14 @@ int main(int argc, char** argv) {
   }
   fault::FaultSession faults(plan.get());
 
+  // One Runtime describes the whole invocation; the facade entry points pick
+  // it up via default_runtime(), and set_threads() covers the commands that
+  // drive subsystem calls directly (orient --random).
+  Runtime rt;
+  rt.threads = threads;
+  set_default_runtime(rt);
+  exec::set_threads(rt.resolved_threads());
+
   int rc = 2;
   try {
     if (cmd == "maxflow") rc = cmd_maxflow(nrest, rest);
@@ -303,21 +329,26 @@ int main(int argc, char** argv) {
   }
 
   if (trace_path != nullptr) {
+    obs::json::Object traced = ledger.to_json().as_object();
+    traced["runtime"] = runtime_to_json(rt);
+    const std::string text = obs::json::Value(std::move(traced)).dump_pretty();
     if (std::strcmp(trace_path, "-") == 0) {
-      std::cout << ledger.to_json_string() << "\n";
+      std::cout << text << "\n";
     } else {
       std::ofstream out(trace_path);
       if (!out) {
         std::cerr << "cannot write " << trace_path << "\n";
         return 2;
       }
-      out << ledger.to_json_string() << "\n";
+      out << text << "\n";
       std::cerr << "trace: " << trace_path << " (total_rounds="
                 << ledger.total_rounds() << ")\n";
     }
   }
   if (plan != nullptr) {
-    const std::string summary = plan->to_json().dump_pretty();
+    obs::json::Object report = plan->to_json().as_object();
+    report["runtime"] = runtime_to_json(rt);
+    const std::string summary = obs::json::Value(std::move(report)).dump_pretty();
     if (fault_report == nullptr) {
       std::cerr << summary << "\n";
     } else if (std::strcmp(fault_report, "-") == 0) {
