@@ -3,14 +3,21 @@
 // Sweep 1: rounds vs eps at fixed n  (claim: linear in log(1/eps)).
 // Sweep 2: per-solve Chebyshev rounds vs n  (claim: n^{o(1)} growth).
 #include <cmath>
+#include <cstring>
+#include <fstream>
 
 #include "bench_common.hpp"
 #include "core/api.hpp"
 #include "graph/generators.hpp"
+#include "obs/json.hpp"
 #include "solver/laplacian_solver.hpp"
 
 int main(int argc, char** argv) {
   using namespace lapclique;
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
   bench::header("E1 (Theorem 1.1)",
                 "Laplacian solver: n^{o(1)} log(U/eps) rounds, deterministic");
 
@@ -55,26 +62,61 @@ int main(int argc, char** argv) {
                static_cast<double>(cheb) / n);
   }
 
-  bench::row("%-28s | %7s | %10s | %12s", "sweep: threads (n=256)",
-             "threads", "wall ms", "rounds");
+  bench::row("%-28s | %7s | %9s | %12s | %12s | %12s | %12s",
+             "sweep: threads (n=256)", "threads", "mode", "rounds", "words",
+             "wall ms", "");
   {
     // Determinism on display: the round count (and the solution bits) must
-    // not move as the wall clock drops with more worker threads.
+    // not move as the wall clock drops with more worker threads — in either
+    // routing model.  With --json <path> this sweep is also written as the
+    // machine-readable BENCH_laplacian.json perf artifact.
     const Graph g = graph::random_connected_gnm(256, 1024, 29);
     std::vector<double> b(256, 0.0);
     b[0] = 1.0;
     b[255] = -1.0;
+    obs::json::Array sweep;
     std::int64_t rounds0 = -1;
     for (int t : bench::thread_sweep(argc, argv)) {
-      Runtime rt;
-      rt.threads = t;
-      const double t0 = bench::now_ms();
-      const auto rep = solve_laplacian(g, b, 1e-6, {}, rt);
-      const double t1 = bench::now_ms();
-      if (rounds0 < 0) rounds0 = rep.run.rounds;
-      bench::row("%-28s | %7d | %10.1f | %12lld%s", "", t, t1 - t0,
-                 static_cast<long long>(rep.run.rounds),
-                 rep.run.rounds == rounds0 ? "" : "  [ROUNDS DIVERGED]");
+      for (const clique::RoutingMode mode :
+           {clique::RoutingMode::kCharged, clique::RoutingMode::kBroadcast}) {
+        Runtime rt;
+        rt.threads = t;
+        rt.routing_mode = mode;
+        const double t0 = bench::now_ms();
+        const auto rep = solve_laplacian(g, b, 1e-6, {}, rt);
+        const double t1 = bench::now_ms();
+        if (rounds0 < 0) rounds0 = rep.run.rounds;
+        bench::row("%-28s | %7d | %9s | %12lld | %12lld | %12.1f | %s", "", t,
+                   clique::to_string(mode),
+                   static_cast<long long>(rep.run.rounds),
+                   static_cast<long long>(rep.run.words), t1 - t0,
+                   mode == clique::RoutingMode::kCharged &&
+                           rep.run.rounds != rounds0
+                       ? "[ROUNDS DIVERGED]"
+                       : "");
+        obs::json::Object row;
+        row["threads"] = t;
+        row["routing_mode"] = std::string(clique::to_string(mode));
+        row["rounds"] = rep.run.rounds;
+        row["words"] = rep.run.words;
+        row["wall_ms"] = t1 - t0;
+        sweep.push_back(obs::json::Value(std::move(row)));
+      }
+    }
+    if (json_path != nullptr) {
+      obs::json::Object doc;
+      doc["schema"] = std::string("lapclique-bench-v1");
+      doc["bench"] = std::string("bench_laplacian");
+      obs::json::Object inst;
+      inst["family"] = std::string("random_connected_gnm");
+      inst["n"] = 256;
+      inst["m"] = 1024;
+      inst["seed"] = 29;
+      inst["eps"] = 1e-6;
+      doc["instance"] = obs::json::Value(std::move(inst));
+      doc["sweep"] = obs::json::Value(std::move(sweep));
+      std::ofstream out(json_path);
+      out << obs::json::Value(std::move(doc)).dump_pretty() << "\n";
     }
   }
 

@@ -19,8 +19,7 @@ void check_size(const Network& net, std::size_t got) {
 std::vector<double> broadcast_one(Network& net, const std::vector<double>& values) {
   check_size(net, values.size());
   LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/broadcast_one");
-  const auto n = static_cast<std::int64_t>(net.size());
-  net.charge(1, n * (n - 1));
+  net.charge_all_to_all(1);
   return values;
 }
 
@@ -28,8 +27,7 @@ std::vector<std::int64_t> broadcast_one_int(Network& net,
                                             const std::vector<std::int64_t>& values) {
   check_size(net, values.size());
   LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/broadcast_one_int");
-  const auto n = static_cast<std::int64_t>(net.size());
-  net.charge(1, n * (n - 1));
+  net.charge_all_to_all(1);
   return values;
 }
 
@@ -43,16 +41,14 @@ std::vector<std::vector<Word>> broadcast_many(
     k = std::max(k, v.size());
     total += static_cast<std::int64_t>(v.size());
   }
-  const auto n = static_cast<std::int64_t>(net.size());
-  net.charge(static_cast<std::int64_t>(k), total * (n - 1));
+  net.charge_fanout(static_cast<std::int64_t>(k), total);
   return values;
 }
 
 double allreduce_sum(Network& net, const std::vector<double>& values) {
   check_size(net, values.size());
   LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/allreduce_sum");
-  const auto n = static_cast<std::int64_t>(net.size());
-  net.charge(1, n * (n - 1));
+  net.charge_all_to_all(1);
   double s = 0;
   for (double v : values) s += v;
   return s;
@@ -61,24 +57,21 @@ double allreduce_sum(Network& net, const std::vector<double>& values) {
 double allreduce_max(Network& net, const std::vector<double>& values) {
   check_size(net, values.size());
   LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/allreduce_max");
-  const auto n = static_cast<std::int64_t>(net.size());
-  net.charge(1, n * (n - 1));
+  net.charge_all_to_all(1);
   return *std::max_element(values.begin(), values.end());
 }
 
 double allreduce_min(Network& net, const std::vector<double>& values) {
   check_size(net, values.size());
   LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/allreduce_min");
-  const auto n = static_cast<std::int64_t>(net.size());
-  net.charge(1, n * (n - 1));
+  net.charge_all_to_all(1);
   return *std::min_element(values.begin(), values.end());
 }
 
 std::int64_t allreduce_sum_int(Network& net, const std::vector<std::int64_t>& values) {
   check_size(net, values.size());
   LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/allreduce_sum_int");
-  const auto n = static_cast<std::int64_t>(net.size());
-  net.charge(1, n * (n - 1));
+  net.charge_all_to_all(1);
   std::int64_t s = 0;
   for (std::int64_t v : values) s += v;
   return s;
@@ -87,8 +80,7 @@ std::int64_t allreduce_sum_int(Network& net, const std::vector<std::int64_t>& va
 std::int64_t allreduce_max_int(Network& net, const std::vector<std::int64_t>& values) {
   check_size(net, values.size());
   LAPCLIQUE_TRACE_SPAN(net.tracer(), "collective/allreduce_max_int");
-  const auto n = static_cast<std::int64_t>(net.size());
-  net.charge(1, n * (n - 1));
+  net.charge_all_to_all(1);
   return *std::max_element(values.begin(), values.end());
 }
 
@@ -101,9 +93,7 @@ std::vector<Word> gather_to_all(Network& net,
   for (const auto& w : words) total += static_cast<std::int64_t>(w.size());
   out.reserve(static_cast<std::size_t>(total));
   for (const auto& w : words) out.insert(out.end(), w.begin(), w.end());
-  const auto n = static_cast<std::int64_t>(net.size());
-  const std::int64_t rounds = (total + n - 1) / n + 1;
-  net.charge(rounds, total * n);
+  net.charge_gossip(total, total * static_cast<std::int64_t>(net.size()));
   return out;
 }
 

@@ -11,6 +11,11 @@
 // their items evenly across intermediate nodes, then every intermediate
 // broadcasts its share; with W total words each node relays ceil(W/n) words,
 // so the whole exchange takes ceil(W/n)+1 rounds via [Len13] routing.
+//
+// Under RoutingMode::kBroadcast the rounds above are unchanged except that
+// gather_to_all drops its relay round (a broadcast is heard by everyone, so
+// no second spray phase exists), and word counts shrink to one ledgered word
+// per broadcast — see Network's charge_* helpers and docs/MODELS.md.
 #pragma once
 
 #include <cstdint>

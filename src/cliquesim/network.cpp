@@ -1,6 +1,7 @@
 #include "cliquesim/network.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "exec/pool.hpp"
@@ -87,6 +88,34 @@ BatchTally tally_batch(int n, const std::vector<Msg>& msgs, bool want_mult) {
 
 }  // namespace
 
+const char* to_string(RoutingMode mode) {
+  switch (mode) {
+    case RoutingMode::kCharged:
+      return "charged";
+    case RoutingMode::kExecuted:
+      return "executed";
+    case RoutingMode::kBroadcast:
+      return "broadcast";
+  }
+  return "charged";
+}
+
+std::optional<RoutingMode> routing_mode_from_string(std::string_view name) {
+  if (name == "charged") return RoutingMode::kCharged;
+  if (name == "executed") return RoutingMode::kExecuted;
+  if (name == "broadcast") return RoutingMode::kBroadcast;
+  return std::nullopt;
+}
+
+RoutingMode default_routing_mode() {
+  static const RoutingMode mode = [] {
+    const char* env = std::getenv("LAPCLIQUE_ROUTING");
+    if (env == nullptr) return RoutingMode::kCharged;
+    return routing_mode_from_string(env).value_or(RoutingMode::kCharged);
+  }();
+  return mode;
+}
+
 BandwidthViolation::BandwidthViolation(std::string phase, std::string primitive,
                                        std::int64_t offered, std::int64_t limit)
     : std::runtime_error(violation_message(phase, primitive, offered, limit)),
@@ -125,10 +154,59 @@ void Network::set_phase(std::string phase) {
 
 void Network::charge(std::int64_t rounds, std::int64_t words) {
   if (rounds < 0 || words < 0) throw std::invalid_argument("Network::charge: negative");
-  record("charge", rounds, words, 0);
+  charge_impl("charge", rounds, words);
+}
+
+void Network::charge_impl(const char* primitive, std::int64_t rounds,
+                          std::int64_t words) {
+  record(primitive, rounds, words, 0);
   if (fault_plan_ != nullptr && words > 0 &&
       fault_plan_->spec().any_transport_faults()) {
     run_bulk_recovery(words);
+  }
+}
+
+void Network::charge_all_to_all(std::int64_t k) {
+  if (k < 0) throw std::invalid_argument("Network::charge_all_to_all: negative");
+  const auto n = static_cast<std::int64_t>(n_);
+  if (routing_mode_ == RoutingMode::kBroadcast) {
+    charge_impl("bcast_all_to_all", k, k * n);
+  } else {
+    charge_impl("charge", k, k * n * (n - 1));
+  }
+}
+
+void Network::charge_announcement() {
+  const auto n = static_cast<std::int64_t>(n_);
+  if (routing_mode_ == RoutingMode::kBroadcast) {
+    charge_impl("bcast_announce", 1, 1);
+  } else {
+    charge_impl("charge", 1, n - 1);
+  }
+}
+
+void Network::charge_gossip(std::int64_t total_words,
+                            std::int64_t unicast_words) {
+  if (total_words < 0 || unicast_words < 0) {
+    throw std::invalid_argument("Network::charge_gossip: negative");
+  }
+  const auto n = static_cast<std::int64_t>(n_);
+  if (routing_mode_ == RoutingMode::kBroadcast) {
+    charge_impl("bcast_gossip", (total_words + n - 1) / n, total_words);
+  } else {
+    charge_impl("charge", (total_words + n - 1) / n + 1, unicast_words);
+  }
+}
+
+void Network::charge_fanout(std::int64_t k, std::int64_t total_words) {
+  if (k < 0 || total_words < 0) {
+    throw std::invalid_argument("Network::charge_fanout: negative");
+  }
+  const auto n = static_cast<std::int64_t>(n_);
+  if (routing_mode_ == RoutingMode::kBroadcast) {
+    charge_impl("bcast_fanout", k, total_words);
+  } else {
+    charge_impl("charge", k, total_words * (n - 1));
   }
 }
 
@@ -196,11 +274,20 @@ void Network::deliver(const std::vector<Msg>& msgs) {
 
 void Network::exchange(const std::vector<Msg>& msgs) {
   if (msgs.empty()) return;
-  // Rounds = max multiplicity over ordered (src,dst) pairs.
   BatchTally t = tally_batch(n_, msgs, /*want_mult=*/true);
   deliver(msgs);
-  record("exchange", t.worst_mult, static_cast<std::int64_t>(msgs.size()),
-         t.sent, t.recv);
+  if (routing_mode_ == RoutingMode::kBroadcast) {
+    // Each source broadcasts its queue one word per round; receivers filter.
+    // Rounds = max words sent by one source.
+    const std::int64_t max_sent =
+        *std::max_element(t.sent.begin(), t.sent.end());
+    record("bcast_exchange", max_sent, static_cast<std::int64_t>(msgs.size()),
+           t.sent, t.recv);
+  } else {
+    // Rounds = max multiplicity over ordered (src,dst) pairs.
+    record("exchange", t.worst_mult, static_cast<std::int64_t>(msgs.size()),
+           t.sent, t.recv);
+  }
   run_recovery(msgs);
 }
 
@@ -209,16 +296,38 @@ void Network::transmit_subround(const std::vector<Msg>& msgs) {
   // Validate the whole batch before touching any state (strong guarantee):
   // tally_batch only reads msgs.
   BatchTally t = tally_batch(n_, msgs, /*want_mult=*/true);
-  if (t.worst_mult > 1) raise_violation("transmit_subround", t.worst_mult, 1);
-  deliver(msgs);
-  record("transmit_subround", 1, static_cast<std::int64_t>(msgs.size()), t.sent,
-         t.recv);
+  if (routing_mode_ == RoutingMode::kBroadcast) {
+    // One broadcast round carries one word per source, so the strict limit
+    // is per source, not per ordered pair.
+    const std::int64_t max_sent =
+        *std::max_element(t.sent.begin(), t.sent.end());
+    if (max_sent > 1) raise_violation("transmit_subround", max_sent, 1);
+    deliver(msgs);
+    record("bcast_subround", 1, static_cast<std::int64_t>(msgs.size()), t.sent,
+           t.recv);
+  } else {
+    if (t.worst_mult > 1) raise_violation("transmit_subround", t.worst_mult, 1);
+    deliver(msgs);
+    record("transmit_subround", 1, static_cast<std::int64_t>(msgs.size()),
+           t.sent, t.recv);
+  }
   run_recovery(msgs);
 }
 
 void Network::lenzen_route(const std::vector<Msg>& msgs) {
   if (msgs.empty()) return;
   BatchTally t = tally_batch(n_, msgs, /*want_mult=*/false);
+  if (routing_mode_ == RoutingMode::kBroadcast) {
+    // No routing needed: every broadcast is heard by all, so the batch takes
+    // exactly max-words-per-source rounds regardless of the receive profile.
+    const std::int64_t max_sent =
+        *std::max_element(t.sent.begin(), t.sent.end());
+    deliver(msgs);
+    record("bcast_route", max_sent, static_cast<std::int64_t>(msgs.size()),
+           t.sent, t.recv);
+    run_recovery(msgs);
+    return;
+  }
   const std::int64_t max_load =
       std::max(*std::max_element(t.sent.begin(), t.sent.end()),
                *std::max_element(t.recv.begin(), t.recv.end()));
@@ -364,11 +473,16 @@ void Network::run_recovery(const std::vector<Msg>& msgs) {
   }
   if (!failed.empty()) ++st.faulty_batches;
 
-  const auto max_pair_mult = [this](const std::vector<const Msg*>& ms) {
+  // Retransmission sub-rounds: under unicast the failed words re-run their
+  // per-ordered-pair schedule; under broadcast each source rebroadcasts its
+  // failed words one per round, so the bound is per source.
+  const bool bcast = routing_mode_ == RoutingMode::kBroadcast;
+  const auto max_pair_mult = [this, bcast](const std::vector<const Msg*>& ms) {
     std::vector<std::int64_t> keys;
     keys.reserve(ms.size());
     for (const Msg* m : ms) {
-      keys.push_back(static_cast<std::int64_t>(m->src) * n_ + m->dst);
+      keys.push_back(bcast ? static_cast<std::int64_t>(m->src)
+                           : static_cast<std::int64_t>(m->src) * n_ + m->dst);
     }
     if (keys.empty()) return std::int64_t{0};
     std::sort(keys.begin(), keys.end());

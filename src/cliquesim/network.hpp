@@ -12,6 +12,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cliquesim/message.hpp"
@@ -63,7 +64,11 @@ struct OpRecord {
   std::int64_t max_node_load = 0;  ///< max words sent or received by one node
 };
 
-/// How lenzen_route realizes a batch.
+/// How the network realizes and charges communication.  kCharged and
+/// kExecuted are two accountings of the same unicast Congested Clique;
+/// kBroadcast switches to the Broadcast Congested Clique of Forster–de Vos
+/// (arXiv:2205.12059).  Delivery is identical in every mode — only the
+/// charging differs — so algorithm outputs are bit-identical across modes.
 enum class RoutingMode {
   /// Charge the proven cost (lenzen_constant * c rounds) and deliver
   /// directly — the standard fidelity for round-complexity studies.
@@ -73,7 +78,28 @@ enum class RoutingMode {
   /// bandwidth limit, and charge the rounds the schedule actually used
   /// (4 rounds for Lenzen's sorting primitive + ~2(c+1) movement rounds).
   kExecuted,
+  /// Broadcast Congested Clique: per round every node sends ONE common
+  /// O(log n)-bit word heard by all others.  Point-to-point batches are
+  /// re-expressed as broadcast rounds (each source broadcasts its queue one
+  /// word per round, receivers filter), so a batch costs max-words-sent-by-
+  /// one-source rounds and one ledgered word per broadcast.
+  kBroadcast,
 };
+
+/// Stable lower-case name of a routing mode ("charged" / "executed" /
+/// "broadcast") — the spelling used by --routing, LAPCLIQUE_ROUTING, and
+/// runtime_to_json.
+[[nodiscard]] const char* to_string(RoutingMode mode);
+
+/// Parse the spelling produced by to_string; std::nullopt on anything else.
+[[nodiscard]] std::optional<RoutingMode> routing_mode_from_string(
+    std::string_view name);
+
+/// Process-wide default mode: the LAPCLIQUE_ROUTING environment variable
+/// (charged | executed | broadcast, read once), else kCharged.  Runtime's
+/// routing_mode member defaults to this; a bare `Network net(n)` stays
+/// kCharged so direct-construction golden tests are env-independent.
+[[nodiscard]] RoutingMode default_routing_mode();
 
 class Network {
  public:
@@ -112,7 +138,39 @@ class Network {
   /// Charge `rounds` without moving data.  Used for sub-routines whose round
   /// cost is taken from the literature (e.g. the CKKL+19 O(n^0.158) SSSP —
   /// see DESIGN.md §3) and for purely internal computation (0 rounds).
+  /// Mode-independent: literature charges and zero-word charges cost the
+  /// same in every routing mode; mode-sensitive bulk transfers go through
+  /// the semantic helpers below.
   void charge(std::int64_t rounds, std::int64_t words = 0);
+
+  // --- semantic bulk charges (mode-aware) ---------------------------------
+  // Each helper reproduces the historical unicast charge exactly in
+  // kCharged/kExecuted (so unicast golden round counts are untouched) and
+  // switches to the honest Broadcast Congested Clique cost in kBroadcast,
+  // ledgered under a distinct "bcast_*" primitive.
+
+  /// Every node exchanges k words with every other node (dense matvec,
+  /// IPM electrical-solve gossip).  Unicast: k rounds, k*n*(n-1) words.
+  /// Broadcast: the k per-node words are common, so k rounds, k*n words.
+  void charge_all_to_all(std::int64_t k);
+
+  /// One node announces one word to everyone.  Unicast: 1 round, n-1 words.
+  /// Broadcast: 1 round, 1 word.
+  void charge_announcement();
+
+  /// W = `total_words` load-balanced words become global knowledge (clique
+  /// gossip).  Unicast: ceil(W/n)+1 rounds (spray + relay via [Len13]),
+  /// `unicast_words` ledgered words — call sites historically charge either
+  /// W or W*n depending on whether they count deliveries, so the unicast
+  /// word count is the caller's.  Broadcast: no relay phase is needed (a
+  /// broadcast is heard by all), so each node broadcasts its ceil(W/n)-word
+  /// share: ceil(W/n) rounds, W words.
+  void charge_gossip(std::int64_t total_words, std::int64_t unicast_words);
+
+  /// Every node fans out its own list; k = max per-node list length,
+  /// W = total.  Unicast: k rounds, W*(n-1) words.  Broadcast: k rounds,
+  /// W words.  (The collectives' broadcast_many cost.)
+  void charge_fanout(std::int64_t k, std::int64_t total_words);
 
   /// Deliver a batch of point-to-point messages subject to the per-round
   /// bandwidth limit: the batch is split into sub-rounds so that no ordered
@@ -155,6 +213,10 @@ class Network {
 
  private:
   void check_node(int v) const;
+  /// Shared body of charge() and the semantic helpers: record under
+  /// `primitive` and run bulk recovery when a fault plan is armed.
+  void charge_impl(const char* primitive, std::int64_t rounds,
+                   std::int64_t words);
   void deliver(const std::vector<Msg>& msgs);
   void record(const char* primitive, std::int64_t rounds, std::int64_t words,
               std::int64_t max_load);

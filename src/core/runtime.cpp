@@ -46,8 +46,9 @@ obs::json::Value runtime_to_json(const Runtime& rt) {
     o["fault_spec"] = fault::to_string(plan->spec());
     o["fault_seed"] = static_cast<std::int64_t>(plan->seed());
   }
-  o["routing_mode"] =
-      rt.routing_mode == clique::RoutingMode::kCharged ? "charged" : "executed";
+  // to_string, not a two-way ternary: a ternary here silently mislabeled
+  // every mode that is neither kCharged nor the one hard-coded alternative.
+  o["routing_mode"] = std::string(clique::to_string(rt.routing_mode));
   o["lenzen_constant"] = rt.lenzen_constant;
   return obs::json::Value(std::move(o));
 }

@@ -35,8 +35,10 @@ struct Runtime {
   /// Fault plan driving the recovery drills; nullptr resolves to
   /// fault::default_plan() (which may itself be null = faults off).
   fault::FaultPlan* faults = nullptr;
-  /// How lenzen_route realizes batches (charged vs executed schedules).
-  clique::RoutingMode routing_mode = clique::RoutingMode::kCharged;
+  /// How the network realizes and charges communication (charged / executed
+  /// unicast, or the Broadcast Congested Clique).  Defaults to the
+  /// LAPCLIQUE_ROUTING environment variable, else kCharged.
+  clique::RoutingMode routing_mode = clique::default_routing_mode();
   /// Constant in the charged Lenzen bound (Theorem 1.4 uses 16).
   int lenzen_constant = 16;
 

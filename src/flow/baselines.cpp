@@ -13,9 +13,8 @@ BaselineResult trivial_max_flow(const Digraph& g, int s, int t,
   const std::int64_t before = net.rounds();
   // Every node must learn every arc: 3 words per arc, every node receives
   // them all.  With clique gossip that is ceil(3m/n)+1 rounds.
-  const auto n = static_cast<std::int64_t>(net.size());
   const std::int64_t words = 3 * static_cast<std::int64_t>(g.num_arcs());
-  net.charge((words + n - 1) / n + 1, words * n);
+  net.charge_gossip(words, words * static_cast<std::int64_t>(net.size()));
 
   const MaxFlowResult mf = dinic_max_flow(g, s, t);
   BaselineResult out;

@@ -98,8 +98,7 @@ linalg::Vec solve_potentials(const Transformed& tr, std::span<const double> chi,
     obs::count(net.tracer(), "electrical_solves");
     // Each solve round is a clique-wide broadcast (the same words the
     // kSparsified path charges through LaplacianSolver::solve).
-    const auto nn = static_cast<std::int64_t>(net.size());
-    net.charge(rounds_per_solve, rounds_per_solve * nn * (nn - 1));
+    net.charge_all_to_all(rounds_per_solve);
     return solver.potentials(chi);
   }
   return solver.potentials(chi, &net);
@@ -151,8 +150,7 @@ std::vector<double> augmentation(Transformed& tr, int s, int t, double target_f,
     tr.y[static_cast<std::size_t>(v)] += step * phi[static_cast<std::size_t>(v)];
   }
   {
-    const auto nn = static_cast<std::int64_t>(net.size());
-    net.charge(2, 2 * nn * (nn - 1));  // rho-norm allreduce + step announcement
+    net.charge_all_to_all(2);  // rho-norm allreduce + step announcement
   }
 
   std::vector<double> rho(tr.edges.size());
@@ -195,7 +193,7 @@ void fixing(Transformed& tr, const MaxFlowIpmOptions& opt, clique::Network& net,
   for (int v = 0; v < tr.nv; ++v) {
     tr.y[static_cast<std::size_t>(v)] += step2 * phi[static_cast<std::size_t>(v)];
   }
-  net.charge(1, net.size() - 1);  // step announcement broadcast
+  net.charge_announcement();  // step announcement broadcast
 }
 
 /// Algorithm 5 (Boosting): replace the most congested edges by paths.
@@ -275,7 +273,7 @@ void boosting(Transformed& tr, const std::vector<double>& rho,
     }
   }
   // The surgery itself is local; announcing it is one broadcast.
-  net.charge(1, net.size() - 1);
+  net.charge_announcement();
 }
 
 /// Snap the fractional flow to the Delta grid and repair conservation along
@@ -381,7 +379,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
     return rep;  // no s-t flow possible
   }
   const auto m = static_cast<double>(tr.edges.size());
-  net.charge(1, net.size() - 1);
+  net.charge_announcement();
 
   // Target: maxflow(transformed) = C + 2mU + 2 f*(G0); we aim at an upper
   // bound for f* from local capacities (overshoot is safe: the finisher is
@@ -416,8 +414,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
       ElectricalSolver(tr.nv, std::move(cal), eopt).calibrate(opt.solve_eps);
   {
     // The calibration solve itself (broadcast rounds, like every solve).
-    const auto nn = static_cast<std::int64_t>(net.size());
-    net.charge(rep.rounds_per_solve, rep.rounds_per_solve * nn * (nn - 1));
+    net.charge_all_to_all(rep.rounds_per_solve);
   }
 
   // Progress loop (Algorithm 2, lines 6-18).
@@ -453,8 +450,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
     // The exact baseline is centralized: gather the arc list (3 words per
     // arc) to a coordinator, solve locally, broadcast the value.
     const auto words = 3 * static_cast<std::int64_t>(g.num_arcs());
-    const auto nn = static_cast<std::int64_t>(net.size());
-    net.charge((words + nn - 1) / nn + 1, words);
+    net.charge_gossip(words, words);
     const MaxFlowResult exact = dinic_max_flow(g, s, t);
     rep.value = exact.value;
     rep.flow = exact.flow;
@@ -507,7 +503,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   while ((1 << k) < 4 * static_cast<int>(tr.edges.size())) ++k;
   const double delta_grid = 1.0 / static_cast<double>(1 << k);
   snap_and_repair(tr, s, t, delta_grid);
-  net.charge(1, net.size() - 1);
+  net.charge_announcement();
 
   // Orient two-sided edges by flow sign for the rounding digraph.
   Digraph rg(tr.nv);
@@ -527,6 +523,8 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   // simulated by one of its endpoint's clique nodes, so the rounding runs on
   // a lifted network and its rounds are charged to the real one.
   clique::Network lifted_net(std::max(tr.nv, 2));
+  lifted_net.set_routing_mode(net.routing_mode());
+  lifted_net.set_lenzen_constant(net.lenzen_constant());
   const euler::FlowRoundingResult rounded =
       euler::round_flow(rg, rf, s, t, lifted_net, ropt);
   net.charge(lifted_net.rounds(), lifted_net.words_sent());
@@ -545,7 +543,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
         (gval + static_cast<double>(g.arc(e.orig).cap)) / 2.0;
   }
   std::vector<std::int64_t> warm = repair_to_feasible(g, s, t, h);
-  net.charge(1, net.size() - 1);
+  net.charge_announcement();
 
   // Lines 20-21: augmenting paths to exact optimality.
   net.set_phase("maxflow/augmenting");
@@ -562,7 +560,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
     for (const auto& [a, fwd] : *path) {
       warm[static_cast<std::size_t>(a)] += fwd ? bottleneck : -bottleneck;
     }
-    net.charge(1, net.size() - 1);
+    net.charge_announcement();
   }
 
   rep.flow = std::move(warm);

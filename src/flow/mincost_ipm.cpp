@@ -177,7 +177,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
   Lifted lf = build_lifted(g, sigma);
   const int me = 2 * lf.nq;
   const auto m = static_cast<double>(std::max(me, 2));
-  net.charge(1, net.size() - 1);
+  net.charge_announcement();
 
   // Demand vector for the electrical solves: the bipartite flow goes P -> Q,
   // so P vertices are producers (-b) and Q vertices consumers (+b).
@@ -205,8 +205,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
     rep.rounds_per_solve =
         ElectricalSolver(be.nv, std::move(be.edges), eopt).calibrate(opt.solve_eps);
     // The calibration solve itself (broadcast rounds, like every solve).
-    const auto nn = static_cast<std::int64_t>(net.size());
-    net.charge(rep.rounds_per_solve, rep.rounds_per_solve * nn * (nn - 1));
+    net.charge_all_to_all(rep.rounds_per_solve);
   }
 
   // Main loop (Algorithm 6) with the CMSV budget and early exit on mu_hat.
@@ -246,8 +245,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
     // broadcast feasibility and cost.
     const auto words = 4 * static_cast<std::int64_t>(g.num_arcs()) +
                        static_cast<std::int64_t>(g.num_vertices());
-    const auto nn = static_cast<std::int64_t>(net.size());
-    net.charge((words + nn - 1) / nn + 1, words);
+    net.charge_gossip(words, words);
     const MinCostFlowResult exact = ssp_min_cost_flow(g, sigma);
     rep.feasible = exact.feasible;
     rep.cost = exact.feasible ? exact.cost : 0;
@@ -309,7 +307,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
               std::max(lf.f[static_cast<std::size_t>(ebar)], 1e-12);
           rho[static_cast<std::size_t>(e)] /= 2.0;
         }
-        net.charge(1, net.size() - 1);  // perturbation announcement broadcast
+        net.charge_announcement();  // perturbation announcement broadcast
       }
 
       // Progress (Algorithm 9): two Laplacian solves.
@@ -335,8 +333,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
         obs::count(net.tracer(), "electrical_solves");
         // Each solve round is a clique-wide broadcast (the same words the
         // kSparsified path charges through LaplacianSolver::solve).
-        const auto nn = static_cast<std::int64_t>(net.size());
-        net.charge(rep.rounds_per_solve, rep.rounds_per_solve * nn * (nn - 1));
+        net.charge_all_to_all(rep.rounds_per_solve);
         phi = solver1.potentials(chi);
       } else {
         phi = solver1.potentials(chi, &net);
@@ -405,8 +402,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
         obs::count(net.tracer(), "electrical_solves");
         // Each solve round is a clique-wide broadcast (the same words the
         // kSparsified path charges through LaplacianSolver::solve).
-        const auto nn = static_cast<std::int64_t>(net.size());
-        net.charge(rep.rounds_per_solve, rep.rounds_per_solve * nn * (nn - 1));
+        net.charge_all_to_all(rep.rounds_per_solve);
         phi2 = solver2.potentials(chi2);
       } else {
         phi2 = solver2.potentials(chi2, &net);
@@ -427,8 +423,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       }
       lf.mu_hat *= (1.0 - delta);
       {
-        const auto nn = static_cast<std::int64_t>(net.size());
-        net.charge(2, 2 * nn * (nn - 1));  // norm allreduces
+        net.charge_all_to_all(2);  // norm allreduces
       }
       if (divergence() != nullptr) done = true;
       if (lf.mu_hat < mu_exit) done = true;
@@ -484,6 +479,8 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
     // simulated by its arc's tail node, so rounding runs on a lifted network
     // whose rounds are charged to the real one.
     clique::Network lifted_net(lf.np + lf.nq + 2);
+    lifted_net.set_routing_mode(net.routing_mode());
+    lifted_net.set_lenzen_constant(net.lenzen_constant());
     // Attach the real matching costs so the cost-aware rule applies.
     Digraph rg_costed(lf.np + lf.nq + 2);
     for (int e = 0; e < me; ++e) {
@@ -631,7 +628,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       f1[static_cast<std::size_t>(a)] = fwd ? 1 : 0;
       v = r.rg.arc(ra).from;
     }
-    net.charge(1, net.size() - 1);
+    net.charge_announcement();
     cancel_negative_cycles();
   }
 

@@ -76,6 +76,65 @@ Graph barbell(int half) {
   return g;
 }
 
+Graph lollipop(int clique_size, int path_len) {
+  if (clique_size < 2) {
+    throw std::invalid_argument("lollipop: clique_size >= 2 required");
+  }
+  if (path_len < 1) throw std::invalid_argument("lollipop: path_len >= 1 required");
+  Graph g(clique_size + path_len);
+  for (int i = 0; i < clique_size; ++i) {
+    for (int j = i + 1; j < clique_size; ++j) g.add_edge(i, j);
+  }
+  // The tail hangs off vertex 0 of the clique.
+  g.add_edge(0, clique_size);
+  for (int i = 1; i < path_len; ++i) {
+    g.add_edge(clique_size + i - 1, clique_size + i);
+  }
+  return g;
+}
+
+Graph barabasi_albert(int n, int m_per_node, std::uint64_t seed) {
+  if (m_per_node < 1) {
+    throw std::invalid_argument("barabasi_albert: m_per_node >= 1 required");
+  }
+  if (n < m_per_node + 2) {
+    throw std::invalid_argument("barabasi_albert: n >= m_per_node + 2 required");
+  }
+  SplitMix64 rng(seed);
+  Graph g(n);
+  // Complete seed graph on m_per_node + 1 vertices.
+  const int seed_n = m_per_node + 1;
+  // `chosen` holds one endpoint id per half-edge; sampling an index uniformly
+  // from it is sampling a vertex proportionally to its current degree.
+  std::vector<int> stubs;
+  for (int i = 0; i < seed_n; ++i) {
+    for (int j = i + 1; j < seed_n; ++j) {
+      g.add_edge(i, j);
+      stubs.push_back(i);
+      stubs.push_back(j);
+    }
+  }
+  std::vector<char> taken(static_cast<std::size_t>(n), 0);
+  for (int v = seed_n; v < n; ++v) {
+    std::vector<int> targets;
+    targets.reserve(static_cast<std::size_t>(m_per_node));
+    while (static_cast<int>(targets.size()) < m_per_node) {
+      const int u = stubs[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(stubs.size())))];
+      if (taken[static_cast<std::size_t>(u)] != 0) continue;  // distinct targets
+      taken[static_cast<std::size_t>(u)] = 1;
+      targets.push_back(u);
+    }
+    for (int u : targets) {
+      taken[static_cast<std::size_t>(u)] = 0;
+      g.add_edge(u, v);
+      stubs.push_back(u);
+      stubs.push_back(v);
+    }
+  }
+  return g;
+}
+
 Graph random_gnm(int n, int m, std::uint64_t seed) {
   Graph g(n);
   if (n < 2) return g;

@@ -23,6 +23,17 @@ Graph circulant(int n, std::span<const int> offsets);
 /// Two complete halves joined by a single edge — the classic low-conductance
 /// instance for exercising the expander decomposition.
 Graph barbell(int half);
+/// A complete graph on `clique_size` vertices with a path of `path_len`
+/// extra vertices hanging off vertex 0 — the classic slow-mixing instance
+/// (dense core, long tail), adversarial for broadcast/unicast comparisons.
+Graph lollipop(int clique_size, int path_len);
+
+/// Barabási–Albert-style preferential attachment: starts from a complete
+/// seed on m_per_node+1 vertices; every later vertex attaches to
+/// `m_per_node` distinct existing vertices chosen proportionally to degree
+/// (deterministic given `seed`).  Produces the heavy-tailed degree
+/// sequences the uniform families lack.
+Graph barabasi_albert(int n, int m_per_node, std::uint64_t seed);
 
 // --- random undirected families (deterministic seeds) --------------------
 Graph random_gnm(int n, int m, std::uint64_t seed);

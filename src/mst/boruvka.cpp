@@ -70,7 +70,7 @@ MstResult boruvka_clique(const Graph& g, clique::Network& net) {
       }
     }
     if (!any) break;  // remaining components are mutually disconnected
-    net.charge(3, static_cast<std::int64_t>(n) * (n - 1) * 3);
+    net.charge_all_to_all(3);
     ++out.phases;
 
     // All nodes now know all candidates; merge internally, taking the best

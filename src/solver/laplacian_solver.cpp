@@ -29,7 +29,7 @@ LaplacianSolver::LaplacianSolver(const graph::Graph& g,
     net->set_phase("solver/gather_sparsifier");
     const auto n = static_cast<std::int64_t>(net->size());
     const std::int64_t words = 3 * static_cast<std::int64_t>(h_.num_edges());
-    net->charge((words + n - 1) / n + 1, words * n);
+    net->charge_gossip(words, words * n);
   }
   lg_ = graph::laplacian(g);
   lh_ = graph::laplacian(h_);
@@ -116,9 +116,7 @@ LaplacianSolver::LaplacianSolver(const graph::Graph& g,
     // Each power-iteration matvec with L_G is one broadcast round; the
     // L_H^+ applications are internal (H is globally known).
     net->set_phase("solver/range_estimation");
-    net->charge(range_matvecs_ + 2,
-                static_cast<std::int64_t>(range_matvecs_ + 2) * net->size() *
-                    (net->size() - 1));
+    net->charge_all_to_all(range_matvecs_ + 2);
   }
 }
 
@@ -200,14 +198,19 @@ Vec LaplacianSolver::solve(std::span<const double> b, double eps,
     // One broadcast round per Chebyshev iteration (the matvec by L_G);
     // vector updates and the L_H solve are internal.
     net->set_phase("solver/chebyshev");
-    net->charge(total_iters + 1, static_cast<std::int64_t>(total_iters + 1) *
-                                     net->size() * (net->size() - 1));
+    net->charge_all_to_all(total_iters + 1);
     if (fallback) {
       // The exact solve is centralized: gather b to a coordinator and
       // broadcast x back (2 n-word vectors through one node's links).
       net->set_phase("solver/fallback");
       const auto nn = static_cast<std::int64_t>(net->size());
-      net->charge(4, 2 * nn);
+      if (net->routing_mode() == clique::RoutingMode::kBroadcast) {
+        // Gather b is one round (everyone broadcasts its entry); sending x
+        // back is n sequential broadcasts from the coordinator.
+        net->charge(nn + 1, 2 * nn);
+      } else {
+        net->charge(4, 2 * nn);
+      }
     }
   }
 

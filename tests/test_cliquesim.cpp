@@ -251,5 +251,110 @@ TEST(Network, CongestionAuditHolds) {
   }
 }
 
+// --- Broadcast Congested Clique charging ------------------------------------
+
+TEST(Broadcast, ModeStringsRoundTrip) {
+  for (const RoutingMode mode : {RoutingMode::kCharged, RoutingMode::kExecuted,
+                                 RoutingMode::kBroadcast}) {
+    const auto parsed = routing_mode_from_string(to_string(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(routing_mode_from_string("smoke-signals").has_value());
+}
+
+TEST(Broadcast, ExchangeChargesMaxWordsPerSource) {
+  Network net(4);
+  net.set_routing_mode(RoutingMode::kBroadcast);
+  // Node 0 sends 3 words to distinct destinations: 1 unicast sub-round
+  // (all pairs distinct) but 3 broadcast rounds (one word per source/round).
+  const std::vector<Msg> msgs{{0, 1, 0, Word(std::int64_t{1})},
+                              {0, 2, 0, Word(std::int64_t{2})},
+                              {0, 3, 0, Word(std::int64_t{3})},
+                              {1, 2, 0, Word(std::int64_t{4})}};
+  net.exchange(msgs);
+  EXPECT_EQ(net.rounds(), 3);
+  EXPECT_EQ(net.words_sent(), 4);  // one ledgered word per broadcast
+  EXPECT_EQ(net.inbox(2).size(), 2u);  // delivery identical to unicast
+}
+
+TEST(Broadcast, TransmitSubroundLimitIsPerSource) {
+  Network net(4);
+  net.set_routing_mode(RoutingMode::kBroadcast);
+  // Distinct ordered pairs (fine in unicast) but node 0 broadcasts twice.
+  const std::vector<Msg> over{{0, 1, 0, Word(std::int64_t{1})}, {0, 2, 0, Word(std::int64_t{2})}};
+  EXPECT_THROW(net.transmit_subround(over), BandwidthViolation);
+  EXPECT_EQ(net.rounds(), 0);  // strong guarantee: nothing charged
+  const std::vector<Msg> ok{{0, 1, 0, Word(std::int64_t{1})}, {1, 2, 0, Word(std::int64_t{2})}};
+  net.transmit_subround(ok);
+  EXPECT_EQ(net.rounds(), 1);
+}
+
+TEST(Broadcast, LenzenRouteChargesExactScheduleNotSixteenC) {
+  const std::vector<Msg> msgs{{0, 1, 0, Word(std::int64_t{7})}, {1, 0, 0, Word(std::int64_t{8})}};
+  Network charged(4);
+  charged.lenzen_route(msgs);
+  EXPECT_EQ(charged.rounds(), charged.lenzen_constant());
+  Network bcast(4);
+  bcast.set_routing_mode(RoutingMode::kBroadcast);
+  bcast.lenzen_route(msgs);
+  EXPECT_EQ(bcast.rounds(), 1);  // every source broadcasts once
+  EXPECT_EQ(bcast.inbox(0).size(), charged.inbox(0).size());
+}
+
+TEST(Broadcast, CollectivesChargeOneWordPerBroadcast) {
+  Network net(8);
+  net.set_routing_mode(RoutingMode::kBroadcast);
+  (void)broadcast_one(net, std::vector<double>(8, 1.0));
+  EXPECT_EQ(net.rounds(), 1);
+  EXPECT_EQ(net.words_sent(), 8);  // n broadcasts, not n*(n-1) deliveries
+  net.reset_accounting();
+  (void)allreduce_sum(net, std::vector<double>(8, 0.5));
+  EXPECT_EQ(net.rounds(), 1);
+  EXPECT_EQ(net.words_sent(), 8);
+}
+
+TEST(Broadcast, GatherToAllDropsRelayRound) {
+  // 16 words over 8 nodes: unicast charges ceil(16/8)+1 = 3 rounds and
+  // 16*8 delivered words; broadcast charges ceil(16/8) = 2 rounds and 16.
+  std::vector<std::vector<Word>> words(8);
+  for (int v = 0; v < 8; ++v) words[static_cast<std::size_t>(v)] = {Word(std::int64_t{v}), Word(std::int64_t{v})};
+  Network uni(8);
+  (void)gather_to_all(uni, words);
+  EXPECT_EQ(uni.rounds(), 3);
+  EXPECT_EQ(uni.words_sent(), 16 * 8);
+  Network bc(8);
+  bc.set_routing_mode(RoutingMode::kBroadcast);
+  const auto out = gather_to_all(bc, words);
+  EXPECT_EQ(bc.rounds(), 2);
+  EXPECT_EQ(bc.words_sent(), 16);
+  EXPECT_EQ(out.size(), 16u);
+}
+
+TEST(Broadcast, SemanticChargeHelpers) {
+  Network uni(6);
+  uni.charge_all_to_all(2);
+  EXPECT_EQ(uni.rounds(), 2);
+  EXPECT_EQ(uni.words_sent(), 2 * 6 * 5);
+  uni.reset_accounting();
+  uni.charge_announcement();
+  EXPECT_EQ(uni.rounds(), 1);
+  EXPECT_EQ(uni.words_sent(), 5);
+
+  Network bc(6);
+  bc.set_routing_mode(RoutingMode::kBroadcast);
+  bc.charge_all_to_all(2);
+  EXPECT_EQ(bc.rounds(), 2);
+  EXPECT_EQ(bc.words_sent(), 2 * 6);
+  bc.reset_accounting();
+  bc.charge_announcement();
+  EXPECT_EQ(bc.rounds(), 1);
+  EXPECT_EQ(bc.words_sent(), 1);
+  bc.reset_accounting();
+  bc.charge_gossip(13, 13 * 6);
+  EXPECT_EQ(bc.rounds(), (13 + 5) / 6);
+  EXPECT_EQ(bc.words_sent(), 13);
+}
+
 }  // namespace
 }  // namespace lapclique::clique

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
 #include "graph/connectivity.hpp"
@@ -65,6 +67,60 @@ TEST(Generators, BarbellHasBottleneck) {
   EXPECT_EQ(g.num_vertices(), 10);
   EXPECT_EQ(g.num_edges(), 2 * 10 + 1);
   EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, LollipopShape) {
+  const Graph g = lollipop(6, 4);
+  EXPECT_EQ(g.num_vertices(), 10);
+  EXPECT_EQ(g.num_edges(), 15 + 4);  // K6 + tail
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(6), 2);  // first tail vertex: clique joint + next
+  EXPECT_EQ(g.degree(9), 1);  // tail end
+  EXPECT_EQ(g.degree(0), 6);  // clique vertex carrying the tail
+  EXPECT_THROW(lollipop(1, 3), std::invalid_argument);
+  EXPECT_THROW(lollipop(4, 0), std::invalid_argument);
+}
+
+TEST(Generators, BarabasiAlbertDegreeSumAndCounts) {
+  const int n = 40;
+  const int m_per = 3;
+  const Graph g = barabasi_albert(n, m_per, 5);
+  // Seed clique C(m+1, 2) edges, then m per later vertex.
+  const int expect_m = m_per * (m_per + 1) / 2 + (n - (m_per + 1)) * m_per;
+  EXPECT_EQ(g.num_edges(), expect_m);
+  std::int64_t degree_sum = 0;
+  for (int v = 0; v < n; ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, 2 * static_cast<std::int64_t>(expect_m));
+}
+
+TEST(Generators, BarabasiAlbertConnectedAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EXPECT_TRUE(is_connected(barabasi_albert(30, 2, seed))) << seed;
+  }
+}
+
+TEST(Generators, BarabasiAlbertDeterministicAcrossRuns) {
+  const Graph a = barabasi_albert(36, 2, 11);
+  const Graph b = barabasi_albert(36, 2, 11);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (int e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+}
+
+TEST(Generators, BarabasiAlbertSeedsDifferAndSkew) {
+  const Graph a = barabasi_albert(36, 2, 11);
+  const Graph b = barabasi_albert(36, 2, 12);
+  bool differs = false;
+  for (int e = 0; e < a.num_edges() && !differs; ++e) {
+    differs = a.edge(e).u != b.edge(e).u || a.edge(e).v != b.edge(e).v;
+  }
+  EXPECT_TRUE(differs);
+  // Preferential attachment concentrates degree on the early vertices.
+  int max_deg = 0;
+  for (int v = 0; v < 36; ++v) max_deg = std::max(max_deg, a.degree(v));
+  EXPECT_GT(max_deg, 2 * 2);
 }
 
 TEST(Generators, GnmCountsAndDeterminism) {

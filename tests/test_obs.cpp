@@ -294,4 +294,24 @@ TEST(RoundLedger, DefaultLedgerSessionScoping) {
   EXPECT_EQ(obs::default_ledger(), nullptr);
 }
 
+TEST(RuntimeJson, RoutingModeRoundTripsForEveryMode) {
+  // A charged/executed ternary used to mislabel any third mode; the JSON
+  // must carry the real mode string, and that string must parse back to the
+  // same enum value.
+  for (const clique::RoutingMode mode :
+       {clique::RoutingMode::kCharged, clique::RoutingMode::kExecuted,
+        clique::RoutingMode::kBroadcast}) {
+    Runtime rt;
+    rt.routing_mode = mode;
+    const obs::json::Value v =
+        obs::json::parse(runtime_to_json(rt).dump());
+    const std::string name = v.at("routing_mode").as_string();
+    EXPECT_EQ(name, clique::to_string(mode));
+    const auto parsed = clique::routing_mode_from_string(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(clique::routing_mode_from_string("carrier-pigeon").has_value());
+}
+
 }  // namespace

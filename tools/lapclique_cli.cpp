@@ -19,6 +19,12 @@
 //                          delivery (grammar in docs/ROBUSTNESS.md, e.g.
 //                          "drop=0.01,corrupt=0.005,crash=2@40"); recovery
 //                          rounds are charged under the "recovery" phase
+//   --routing <mode>       charged | executed | broadcast — unicast charged
+//                          bounds (default), unicast with executed Lenzen
+//                          schedules, or the Broadcast Congested Clique
+//                          (docs/MODELS.md); default LAPCLIQUE_ROUTING or
+//                          charged.  Outputs are bit-identical across modes;
+//                          only the round/word accounting changes
 //   --fault-seed <n>       seed for the fault plan (default 1)
 //   --fault-report <path>  write the machine-readable recovery summary JSON
 //                          to <path> ("-" for stdout; default: stderr)
@@ -150,9 +156,8 @@ int cmd_orient(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--random") == 0) {
     opt.marking = euler::MarkingRule::kRandomized;
   }
-  clique::Network net(std::max(g.num_vertices(), 2));
-  net.set_tracer(obs::default_ledger());
-  net.set_fault_plan(fault::default_plan());
+  // make_network applies the whole Runtime (tracer, fault plan, --routing).
+  clique::Network net = make_network(g.num_vertices());
   const auto rep = euler::eulerian_orientation(g, net, nullptr, opt);
   std::cerr << "rounds=" << rep.rounds << " levels=" << rep.levels << "\n";
   for (int e = 0; e < g.num_edges(); ++e) {
@@ -243,6 +248,7 @@ int cmd_gen_mincost(int argc, char** argv) {
 int main(int argc, char** argv) {
   // Peel off the global flags before command dispatch.
   int threads = 0;  // 0 = exec::default_threads() (LAPCLIQUE_THREADS or 1)
+  clique::RoutingMode routing = clique::default_routing_mode();
   const char* trace_path = nullptr;
   const char* fault_spec = nullptr;
   const char* fault_report = nullptr;
@@ -265,6 +271,15 @@ int main(int argc, char** argv) {
         std::cerr << "error: " << ex.what() << "\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--routing") == 0) {
+      const char* v = flag_value(i, "--routing");
+      const auto parsed = clique::routing_mode_from_string(v);
+      if (!parsed.has_value()) {
+        std::cerr << "--routing: expected charged|executed|broadcast, got '"
+                  << v << "'\n";
+        return 2;
+      }
+      routing = *parsed;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace_path = flag_value(i, "--trace");
     } else if (std::strcmp(argv[i], "--faults") == 0) {
@@ -309,6 +324,7 @@ int main(int argc, char** argv) {
   // drive subsystem calls directly (orient --random).
   Runtime rt;
   rt.threads = threads;
+  rt.routing_mode = routing;
   set_default_runtime(rt);
   exec::set_threads(rt.resolved_threads());
 
