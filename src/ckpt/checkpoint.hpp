@@ -1,0 +1,249 @@
+// Deterministic checkpoint/restore for long runs.
+//
+// The IPM flow algorithms run Θ(√m · polylog) communication batches — the
+// long-lived jobs a SLURM-style preempt/requeue world kills mid-flight.  The
+// fault layer (src/fault) recovers message-level faults *inside* a live run;
+// this subsystem survives the process dying: a `CheckpointWriter` attached
+// via `Runtime{checkpoint_path, checkpoint_every}` serializes, at batch
+// boundaries, the complete resumable state of a run —
+//
+//   * the algorithm payload (flow iterate, duals, congestion vectors —
+//     opaque bytes produced by the IPM's own encoder),
+//   * the Network accounting (rounds, words, phase, phase ledger, op log),
+//   * the attached RoundLedger's full span tree (so the trace JSON of a
+//     resumed run is byte-equal to an uninterrupted one),
+//   * the attached FaultPlan's counters (so injected faults replay
+//     identically after resume),
+//
+// under a header carrying a graph hash, routing mode, fault-config
+// signature, and schema version.  The container format is versioned,
+// checksummed (FNV-1a 64), and committed atomically (write `.tmp`, fsync,
+// rename) so a crash mid-snapshot never corrupts the last good checkpoint.
+//
+// Restore is all-or-nothing (the strong guarantee, mirroring the PR 4 io
+// hardening): truncated files, checksum mismatches, schema skew, and
+// header/run mismatches each throw a located `CheckpointError` *before* any
+// run state is touched.
+//
+// Determinism contract (pinned by tests/test_checkpoint.cpp): a run
+// preempted at ANY batch and resumed from its last checkpoint produces
+// byte-identical outputs, round/word ledgers, and trace JSON to an
+// uninterrupted run, at any thread count and in all three routing modes.
+//
+// Format (little-endian throughout):
+//
+//   offset 0   magic   "LAPCKPT1"                      (8 bytes)
+//   offset 8   schema  u32 (kSchemaVersion)
+//   offset 12  body    tagged fields (see checkpoint.cpp)
+//   tail       u64 FNV-1a checksum of everything before it
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cliquesim/network.hpp"
+#include "fault/fault_plan.hpp"
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "io/dimacs.hpp"
+#include "obs/round_ledger.hpp"
+
+namespace lapclique::ckpt {
+
+inline constexpr char kMagic[8] = {'L', 'A', 'P', 'C', 'K', 'P', 'T', '1'};
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+/// FNV-1a 64-bit, the container checksum and the graph-hash primitive.
+/// Exposed so tests can craft adversarial files and callers can hash inputs.
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t len,
+                                    std::uint64_t h = 0xcbf29ce484222325ULL);
+
+/// Stable content hash of the run's input graph, stored in the header so a
+/// checkpoint cannot silently restore onto a different instance.
+[[nodiscard]] std::uint64_t graph_hash(const graph::Digraph& g);
+[[nodiscard]] std::uint64_t graph_hash(const graph::Graph& g);
+
+/// Malformed or incompatible checkpoint file.  Derives from io::ParseError
+/// so checkpoint diagnostics read like every other input diagnostic in the
+/// repo: "<path> @ byte <offset>: <what>".
+class CheckpointError : public io::ParseError {
+ public:
+  CheckpointError(const std::string& path, long long offset,
+                  const std::string& what)
+      : io::ParseError(path, offset, what) {}
+};
+
+/// Append-only little-endian encoder for checkpoint bodies.  The IPMs use it
+/// for their opaque state payloads; the container uses it for the header and
+/// run snapshots.
+class Encoder {
+ public:
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);  ///< exact bit pattern, so doubles round-trip bitwise
+  void str(const std::string& s);
+  void f64_vec(const std::vector<double>& v);
+  void i64_vec(const std::vector<std::int64_t>& v);
+
+  [[nodiscard]] const std::string& bytes() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder; every read past the end throws a located
+/// CheckpointError (never returns garbage).
+class Decoder {
+ public:
+  Decoder(std::string source, const std::string& bytes, std::size_t base = 0)
+      : source_(std::move(source)), buf_(bytes), base_(base) {}
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  std::vector<double> f64_vec();
+  std::vector<std::int64_t> i64_vec();
+
+  /// Absolute file offset the decoder has reached (base + position).
+  [[nodiscard]] long long offset() const {
+    return static_cast<long long>(base_ + pos_);
+  }
+  [[nodiscard]] bool done() const { return pos_ == buf_.size(); }
+  [[noreturn]] void fail(const std::string& what) const;
+
+ private:
+  void need(std::size_t n, const char* what) const;
+
+  std::string source_;
+  const std::string& buf_;
+  std::size_t base_ = 0;
+  std::size_t pos_ = 0;
+};
+
+/// One decoded checkpoint: the run-container snapshots plus the algorithm's
+/// opaque payload.  `source` and `field_offsets` are bookkeeping filled by
+/// load_checkpoint (not serialized) so compatibility errors point into the
+/// file.
+struct Checkpoint {
+  std::uint32_t schema = kSchemaVersion;
+  std::string algo;             ///< "maxflow" | "mincost"
+  std::uint64_t graph_hash = 0;
+  std::string routing_mode;     ///< clique::to_string spelling
+  std::int64_t threads = 1;     ///< informational: writer's thread count
+  std::int64_t batch = 0;       ///< boundary index this snapshot was taken at
+
+  bool has_fault_plan = false;
+  std::string fault_spec;       ///< full spec string (includes preempt=)
+  std::uint64_t fault_seed = 0;
+  fault::FaultPlanSnapshot fault_state;
+
+  clique::NetworkSnapshot net;
+
+  bool has_ledger = false;
+  obs::LedgerSnapshot ledger;
+
+  std::string state;  ///< algorithm payload, opaque to the container
+
+  std::string source;  ///< path this was loaded from ("" if in-memory)
+  std::map<std::string, long long> field_offsets;  ///< header field -> byte
+};
+
+/// Serialize to the container format (magic + schema + body + checksum).
+[[nodiscard]] std::string encode_checkpoint(const Checkpoint& ck);
+
+/// Parse and validate a container produced by encode_checkpoint.  Throws
+/// CheckpointError on truncation, bad magic, schema skew, or checksum
+/// mismatch — always before returning anything (strong guarantee).
+[[nodiscard]] Checkpoint decode_checkpoint(const std::string& source,
+                                           const std::string& bytes);
+
+/// Atomic write: encode, write `path.tmp`, fsync, rename over `path`.
+void save_checkpoint(const std::string& path, const Checkpoint& ck);
+
+/// Read + decode_checkpoint; missing/unreadable files throw CheckpointError.
+[[nodiscard]] Checkpoint load_checkpoint(const std::string& path);
+
+/// The fault configuration a checkpoint must agree on with the run resuming
+/// from it: spec (with the preempt clause stripped — preemption schedules
+/// the kill, it never perturbs accounting) plus seed when the stripped spec
+/// is non-empty.  "" means "no accounting-relevant faults".
+[[nodiscard]] std::string fault_signature(const fault::FaultPlan* plan);
+[[nodiscard]] std::string fault_signature(const Checkpoint& ck);
+
+/// Header-vs-run compatibility: algorithm, graph hash (skipped for
+/// warm starts onto an edited graph when `check_graph_hash` is false),
+/// routing mode, and fault signature must all match, else a located
+/// CheckpointError.  Thread count is informational (outputs are
+/// thread-invariant by the determinism contract) and not checked.
+void verify_compatible(const Checkpoint& ck, const std::string& algo,
+                       std::uint64_t graph_hash, const clique::Network& net,
+                       bool check_graph_hash = true);
+
+/// Restore the run-container state (network accounting, attached ledger,
+/// attached fault plan) from a verified checkpoint.  Must run before the
+/// resumed code path charges anything.  Returns the algorithm payload.
+/// Throws CheckpointError if a tracer is attached but the checkpoint carries
+/// no ledger (the resumed trace could not be byte-faithful).
+const std::string& restore_run_state(const Checkpoint& ck,
+                                     clique::Network& net);
+
+/// Writes checkpoints for one run.  `due(batch)` is true every `every`-th
+/// boundary (boundary 0 included, so even a run preempted in its first batch
+/// resumes instead of restarting).
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::string path, std::int64_t every = 1,
+                            std::int64_t threads = 1);
+
+  [[nodiscard]] bool due(std::int64_t batch) const {
+    return every_ > 0 && batch % every_ == 0;
+  }
+
+  /// Snapshot the network (+ attached ledger and fault plan) and the given
+  /// algorithm payload, and atomically commit to `path()`.
+  void commit(const clique::Network& net, const std::string& algo,
+              std::uint64_t graph_hash, std::int64_t batch, std::string state);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::int64_t every() const { return every_; }
+  [[nodiscard]] std::int64_t threads() const { return threads_; }
+  [[nodiscard]] std::int64_t written() const { return written_; }
+
+ private:
+  std::string path_;
+  std::int64_t every_ = 1;
+  std::int64_t threads_ = 1;
+  std::int64_t written_ = 0;
+};
+
+/// How a run participates in checkpointing, threaded through the IPM option
+/// structs.  All pointers are non-owning and may be null.
+struct CheckpointHooks {
+  CheckpointWriter* writer = nullptr;     ///< write at due boundaries
+  const Checkpoint* resume = nullptr;     ///< continue bit-identically from here
+  const Checkpoint* warm_start = nullptr; ///< seed the iterate from here (graph may differ)
+
+  [[nodiscard]] bool any() const {
+    return writer != nullptr || resume != nullptr || warm_start != nullptr;
+  }
+};
+
+/// Throw fault::PreemptError if the attached plan schedules a process kill
+/// at this boundary.  Called AFTER the boundary's checkpoint write, so a
+/// preempted run always leaves a resumable snapshot of the batch it died at.
+void maybe_preempt(const fault::FaultPlan* plan, std::int64_t batch);
+
+/// The per-boundary call the IPMs make: write a checkpoint when one is due
+/// (the payload thunk runs only then), then honor a scheduled preemption.
+void boundary(const CheckpointHooks& hooks, clique::Network& net,
+              std::int64_t batch, const char* algo, std::uint64_t graph_hash,
+              const std::function<std::string()>& encode_state);
+
+}  // namespace lapclique::ckpt

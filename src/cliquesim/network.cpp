@@ -604,4 +604,29 @@ void Network::reset_accounting() {
   op_log_.clear();
 }
 
+NetworkSnapshot Network::snapshot() const {
+  for (const std::vector<Msg>& box : inboxes_) {
+    if (!box.empty()) {
+      throw std::logic_error(
+          "Network::snapshot: undrained inbox — snapshots are only valid at "
+          "batch boundaries");
+    }
+  }
+  NetworkSnapshot s;
+  s.rounds = rounds_;
+  s.words = words_;
+  s.phase = phase_;
+  s.ledger = ledger_;
+  s.op_log = op_log_;
+  return s;
+}
+
+void Network::restore(NetworkSnapshot s) {
+  rounds_ = s.rounds;
+  words_ = s.words;
+  phase_ = std::move(s.phase);
+  ledger_ = std::move(s.ledger);
+  op_log_ = std::move(s.op_log);
+}
+
 }  // namespace lapclique::clique

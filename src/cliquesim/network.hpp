@@ -64,6 +64,18 @@ struct OpRecord {
   std::int64_t max_node_load = 0;  ///< max words sent or received by one node
 };
 
+/// Value snapshot of a Network's accounting state, used by the checkpoint
+/// subsystem (src/ckpt).  Inboxes are deliberately absent: snapshots are
+/// only taken at batch boundaries where every delivered message has been
+/// drained, which Network::snapshot() enforces.
+struct NetworkSnapshot {
+  std::int64_t rounds = 0;
+  std::int64_t words = 0;
+  std::string phase;
+  PhaseLedger ledger;
+  std::vector<OpRecord> op_log;
+};
+
 /// How the network realizes and charges communication.  kCharged and
 /// kExecuted are two accountings of the same unicast Congested Clique;
 /// kBroadcast switches to the Broadcast Congested Clique of Forster–de Vos
@@ -210,6 +222,18 @@ class Network {
   [[nodiscard]] const std::vector<Msg>& inbox(int node) const;
 
   void reset_accounting();
+
+  // --- checkpoint support (src/ckpt) ---
+
+  /// Copy out the accounting state (rounds, words, phase, phase ledger, op
+  /// log).  Throws std::logic_error if any inbox holds undrained messages —
+  /// snapshots are only meaningful at batch boundaries.
+  [[nodiscard]] NetworkSnapshot snapshot() const;
+  /// Replace the accounting state.  Restores `phase` directly (without the
+  /// set_phase tracer hook: the tracer's own state is restored separately by
+  /// the checkpoint layer, and a switch_phase here would double-count the
+  /// restored phase span).
+  void restore(NetworkSnapshot s);
 
  private:
   void check_node(int v) const;

@@ -28,6 +28,11 @@ struct RunInfo {
   /// still correct; the round count includes the fallback's gather).
   bool used_fallback = false;
   std::string fallback_reason;
+  /// The iterate was seeded from a checkpoint of a (possibly edited) graph
+  /// instead of cold-started; `warm_saved_iterations` counts the IPM
+  /// batches the checkpoint had already paid for (see docs/CHECKPOINT.md).
+  bool used_warm_start = false;
+  std::int64_t warm_saved_iterations = 0;
 
   /// Snapshot the network's accounting.  Reports that measure a sub-run on a
   /// shared network pass the baseline counts observed before the run; the

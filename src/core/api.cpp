@@ -1,5 +1,9 @@
 #include "core/api.hpp"
 
+#include <memory>
+#include <optional>
+
+#include "ckpt/checkpoint.hpp"
 #include "euler/euler_orient.hpp"
 #include "exec/pool.hpp"
 
@@ -9,6 +13,32 @@ namespace lapclique {
 // duration of the call, build a Network configured by the runtime, run the
 // algorithm, snapshot the accounting into report.run.  The parameterless
 // overloads delegate with default_runtime().
+
+namespace {
+
+/// The Runtime's checkpoint fields materialized for one flow run: a writer
+/// (when a path is configured) and a loaded checkpoint (when resuming).  The
+/// objects must outlive the algorithm call, hence this holder.
+struct CheckpointSession {
+  std::unique_ptr<ckpt::CheckpointWriter> writer;
+  std::optional<ckpt::Checkpoint> resumed;
+
+  explicit CheckpointSession(const Runtime& rt) {
+    if (rt.checkpoint_path.empty()) return;
+    writer = std::make_unique<ckpt::CheckpointWriter>(
+        rt.checkpoint_path, rt.checkpoint_every, rt.resolved_threads());
+    if (rt.resume) resumed = ckpt::load_checkpoint(rt.checkpoint_path);
+  }
+
+  [[nodiscard]] ckpt::CheckpointHooks hooks() const {
+    ckpt::CheckpointHooks h;
+    h.writer = writer.get();
+    h.resume = resumed.has_value() ? &*resumed : nullptr;
+    return h;
+  }
+};
+
+}  // namespace
 
 solver::CliqueSolveReport solve_laplacian(const Graph& g, std::span<const double> b,
                                           double eps,
@@ -84,7 +114,13 @@ flow::MaxFlowIpmReport max_flow(const Digraph& g, int s, int t,
                                 const Runtime& rt) {
   exec::ThreadScope scope(rt.resolved_threads());
   clique::Network net = make_network(g.num_vertices(), rt);
-  return flow::max_flow_clique(g, s, t, net, opt);
+  if (rt.checkpoint_path.empty()) {
+    return flow::max_flow_clique(g, s, t, net, opt);
+  }
+  const CheckpointSession session(rt);
+  flow::MaxFlowIpmOptions copt = opt;
+  copt.checkpoint = session.hooks();
+  return flow::max_flow_clique(g, s, t, net, copt);
 }
 
 flow::MinCostIpmReport min_cost_flow(const Digraph& g,
@@ -99,7 +135,13 @@ flow::MinCostIpmReport min_cost_flow(const Digraph& g,
                                      const Runtime& rt) {
   exec::ThreadScope scope(rt.resolved_threads());
   clique::Network net = make_network(g.num_vertices(), rt);
-  return flow::min_cost_flow_clique(g, sigma, net, opt);
+  if (rt.checkpoint_path.empty()) {
+    return flow::min_cost_flow_clique(g, sigma, net, opt);
+  }
+  const CheckpointSession session(rt);
+  flow::MinCostIpmOptions copt = opt;
+  copt.checkpoint = session.hooks();
+  return flow::min_cost_flow_clique(g, sigma, net, copt);
 }
 
 flow::MinCostMaxFlowReport min_cost_max_flow(const Digraph& g, int s, int t,

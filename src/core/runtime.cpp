@@ -50,6 +50,11 @@ obs::json::Value runtime_to_json(const Runtime& rt) {
   // every mode that is neither kCharged nor the one hard-coded alternative.
   o["routing_mode"] = std::string(clique::to_string(rt.routing_mode));
   o["lenzen_constant"] = rt.lenzen_constant;
+  // Deliberately no path or resume flag here: this object is embedded in
+  // trace output, and a resumed run's trace must stay byte-equal to an
+  // uninterrupted one regardless of where its checkpoint file lived.
+  o["checkpoint_enabled"] = !rt.checkpoint_path.empty();
+  o["checkpoint_every"] = rt.checkpoint_every;
   return obs::json::Value(std::move(o));
 }
 

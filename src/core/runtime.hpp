@@ -41,6 +41,15 @@ struct Runtime {
   clique::RoutingMode routing_mode = clique::default_routing_mode();
   /// Constant in the charged Lenzen bound (Theorem 1.4 uses 16).
   int lenzen_constant = 16;
+  /// When non-empty, the flow IPM entry points attach a ckpt::CheckpointWriter
+  /// that atomically commits a resumable snapshot to this path at every
+  /// `checkpoint_every`-th batch boundary (see docs/CHECKPOINT.md).
+  std::string checkpoint_path;
+  std::int64_t checkpoint_every = 1;
+  /// Resume from `checkpoint_path` instead of starting fresh: the run
+  /// continues bit-identically from the checkpointed batch (outputs, ledgers,
+  /// and trace JSON equal to an uninterrupted run's).
+  bool resume = false;
 
   [[nodiscard]] int resolved_threads() const;
   [[nodiscard]] obs::RoundLedger* resolved_trace() const;

@@ -75,6 +75,8 @@ FaultSpec parse_fault_spec(const std::string& text) {
       spec.duplicate = parse_probability(clause, val);
     } else if (key == "retries") {
       spec.max_retries = static_cast<int>(parse_int(clause, val, 0));
+    } else if (key == "preempt") {
+      spec.preempt_at = parse_int(clause, val, 0);
     } else if (key == "crash") {
       const auto at = val.find('@');
       if (at == std::string::npos) bad_clause(clause, "expected NODE@OP");
@@ -114,6 +116,7 @@ std::string to_string(const FaultSpec& spec) {
   if (spec.duplicate > 0) clause("dup=", spec.duplicate);
   for (const CrashPoint& cp : spec.crashes) clause("crash=", cp.node, "@", cp.op);
   if (spec.max_retries != FaultSpec{}.max_retries) clause("retries=", spec.max_retries);
+  if (spec.preempt_at != FaultSpec::kNever) clause("preempt=", spec.preempt_at);
   if (spec.ipm_nan_at != FaultSpec::kNever) clause("ipm-nan@", spec.ipm_nan_at);
   if (spec.solver_nan_at == FaultSpec::kAlways) {
     clause("solver-nan@all");

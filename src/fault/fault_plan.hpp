@@ -29,14 +29,24 @@
 //
 //   spec       := clause ("," clause)*
 //   clause     := "drop=" P | "corrupt=" P | "dup=" P
-//               | "crash=" NODE "@" OP | "retries=" K
+//               | "crash=" NODE "@" OP | "retries=" K | "preempt=" BATCH
 //               | "ipm-nan@" ITER | "solver-nan@" (RESTART | "all")
 //   P          := probability in [0, 1)
 //
 // e.g.  --faults drop=0.01,corrupt=0.005,dup=0.01,crash=2@40 --fault-seed 7
+//
+// `preempt=BATCH` is the process-level crash-stop used by the checkpoint
+// subsystem (src/ckpt): unlike the transport faults above, which the
+// recovery layer heals inside the run, a preemption aborts the run with
+// PreemptError at checkpoint-batch boundary BATCH — after that boundary's
+// checkpoint write, so the killed run always leaves a resumable snapshot.
+// It never perturbs accounting (any_transport_faults() excludes it), which
+// is what lets a preempted-and-resumed run stay bit-identical to an
+// uninterrupted one.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -68,10 +78,29 @@ struct FaultSpec {
   /// Drill: fail the Laplacian solver's residual check at this restart
   /// index (kAlways = every restart, exhausting the budget).
   std::int64_t solver_nan_at = kNever;
+  /// Process-level crash-stop: abort the run with PreemptError at this
+  /// checkpoint-batch boundary (see header comment; accounting-neutral).
+  std::int64_t preempt_at = kNever;
 
   [[nodiscard]] bool any_transport_faults() const {
     return drop > 0 || corrupt > 0 || duplicate > 0 || !crashes.empty();
   }
+};
+
+/// Thrown by the checkpoint layer (ckpt::maybe_preempt) when the plan
+/// schedules a process kill at the current batch boundary — the simulated
+/// equivalent of SIGTERM from a preempting scheduler.  The run's checkpoint
+/// for that boundary is on disk before this propagates.
+class PreemptError : public std::runtime_error {
+ public:
+  explicit PreemptError(std::int64_t batch)
+      : std::runtime_error("run preempted at checkpoint batch " +
+                           std::to_string(batch)),
+        batch_(batch) {}
+  [[nodiscard]] std::int64_t batch() const { return batch_; }
+
+ private:
+  std::int64_t batch_;
 };
 
 /// Parse the grammar above.  Throws std::invalid_argument with a pointer to
@@ -108,6 +137,16 @@ struct RecoveryStats {
 /// How the injector disposed of one transmitted word.
 enum class WordFate { kOk, kDrop, kCorrupt, kDuplicate };
 
+/// Value snapshot of a FaultPlan's mutable state (draw counter, batch
+/// counter, stats), used by the checkpoint subsystem: restoring it on
+/// resume makes the injected fault stream — and therefore the recovery
+/// rounds it charges — replay identically after the restored batch.
+struct FaultPlanSnapshot {
+  std::uint64_t draws = 0;
+  std::int64_t op_counter = 0;
+  RecoveryStats stats;
+};
+
 class FaultPlan {
  public:
   FaultPlan(const FaultSpec& spec, std::uint64_t seed);
@@ -140,6 +179,21 @@ class FaultPlan {
 
   [[nodiscard]] bool ipm_nan_due(std::int64_t iteration) const;
   [[nodiscard]] bool solver_nan_due(std::int64_t restart) const;
+  /// Whether the plan schedules a process kill at checkpoint batch `batch`.
+  [[nodiscard]] bool preempt_due(std::int64_t batch) const {
+    return spec_.preempt_at != FaultSpec::kNever && spec_.preempt_at == batch;
+  }
+
+  // --- checkpoint support (src/ckpt) ---
+
+  [[nodiscard]] FaultPlanSnapshot snapshot() const {
+    return FaultPlanSnapshot{draws_, op_counter_, stats_};
+  }
+  void restore(const FaultPlanSnapshot& s) {
+    draws_ = s.draws;
+    op_counter_ = s.op_counter;
+    stats_ = s.stats;
+  }
 
   // --- stats ---
 

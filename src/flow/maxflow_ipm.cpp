@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <queue>
 #include <stdexcept>
+#include <tuple>
 
 #include "euler/flow_round.hpp"
 #include "flow/dinic.hpp"
@@ -358,6 +360,192 @@ std::vector<std::int64_t> repair_to_feasible(const Digraph& g, int s, int t,
   return dinic_max_flow(capped, s, t).flow;
 }
 
+// --- checkpoint/resume/warm-start support (src/ckpt) ------------------------
+
+constexpr const char* kCkptAlgo = "maxflow";
+
+/// Resumable mid-loop state of the Theorem 1.2 IPM: everything the progress
+/// loop reads that setup computed, plus the transformed graph itself.  The
+/// full Transformed must travel (not just f/y): Boosting mutates and grows
+/// the edge list and vertex count, and `m0` — the *initial* edge count that
+/// delta0, the congestion threshold, and the iteration budget derive from —
+/// is unrecoverable from a boosted edge list.
+struct IpmLoopState {
+  std::int64_t rounds_before = 0;
+  std::int64_t words_before = 0;
+  std::int64_t m0 = 0;
+  double target_f = 0;
+  int boosts = 0;
+  Transformed tr;
+  std::vector<double> rho;
+};
+
+std::string encode_ipm_state(const IpmLoopState& st,
+                             const MaxFlowIpmReport& rep) {
+  ckpt::Encoder e;
+  e.i64(st.rounds_before);
+  e.i64(st.words_before);
+  e.i64(st.m0);
+  e.f64(st.target_f);
+  e.i64(st.boosts);
+  e.i64(rep.rounds_per_solve);
+  e.i64(rep.ipm_iterations);
+  e.i64(rep.augmentation_steps);
+  e.i64(rep.boosting_steps);
+  e.i64(rep.laplacian_solves);
+  e.i64(st.tr.nv);
+  e.f64_vec(st.tr.y);
+  e.u64(st.tr.edges.size());
+  for (const TEdge& ed : st.tr.edges) {
+    e.i64(ed.u);
+    e.i64(ed.v);
+    e.f64(ed.up);
+    e.f64(ed.um);
+    e.f64(ed.f);
+    e.i64(static_cast<std::int64_t>(ed.kind));
+    e.i64(ed.orig);
+  }
+  e.f64_vec(st.rho);
+  return e.take();
+}
+
+IpmLoopState decode_ipm_state(const ckpt::Checkpoint& ck,
+                              MaxFlowIpmReport& rep) {
+  ckpt::Decoder d(ck.source.empty() ? "<maxflow checkpoint>" : ck.source,
+                  ck.state);
+  IpmLoopState st;
+  st.rounds_before = d.i64();
+  st.words_before = d.i64();
+  st.m0 = d.i64();
+  st.target_f = d.f64();
+  st.boosts = static_cast<int>(d.i64());
+  rep.rounds_per_solve = d.i64();
+  rep.ipm_iterations = static_cast<int>(d.i64());
+  rep.augmentation_steps = static_cast<int>(d.i64());
+  rep.boosting_steps = static_cast<int>(d.i64());
+  rep.laplacian_solves = static_cast<int>(d.i64());
+  st.tr.nv = static_cast<int>(d.i64());
+  st.tr.y = d.f64_vec();
+  const std::uint64_t m = d.u64();
+  st.tr.edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    TEdge ed;
+    ed.u = static_cast<int>(d.i64());
+    ed.v = static_cast<int>(d.i64());
+    ed.up = d.f64();
+    ed.um = d.f64();
+    ed.f = d.f64();
+    const std::int64_t kind = d.i64();
+    if (kind < 0 || kind > static_cast<std::int64_t>(EKind::kBoost)) {
+      d.fail("unknown transformed-edge kind " + std::to_string(kind));
+    }
+    ed.kind = static_cast<EKind>(kind);
+    ed.orig = static_cast<int>(d.i64());
+    st.tr.edges.push_back(ed);
+  }
+  st.rho = d.f64_vec();
+  if (!d.done()) d.fail("trailing junk after max-flow IPM state");
+  return st;
+}
+
+/// Restore exact conservation at every non-terminal vertex by pushing the
+/// per-vertex excess toward s along a BFS tree, children first — the
+/// fractional twin of snap_and_repair's integral push.
+void repair_conservation(Transformed& tr, int s, int t) {
+  std::vector<double> excess(static_cast<std::size_t>(tr.nv), 0.0);
+  for (const TEdge& e : tr.edges) {
+    excess[static_cast<std::size_t>(e.v)] += e.f;
+    excess[static_cast<std::size_t>(e.u)] -= e.f;
+  }
+  std::vector<int> parent_edge(static_cast<std::size_t>(tr.nv), -1);
+  std::vector<int> bfs_order;
+  {
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(tr.nv));
+    for (std::size_t i = 0; i < tr.edges.size(); ++i) {
+      adj[static_cast<std::size_t>(tr.edges[i].u)].push_back(static_cast<int>(i));
+      adj[static_cast<std::size_t>(tr.edges[i].v)].push_back(static_cast<int>(i));
+    }
+    std::vector<char> seen(static_cast<std::size_t>(tr.nv), 0);
+    std::queue<int> q;
+    q.push(s);
+    seen[static_cast<std::size_t>(s)] = 1;
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      bfs_order.push_back(v);
+      for (int ei : adj[static_cast<std::size_t>(v)]) {
+        const TEdge& e = tr.edges[static_cast<std::size_t>(ei)];
+        const int o = e.u == v ? e.v : e.u;
+        if (seen[static_cast<std::size_t>(o)] == 0) {
+          seen[static_cast<std::size_t>(o)] = 1;
+          parent_edge[static_cast<std::size_t>(o)] = ei;
+          q.push(o);
+        }
+      }
+    }
+  }
+  for (auto it = bfs_order.rbegin(); it != bfs_order.rend(); ++it) {
+    const int v = *it;
+    if (v == s || v == t) continue;
+    const double ex = excess[static_cast<std::size_t>(v)];
+    if (ex == 0) continue;
+    const int ei = parent_edge[static_cast<std::size_t>(v)];
+    if (ei < 0) continue;
+    TEdge& e = tr.edges[static_cast<std::size_t>(ei)];
+    if (e.v == v) {
+      e.f -= ex;
+      excess[static_cast<std::size_t>(e.u)] += ex;
+    } else {
+      e.f += ex;
+      excess[static_cast<std::size_t>(e.v)] += ex;
+    }
+    excess[static_cast<std::size_t>(v)] = 0;
+  }
+}
+
+/// Seed a freshly built Transformed from a checkpointed iterate of a
+/// (possibly edited) graph: transfer flows for structurally matching edges
+/// and duals for surviving vertices, repair conservation, then scale the
+/// whole flow into the strict interior.  Scaling preserves conservation and
+/// f = 0 is interior, so a feasible lambda always exists — the projected
+/// iterate is a valid starting point no matter how drastic the edit was.
+void warm_transfer(Transformed& tr, const Transformed& old, int s, int t) {
+  // Flows keyed by (kind, u, v), parallel edges matched in order.  Old boost
+  // edges (and their virtual vertices) are dropped: they reference arc
+  // surgery the new run has not performed.
+  std::map<std::tuple<int, int, int>, std::vector<double>> flows;
+  for (const TEdge& e : old.edges) {
+    if (e.kind == EKind::kBoost) continue;
+    flows[{static_cast<int>(e.kind), e.u, e.v}].push_back(e.f);
+  }
+  std::map<std::tuple<int, int, int>, std::size_t> cursor;
+  for (TEdge& e : tr.edges) {
+    const std::tuple<int, int, int> key{static_cast<int>(e.kind), e.u, e.v};
+    const auto it = flows.find(key);
+    if (it == flows.end()) continue;
+    std::size_t& idx = cursor[key];
+    if (idx >= it->second.size()) continue;
+    e.f = it->second[idx++];
+  }
+  const std::size_t ny = std::min(tr.y.size(), old.y.size());
+  for (std::size_t v = 0; v < ny; ++v) tr.y[v] = old.y[v];
+
+  repair_conservation(tr, s, t);
+
+  double lambda = 1.0;
+  for (const TEdge& e : tr.edges) {
+    if (e.f > 0) {
+      lambda = std::min(lambda, 0.9 * e.up / e.f);
+    } else if (e.f < 0) {
+      lambda = std::min(lambda, 0.9 * e.um / -e.f);
+    }
+  }
+  lambda = std::max(lambda, 0.0);
+  if (lambda < 1.0) {
+    for (TEdge& e : tr.edges) e.f *= lambda;
+  }
+}
+
 }  // namespace
 
 MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
@@ -365,61 +553,110 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   if (s == t || s < 0 || t < 0 || s >= g.num_vertices() || t >= g.num_vertices()) {
     throw std::invalid_argument("max_flow_clique: bad s/t");
   }
-  net.set_phase("maxflow/setup");
-  const std::int64_t rounds_before = net.rounds();
-  const std::int64_t words_before = net.words_sent();
+  const ckpt::CheckpointHooks& hooks = opt.checkpoint;
+  const std::uint64_t ghash = hooks.any() ? ckpt::graph_hash(g) : 0;
   const std::int64_t max_cap = std::max<std::int64_t>(g.max_capacity(), 1);
 
   MaxFlowIpmReport rep;
   rep.flow.assign(static_cast<std::size_t>(g.num_arcs()), 0);
 
-  Transformed tr = build_transformed(g, s, t, max_cap);
-  if (tr.edges.empty()) {
-    rep.run.capture(net, rounds_before, words_before);
-    return rep;  // no s-t flow possible
-  }
-  const auto m = static_cast<double>(tr.edges.size());
-  net.charge_announcement();
+  IpmLoopState st;
+  std::int64_t it0 = 0;
 
-  // Target: maxflow(transformed) = C + 2mU + 2 f*(G0); we aim at an upper
-  // bound for f* from local capacities (overshoot is safe: the finisher is
-  // exact regardless).
-  double cap_sum = 0;
-  for (const TEdge& e : tr.edges) {
-    if (e.kind == EKind::kDirect) cap_sum += e.up;
-  }
-  double bound = 0;
-  if (opt.known_value >= 0) {
-    bound = static_cast<double>(opt.known_value);
+  if (hooks.resume != nullptr) {
+    // Bit-identical continuation: verify the header, restore the run
+    // container (accounting + attached ledger + fault-plan counters), then
+    // decode the loop state — all before a single charge or phase switch,
+    // so the resumed run's ledgers pick up exactly where the checkpointed
+    // run left them.  In particular set_phase must NOT run here: the
+    // restored ledger already holds the open "maxflow/ipm" phase span, and
+    // re-switching would bump its visit count.
+    ckpt::verify_compatible(*hooks.resume, kCkptAlgo, ghash, net);
+    ckpt::restore_run_state(*hooks.resume, net);
+    st = decode_ipm_state(*hooks.resume, rep);
+    it0 = hooks.resume->batch;
   } else {
-    double out_s = 0;
-    double in_t = 0;
-    for (int a = 0; a < g.num_arcs(); ++a) {
-      if (g.arc(a).from == s) out_s += static_cast<double>(g.arc(a).cap);
-      if (g.arc(a).to == t) in_t += static_cast<double>(g.arc(a).cap);
+    net.set_phase("maxflow/setup");
+    st.rounds_before = net.rounds();
+    st.words_before = net.words_sent();
+    st.tr = build_transformed(g, s, t, max_cap);
+    if (st.tr.edges.empty()) {
+      rep.run.capture(net, st.rounds_before, st.words_before);
+      return rep;  // no s-t flow possible
     }
-    bound = std::min(out_s, in_t);
-  }
-  const double precond_cap =
-      2.0 * static_cast<double>(max_cap) * static_cast<double>(g.num_arcs());
-  const double target_f = cap_sum + precond_cap + 2.0 * bound;
+    st.m0 = static_cast<std::int64_t>(st.tr.edges.size());
+    net.charge_announcement();
 
-  // Calibrate the Theorem 1.1 round cost at this topology.
-  net.set_phase("maxflow/calibration");
-  std::vector<ElectricalEdge> cal;
-  for (const TEdge& e : tr.edges) cal.push_back({e.u, e.v, resistance(e)});
-  ElectricalOptions eopt;
-  eopt.mode = ElectricalMode::kSparsified;
-  rep.rounds_per_solve =
-      ElectricalSolver(tr.nv, std::move(cal), eopt).calibrate(opt.solve_eps);
-  {
-    // The calibration solve itself (broadcast rounds, like every solve).
-    net.charge_all_to_all(rep.rounds_per_solve);
+    // Target: maxflow(transformed) = C + 2mU + 2 f*(G0); we aim at an upper
+    // bound for f* from local capacities (overshoot is safe: the finisher is
+    // exact regardless).
+    double cap_sum = 0;
+    for (const TEdge& e : st.tr.edges) {
+      if (e.kind == EKind::kDirect) cap_sum += e.up;
+    }
+    double bound = 0;
+    if (opt.known_value >= 0) {
+      bound = static_cast<double>(opt.known_value);
+    } else {
+      double out_s = 0;
+      double in_t = 0;
+      for (int a = 0; a < g.num_arcs(); ++a) {
+        if (g.arc(a).from == s) out_s += static_cast<double>(g.arc(a).cap);
+        if (g.arc(a).to == t) in_t += static_cast<double>(g.arc(a).cap);
+      }
+      bound = std::min(out_s, in_t);
+    }
+    const double precond_cap =
+        2.0 * static_cast<double>(max_cap) * static_cast<double>(g.num_arcs());
+    st.target_f = cap_sum + precond_cap + 2.0 * bound;
+
+    if (hooks.warm_start != nullptr) {
+      // Warm start after an edge edit: project the checkpointed iterate
+      // onto the freshly built transformed graph (the graph hash check is
+      // skipped — the instance changed by construction; everything else in
+      // the header must still agree) and inherit the checkpointed
+      // calibration instead of re-running it: the edit is local, so the
+      // Theorem 1.1 round cost of this topology is unchanged to first
+      // order.  Exactness is never at risk — the finisher closes whatever
+      // gap a stale iterate leaves.
+      ckpt::verify_compatible(*hooks.warm_start, kCkptAlgo, ghash, net,
+                              /*check_graph_hash=*/false);
+      MaxFlowIpmReport old_rep;
+      const IpmLoopState old = decode_ipm_state(*hooks.warm_start, old_rep);
+      net.set_phase("maxflow/warm_start");
+      warm_transfer(st.tr, old.tr, s, t);
+      rep.rounds_per_solve = old_rep.rounds_per_solve;
+      net.charge_announcement();
+      rep.run.used_warm_start = true;
+      rep.run.warm_saved_iterations = hooks.warm_start->batch;
+    } else {
+      // Calibrate the Theorem 1.1 round cost at this topology.
+      net.set_phase("maxflow/calibration");
+      std::vector<ElectricalEdge> cal;
+      for (const TEdge& e : st.tr.edges) cal.push_back({e.u, e.v, resistance(e)});
+      ElectricalOptions eopt;
+      eopt.mode = ElectricalMode::kSparsified;
+      rep.rounds_per_solve =
+          ElectricalSolver(st.tr.nv, std::move(cal), eopt).calibrate(opt.solve_eps);
+      {
+        // The calibration solve itself (broadcast rounds, like every solve).
+        net.charge_all_to_all(rep.rounds_per_solve);
+      }
+    }
   }
+
+  Transformed& tr = st.tr;
+  const double m = static_cast<double>(st.m0);
+  const double target_f = st.target_f;
+  const std::int64_t rounds_before = st.rounds_before;
+  const std::int64_t words_before = st.words_before;
+  const std::function<std::string()> encode = [&] {
+    return encode_ipm_state(st, rep);
+  };
 
   // Progress loop (Algorithm 2, lines 6-18).
-  net.set_phase("maxflow/ipm");
   fault::FaultPlan* plan = net.fault_plan();
+  const bool boundaries = hooks.writer != nullptr || plan != nullptr;
   // Guard rail: a diverging electrical-flow step leaves NaN/inf in the edge
   // flows or potentials.  Detect it after every solve and degrade to the
   // exact sequential baseline (the whole point of the IPM is round count,
@@ -464,34 +701,46 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   const std::int64_t iters = std::min<std::int64_t>(
       opt.max_iterations, static_cast<std::int64_t>(std::ceil(budget)));
 
-  std::vector<double> rho = augmentation(tr, s, t, target_f, delta0, opt, net,
-                                         rep.rounds_per_solve, &rep.laplacian_solves);
-  fixing(tr, opt, net, rep.rounds_per_solve, &rep.laplacian_solves);
-  ++rep.augmentation_steps;
-  if (const char* reason = divergence()) return degrade(reason);
+  if (hooks.resume == nullptr) {
+    net.set_phase("maxflow/ipm");
+    st.rho = augmentation(tr, s, t, target_f, delta0, opt, net,
+                          rep.rounds_per_solve, &rep.laplacian_solves);
+    fixing(tr, opt, net, rep.rounds_per_solve, &rep.laplacian_solves);
+    ++rep.augmentation_steps;
+    if (const char* reason = divergence()) return degrade(reason);
+    // Boundary 0: the state after initial augmentation, so even a run
+    // preempted inside its very first loop batch resumes instead of
+    // restarting.
+    if (boundaries) ckpt::boundary(hooks, net, 0, kCkptAlgo, ghash, encode);
+  }
 
-  int boosts = 0;
-  for (std::int64_t it = 0; it < iters; ++it) {
+  for (std::int64_t it = it0; it < iters; ++it) {
     ++rep.ipm_iterations;
     if (const char* reason = divergence()) return degrade(reason);
     const double val = tr.value_out_of(s);
     if (val >= target_f - opt.target_slack) break;
 
     double rho3 = 0;
-    for (double r : rho) rho3 += std::abs(r) * std::abs(r) * std::abs(r);
+    for (double r : st.rho) rho3 += std::abs(r) * std::abs(r) * std::abs(r);
     rho3 = std::cbrt(rho3);
 
-    if (rho3 <= rho_threshold || boosts >= 60 || !opt.enable_boosting) {
+    if (rho3 <= rho_threshold || st.boosts >= 60 || !opt.enable_boosting) {
       const double delta =
           std::min(delta0, 1.0 / (33.0 * (1.0 - opt.alpha) * std::max(rho3, 1e-9)));
-      rho = augmentation(tr, s, t, target_f, delta, opt, net, rep.rounds_per_solve,
-                         &rep.laplacian_solves);
+      st.rho = augmentation(tr, s, t, target_f, delta, opt, net, rep.rounds_per_solve,
+                            &rep.laplacian_solves);
       fixing(tr, opt, net, rep.rounds_per_solve, &rep.laplacian_solves);
       ++rep.augmentation_steps;
     } else {
-      boosting(tr, rho, max_cap, opt, net);
-      ++boosts;
+      boosting(tr, st.rho, max_cap, opt, net);
+      ++st.boosts;
       ++rep.boosting_steps;
+    }
+    // Boundary it+1: the state a continuation entering the loop at it+1
+    // needs — written before the preempt check, so a preempted run always
+    // leaves the snapshot it will resume from.
+    if (boundaries) {
+      ckpt::boundary(hooks, net, it + 1, kCkptAlgo, ghash, encode);
     }
   }
   if (const char* reason = divergence()) return degrade(reason);

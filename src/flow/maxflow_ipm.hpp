@@ -29,6 +29,7 @@
 
 #include <cstdint>
 
+#include "ckpt/checkpoint.hpp"
 #include "cliquesim/network.hpp"
 #include "cliquesim/run_info.hpp"
 #include "flow/distributed_sssp.hpp"
@@ -63,6 +64,11 @@ struct MaxFlowIpmOptions {
   /// exact sequential Dinic baseline and set MaxFlowIpmReport::used_fallback
   /// instead of propagating NaNs.  Set false to throw instead.
   bool fallback_on_divergence = true;
+  /// Checkpoint/resume/warm-start participation (src/ckpt): `writer` commits
+  /// a resumable snapshot at every due batch boundary, `resume` continues a
+  /// checkpointed run bit-identically, `warm_start` seeds the iterate from a
+  /// checkpoint of a (possibly edited) graph.  All pointers non-owning.
+  ckpt::CheckpointHooks checkpoint;
 };
 
 struct MaxFlowIpmReport {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <numeric>
 #include <stdexcept>
+#include <tuple>
 
 #include "euler/flow_round.hpp"
 #include "flow/ssp_mincost.hpp"
@@ -151,6 +153,151 @@ BipartiteElectrical make_electrical(const Lifted& lf,
   return be;
 }
 
+// --- checkpoint/resume/warm-start support (src/ckpt) ------------------------
+
+constexpr const char* kCkptAlgo = "mincost";
+
+/// Resumable mid-loop state of the Theorem 1.3 IPM beyond the Lifted's own
+/// vectors: the baseline accounting, the progress counter the Perturbation
+/// guard reads, and the cached congestion vector.
+struct IpmLoopState {
+  std::int64_t rounds_before = 0;
+  std::int64_t words_before = 0;
+  std::int64_t total_progress = 0;
+  std::vector<double> rho;
+};
+
+/// The decoded payload: loop state plus the checkpointed lift's central-path
+/// vectors and the G1 arc keys a warm start matches against.  (Resume rebuilds
+/// the identical G1 via build_lifted — charge-free and deterministic — and
+/// only validates sizes; warm starts re-key edge-by-edge.)
+struct DecodedState {
+  IpmLoopState st;
+  std::vector<std::int64_t> arc_from;
+  std::vector<std::int64_t> arc_to;
+  std::vector<std::int64_t> arc_cost;
+  std::vector<std::int64_t> arc_aux;
+  std::vector<double> f;
+  std::vector<double> s;
+  std::vector<double> nu;
+  std::vector<double> y;
+  double mu_hat = 0;
+};
+
+std::string encode_ipm_state(const Lifted& lf, const IpmLoopState& st,
+                             const MinCostIpmReport& rep) {
+  ckpt::Encoder e;
+  e.i64(st.rounds_before);
+  e.i64(st.words_before);
+  e.i64(st.total_progress);
+  e.i64(rep.rounds_per_solve);
+  e.i64(rep.ipm_iterations);
+  e.i64(rep.perturbations);
+  e.i64(rep.laplacian_solves);
+  e.f64(lf.mu_hat);
+  std::vector<std::int64_t> from;
+  std::vector<std::int64_t> to;
+  std::vector<std::int64_t> cost;
+  std::vector<std::int64_t> aux;
+  for (int q = 0; q < lf.nq; ++q) {
+    const graph::Arc& a = lf.g1.arc(q);
+    from.push_back(a.from);
+    to.push_back(a.to);
+    cost.push_back(a.cost);
+    aux.push_back(lf.is_aux[static_cast<std::size_t>(q)]);
+  }
+  e.i64_vec(from);
+  e.i64_vec(to);
+  e.i64_vec(cost);
+  e.i64_vec(aux);
+  e.f64_vec(lf.f);
+  e.f64_vec(lf.s);
+  e.f64_vec(lf.nu);
+  e.f64_vec(lf.y);
+  e.f64_vec(st.rho);
+  return e.take();
+}
+
+DecodedState decode_ipm_state(const ckpt::Checkpoint& ck,
+                              MinCostIpmReport& rep) {
+  ckpt::Decoder d(ck.source.empty() ? "<mincost checkpoint>" : ck.source,
+                  ck.state);
+  DecodedState ds;
+  ds.st.rounds_before = d.i64();
+  ds.st.words_before = d.i64();
+  ds.st.total_progress = d.i64();
+  rep.rounds_per_solve = d.i64();
+  rep.ipm_iterations = static_cast<int>(d.i64());
+  rep.perturbations = static_cast<int>(d.i64());
+  rep.laplacian_solves = static_cast<int>(d.i64());
+  ds.mu_hat = d.f64();
+  ds.arc_from = d.i64_vec();
+  ds.arc_to = d.i64_vec();
+  ds.arc_cost = d.i64_vec();
+  ds.arc_aux = d.i64_vec();
+  ds.f = d.f64_vec();
+  ds.s = d.f64_vec();
+  ds.nu = d.f64_vec();
+  ds.y = d.f64_vec();
+  ds.st.rho = d.f64_vec();
+  const std::size_t nq = ds.arc_from.size();
+  if (ds.arc_to.size() != nq || ds.arc_cost.size() != nq ||
+      ds.arc_aux.size() != nq) {
+    d.fail("inconsistent G1 arc-key vectors in min-cost IPM state");
+  }
+  if (ds.f.size() != 2 * nq || ds.s.size() != 2 * nq ||
+      ds.nu.size() != 2 * nq || ds.st.rho.size() != 2 * nq) {
+    d.fail("bipartite vector sizes do not match the G1 arc count");
+  }
+  if (!d.done()) d.fail("trailing junk after min-cost IPM state");
+  return ds;
+}
+
+/// Seed a freshly built lift from a checkpointed iterate of a (possibly
+/// edited) instance.  Non-aux G1 arcs are keyed by (from, to, cost) with
+/// parallel arcs matched in order; each match carries its bipartite pair's
+/// f/s/nu and its Q-side dual, and P-side duals transfer for surviving
+/// vertices.  Aux arcs never transfer (their ||c||_1 cost moves with every
+/// edit).  Everything is clamped back into the IPM's strict interior, and
+/// mu_hat is inherited — the already-walked stretch of central path is
+/// exactly the work a warm start keeps.  Exactness is never at risk: the
+/// Repairing stage finishes from any interior point.
+void warm_transfer(Lifted& lf, const DecodedState& old) {
+  std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>,
+           std::vector<std::size_t>>
+      arcs;
+  for (std::size_t q = 0; q < old.arc_from.size(); ++q) {
+    if (old.arc_aux[q] != 0) continue;
+    arcs[{old.arc_from[q], old.arc_to[q], old.arc_cost[q]}].push_back(q);
+  }
+  std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>, std::size_t>
+      cursor;
+  const std::size_t nq_old = old.arc_from.size();
+  const std::size_t np_old = old.y.size() >= nq_old ? old.y.size() - nq_old : 0;
+  for (int q = 0; q < lf.nq; ++q) {
+    if (lf.is_aux[static_cast<std::size_t>(q)] != 0) continue;
+    const graph::Arc& a = lf.g1.arc(q);
+    const std::tuple<std::int64_t, std::int64_t, std::int64_t> key{
+        a.from, a.to, a.cost};
+    const auto it = arcs.find(key);
+    if (it == arcs.end()) continue;
+    std::size_t& idx = cursor[key];
+    if (idx >= it->second.size()) continue;
+    const std::size_t oq = it->second[idx++];
+    for (int side = 0; side < 2; ++side) {
+      const auto en = static_cast<std::size_t>(2 * q + side);
+      const std::size_t eo = 2 * oq + static_cast<std::size_t>(side);
+      lf.f[en] = std::clamp(old.f[eo], 1e-9, 1.0 - 1e-9);
+      lf.s[en] = std::max(old.s[eo], 1e-12);
+      if (old.nu[eo] > 0) lf.nu[en] = old.nu[eo];
+    }
+    lf.y[static_cast<std::size_t>(lf.np + q)] = old.y[np_old + oq];
+  }
+  const auto nyp = std::min(static_cast<std::size_t>(lf.np), np_old);
+  for (std::size_t v = 0; v < nyp; ++v) lf.y[v] = old.y[v];
+  if (old.mu_hat > 0 && std::isfinite(old.mu_hat)) lf.mu_hat = old.mu_hat;
+}
+
 }  // namespace
 
 MinCostIpmReport min_cost_flow_clique(const Digraph& g,
@@ -168,16 +315,52 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       throw std::invalid_argument("min_cost_flow_clique: capacities must be 1");
     }
   }
-  net.set_phase("mincost/setup");
-  const std::int64_t rounds_before = net.rounds();
-  const std::int64_t words_before = net.words_sent();
+  const ckpt::CheckpointHooks& hooks = opt.checkpoint;
+  const std::uint64_t ghash = hooks.any() ? ckpt::graph_hash(g) : 0;
+
   MinCostIpmReport rep;
   rep.flow.assign(static_cast<std::size_t>(g.num_arcs()), 0);
 
   Lifted lf = build_lifted(g, sigma);
   const int me = 2 * lf.nq;
   const auto m = static_cast<double>(std::max(me, 2));
-  net.charge_announcement();
+
+  IpmLoopState st;
+  st.rho.assign(static_cast<std::size_t>(me), 0.0);
+  std::int64_t t0 = 0;
+
+  if (hooks.resume != nullptr) {
+    // Bit-identical continuation (same discipline as the max-flow IPM):
+    // verify the header, restore the run container (accounting + attached
+    // ledger + fault-plan counters), decode the loop state — all before a
+    // single charge or phase switch.  In particular set_phase must NOT run
+    // here: the restored ledger already holds the open checkpointed phase
+    // span, and re-switching would bump its visit count.  build_lifted above
+    // is charge-free and deterministic, so the rebuilt G1 is the one the
+    // checkpoint describes; the decoded sizes are checked against it.
+    ckpt::verify_compatible(*hooks.resume, kCkptAlgo, ghash, net);
+    ckpt::restore_run_state(*hooks.resume, net);
+    DecodedState ds = decode_ipm_state(*hooks.resume, rep);
+    if (static_cast<int>(ds.arc_from.size()) != lf.nq ||
+        ds.y.size() != static_cast<std::size_t>(lf.np + lf.nq)) {
+      throw ckpt::CheckpointError(
+          hooks.resume->source.empty() ? "<mincost checkpoint>"
+                                       : hooks.resume->source,
+          12, "checkpointed lift does not match the rebuilt instance");
+    }
+    lf.f = std::move(ds.f);
+    lf.s = std::move(ds.s);
+    lf.nu = std::move(ds.nu);
+    lf.y = std::move(ds.y);
+    lf.mu_hat = ds.mu_hat;
+    st = std::move(ds.st);
+    t0 = hooks.resume->batch;
+  } else {
+    net.set_phase("mincost/setup");
+    st.rounds_before = net.rounds();
+    st.words_before = net.words_sent();
+    net.charge_announcement();
+  }
 
   // Demand vector for the electrical solves: the bipartite flow goes P -> Q,
   // so P vertices are producers (-b) and Q vertices consumers (+b).
@@ -190,9 +373,26 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
         static_cast<double>(lf.b[static_cast<std::size_t>(lf.np + q)]);
   }
 
-  // Calibrate the Theorem 1.1 round charge at this topology.
-  net.set_phase("mincost/calibration");
-  {
+  if (hooks.resume == nullptr && hooks.warm_start != nullptr) {
+    // Warm start after an edge edit: project the checkpointed iterate onto
+    // the freshly built lift (the graph hash check is skipped — the instance
+    // changed by construction; everything else in the header must still
+    // agree) and inherit the checkpointed calibration instead of re-running
+    // it: the edit is local, so the Theorem 1.1 round cost of this topology
+    // is unchanged to first order.
+    ckpt::verify_compatible(*hooks.warm_start, kCkptAlgo, ghash, net,
+                            /*check_graph_hash=*/false);
+    MinCostIpmReport old_rep;
+    const DecodedState old = decode_ipm_state(*hooks.warm_start, old_rep);
+    net.set_phase("mincost/warm_start");
+    warm_transfer(lf, old);
+    rep.rounds_per_solve = old_rep.rounds_per_solve;
+    net.charge_announcement();
+    rep.run.used_warm_start = true;
+    rep.run.warm_saved_iterations = hooks.warm_start->batch;
+  } else if (hooks.resume == nullptr) {
+    // Calibrate the Theorem 1.1 round charge at this topology.
+    net.set_phase("mincost/calibration");
     std::vector<double> r0(static_cast<std::size_t>(me));
     for (int e = 0; e < me; ++e) {
       r0[static_cast<std::size_t>(e)] = lf.nu[static_cast<std::size_t>(e)] /
@@ -209,8 +409,11 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
   }
 
   // Main loop (Algorithm 6) with the CMSV budget and early exit on mu_hat.
-  net.set_phase("mincost/ipm");
+  if (hooks.resume == nullptr) net.set_phase("mincost/ipm");
   fault::FaultPlan* plan = net.fault_plan();
+  const bool boundaries = hooks.writer != nullptr || plan != nullptr;
+  const std::int64_t rounds_before = st.rounds_before;
+  const std::int64_t words_before = st.words_before;
   // Guard rail: a diverging electrical-flow step leaves NaN/inf in the
   // central-path state.  Detect it after every Progress step and degrade to
   // the exact sequential SSP baseline.
@@ -265,14 +468,32 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
   const double rho_threshold = c_rho * std::pow(m, 0.5 - eta);
   const double mu_exit = 1.0 / (8.0 * m * lf.c_inf);
 
-  std::vector<double> rho(static_cast<std::size_t>(me), 0.0);
-  std::int64_t total_progress = 0;
-  // Check once at iteration 0 so a poisoned initial point (or the ipm-nan@0
-  // drill) degrades before any Progress step, mirroring the max-flow IPM.
-  if (const char* reason = divergence()) return degrade(reason);
+  std::vector<double>& rho = st.rho;
+  std::int64_t& total_progress = st.total_progress;
+  const std::int64_t total_iters =
+      outer > std::numeric_limits<std::int64_t>::max() / inner
+          ? std::numeric_limits<std::int64_t>::max()
+          : outer * inner;
+  const std::function<std::string()> encode = [&] {
+    return encode_ipm_state(lf, st, rep);
+  };
+
+  if (hooks.resume == nullptr) {
+    // Check once at iteration 0 so a poisoned initial point (or the ipm-nan@0
+    // drill) degrades before any Progress step, mirroring the max-flow IPM.
+    if (const char* reason = divergence()) return degrade(reason);
+    // Boundary 0: the state after calibration, before any Progress step, so
+    // even a run preempted inside its very first batch resumes instead of
+    // restarting.
+    if (boundaries) ckpt::boundary(hooks, net, 0, kCkptAlgo, ghash, encode);
+  }
+
+  // The historical outer x inner nesting is flattened to one counter t so a
+  // checkpoint boundary is a single batch index; neither loop variable was
+  // read by the body, so the iteration sequence is unchanged.
   bool done = false;
-  for (std::int64_t i = 0; i < outer && !done; ++i) {
-    for (std::int64_t j = 0; j < inner && !done; ++j) {
+  for (std::int64_t t = t0; t < total_iters && !done; ++t) {
+    {
       // Perturbation while the nu-weighted congestion is too large (Alg 8).
       // Doubling nu_e doubles the squeezed edge's resistance, so the next
       // electrical flow (hence rho) on it roughly halves; we fold that decay
@@ -428,6 +649,13 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       if (divergence() != nullptr) done = true;
       if (lf.mu_hat < mu_exit) done = true;
       if (total_progress >= opt.max_iterations) done = true;
+    }
+    // Boundary t+1: the state a continuation entering the loop at t+1 needs —
+    // written before the preempt check inside ckpt::boundary, so a preempted
+    // run always leaves the snapshot it will resume from.  A finished iterate
+    // (done) writes no boundary: resume always re-enters the loop live.
+    if (!done && boundaries) {
+      ckpt::boundary(hooks, net, t + 1, kCkptAlgo, ghash, encode);
     }
   }
   if (const char* reason = divergence()) return degrade(reason);

@@ -33,16 +33,28 @@ struct MinCostProblem {
   std::vector<std::int64_t> sigma;  ///< library convention (see header)
 };
 
-/// Parse errors carry the offending line number.
+/// Parse errors carry the offending location: a line number for the text
+/// formats above, or a (source, byte offset) pair for binary formats (the
+/// checkpoint files in src/ckpt derive from this so every malformed-input
+/// diagnostic in the repo reads the same way).
 class ParseError : public std::runtime_error {
  public:
   ParseError(int line, const std::string& what)
       : std::runtime_error("line " + std::to_string(line) + ": " + what),
         line_(line) {}
+  /// Binary-format variant: `where` names the source (usually a file path)
+  /// and `offset` is the byte position the decoder had reached.
+  ParseError(const std::string& where, long long offset,
+             const std::string& what)
+      : std::runtime_error(where + " @ byte " + std::to_string(offset) + ": " +
+                           what),
+        offset_(offset) {}
   [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] long long offset() const { return offset_; }
 
  private:
-  int line_;
+  int line_ = -1;
+  long long offset_ = -1;
 };
 
 MaxFlowProblem read_dimacs_max_flow(std::istream& in);

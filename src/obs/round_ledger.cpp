@@ -1,6 +1,7 @@
 #include "obs/round_ledger.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace lapclique::obs {
 
@@ -138,6 +139,31 @@ void RoundLedger::reset() {
   root.visits = 1;
   nodes_.push_back(std::move(root));
   stack_.push_back(0);
+}
+
+LedgerSnapshot RoundLedger::snapshot() const {
+  LedgerSnapshot s;
+  s.nodes = nodes_;
+  s.stack = stack_;
+  s.total = total_;
+  s.primitives = primitives_;
+  s.counters = counters_;
+  s.sent = sent_;
+  s.recv = recv_;
+  return s;
+}
+
+void RoundLedger::restore(LedgerSnapshot s) {
+  if (s.nodes.empty() || s.stack.empty()) {
+    throw std::logic_error("RoundLedger::restore: snapshot has no root span");
+  }
+  nodes_ = std::move(s.nodes);
+  stack_ = std::move(s.stack);
+  total_ = s.total;
+  primitives_ = std::move(s.primitives);
+  counters_ = std::move(s.counters);
+  sent_ = std::move(s.sent);
+  recv_ = std::move(s.recv);
 }
 
 namespace {

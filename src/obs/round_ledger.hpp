@@ -68,6 +68,22 @@ struct SpanNode {
   std::vector<int> children;
 };
 
+/// Value snapshot of a RoundLedger's complete state (span tree, open-span
+/// stack, totals, primitive/counter maps, congestion histograms), used by
+/// the checkpoint subsystem: restoring it mid-resume makes the trace JSON of
+/// a resumed run byte-equal to an uninterrupted one.  The stack entries are
+/// span ids into `nodes`; they stay valid across snapshot/restore because
+/// span ids are assigned in deterministic first-open order.
+struct LedgerSnapshot {
+  std::vector<SpanNode> nodes;
+  std::vector<int> stack;
+  OpTotals total;
+  std::map<std::string, OpTotals> primitives;
+  std::map<std::string, std::int64_t> counters;
+  std::vector<std::int64_t> sent;
+  std::vector<std::int64_t> recv;
+};
+
 class RoundLedger {
  public:
   RoundLedger();
@@ -141,6 +157,16 @@ class RoundLedger {
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> breakdown() const;
 
   void reset();
+
+  // --- checkpoint support ---
+
+  /// Copy out the complete ledger state.
+  [[nodiscard]] LedgerSnapshot snapshot() const;
+  /// Replace the complete ledger state.  The caller must be at a program
+  /// point equivalent to where the snapshot was taken (the same spans open,
+  /// opened in the same order), which the IPM resume paths guarantee by
+  /// restoring before any post-resume span or charge.
+  void restore(LedgerSnapshot s);
 
   // --- export ---
 

@@ -24,6 +24,27 @@ LaplacianSolver::LaplacianSolver(const graph::Graph& g,
     sparsify_stats_ = sp.stats;
     if (h_.num_edges() == 0 && g.num_edges() > 0) h_ = g;  // tiny graphs
   }
+  init_from_sparsifier(g, net);
+}
+
+LaplacianSolver::LaplacianSolver(const graph::Graph& g,
+                                 const LaplacianSolver& prev,
+                                 const spectral::GraphEdit& edit,
+                                 const LaplacianSolverOptions& opt,
+                                 clique::Network* net)
+    : opt_(opt) {
+  if (net != nullptr) net->set_phase("solver/repair_sparsifier");
+  spectral::SparsifierRepairResult rr =
+      spectral::repair_sparsifier(g, prev.h_, edit, opt.sparsify, net);
+  h_ = std::move(rr.h);
+  sparsifier_rebuilt_ = rr.rebuilt;
+  sparsify_stats_ = prev.sparsify_stats_;
+  if (h_.num_edges() == 0 && g.num_edges() > 0) h_ = g;  // tiny graphs
+  init_from_sparsifier(g, net);
+}
+
+void LaplacianSolver::init_from_sparsifier(const graph::Graph& g,
+                                           clique::Network* net) {
   if (net != nullptr) {
     // Make H known to every node: 3 words per edge (u, v, w) gathered.
     net->set_phase("solver/gather_sparsifier");
@@ -68,7 +89,7 @@ LaplacianSolver::LaplacianSolver(const graph::Graph& g,
 
   // lambda_max via power iteration on M.
   double lmax = 1.0;
-  for (int it = 0; it < opt.range_iterations; ++it) {
+  for (int it = 0; it < opt_.range_iterations; ++it) {
     Vec mx = apply_m(x);
     linalg::project_out_ones(mx);
     const double mn = linalg::norm2(mx);
@@ -83,7 +104,7 @@ LaplacianSolver::LaplacianSolver(const graph::Graph& g,
   }
 
   // lambda_min via power iteration on (lmax_hat * I - M) within the range.
-  const double shift = lmax * opt.range_safety;
+  const double shift = lmax * opt_.range_safety;
   Vec y(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
     y[static_cast<std::size_t>(v)] = ((v * 40503u + 7u) % 999983u) / 999983.0 - 0.5;
@@ -91,7 +112,7 @@ LaplacianSolver::LaplacianSolver(const graph::Graph& g,
   linalg::project_out_ones(y);
   norm = linalg::norm2(y);
   if (norm > 0) linalg::scale(1.0 / norm, y);
-  for (int it = 0; it < opt.range_iterations; ++it) {
+  for (int it = 0; it < opt_.range_iterations; ++it) {
     Vec my = apply_m(y);
     for (std::size_t i = 0; i < my.size(); ++i) my[i] = shift * y[i] - my[i];
     linalg::project_out_ones(my);
@@ -108,8 +129,8 @@ LaplacianSolver::LaplacianSolver(const graph::Graph& g,
     if (!(lmin > 0)) lmin = lmax / 16.0;
   }
 
-  lambda_max_ = lmax * opt.range_safety;
-  lambda_min_ = lmin / opt.range_safety;
+  lambda_max_ = lmax * opt_.range_safety;
+  lambda_min_ = lmin / opt_.range_safety;
   kappa_ = lambda_max_ / lambda_min_;
 
   if (net != nullptr) {

@@ -60,6 +60,17 @@ class LaplacianSolver {
                            const LaplacianSolverOptions& opt = {},
                            clique::Network* net = nullptr);
 
+  /// Rebuild after a local edge edit (the warm-start re-solve path): the
+  /// previous solver's sparsifier is repaired incrementally via
+  /// spectral::repair_sparsifier instead of re-running the full level
+  /// pipeline; factorization and range estimation rerun on the repaired H.
+  /// `sparsifier_rebuilt()` reports whether the repair had to fall back to a
+  /// full re-sparsification.
+  LaplacianSolver(const graph::Graph& g, const LaplacianSolver& prev,
+                  const spectral::GraphEdit& edit,
+                  const LaplacianSolverOptions& opt = {},
+                  clique::Network* net = nullptr);
+
   /// x ~= L_G^+ b with ||x - L^+ b||_{L_G} <= eps ||L^+ b||_{L_G}.
   [[nodiscard]] linalg::Vec solve(std::span<const double> b, double eps,
                                   LaplacianSolveStats* stats = nullptr,
@@ -74,8 +85,14 @@ class LaplacianSolver {
   /// Power-iteration matvec count spent estimating the range (each costs one
   /// broadcast round in the clique model).
   [[nodiscard]] int range_matvecs() const { return range_matvecs_; }
+  /// After the edit-repair constructor: true if the incremental repair fell
+  /// back to a full re-sparsification.  Always false for the plain ctor.
+  [[nodiscard]] bool sparsifier_rebuilt() const { return sparsifier_rebuilt_; }
 
  private:
+  /// Shared ctor tail: gather H, factor, estimate the spectral range.
+  void init_from_sparsifier(const graph::Graph& g, clique::Network* net);
+
   graph::Graph h_;
   linalg::CsrMatrix lg_;
   linalg::CsrMatrix lh_;
@@ -88,6 +105,7 @@ class LaplacianSolver {
   double lambda_max_ = 0;
   double kappa_ = 1;
   int range_matvecs_ = 0;
+  bool sparsifier_rebuilt_ = false;
   LaplacianSolverOptions opt_;
 };
 

@@ -1,0 +1,666 @@
+// The checkpoint/resume determinism contract (docs/CHECKPOINT.md):
+//
+//   * a flow run preempted at ANY batch boundary and resumed from its last
+//     checkpoint produces byte-identical outputs, round/word ledgers, and
+//     trace JSON to an uninterrupted run — at threads 1 and 8 and in all
+//     three routing modes (the preempt-at-every-batch sweeps below);
+//   * attaching a writer never changes what a run computes or charges;
+//   * corrupt, truncated, schema-skewed, or mismatched checkpoint files are
+//     rejected with a located CheckpointError before any run state is
+//     touched (strong guarantee, mirroring the io/ parser hardening);
+//   * a warm start from a checkpoint of an edited instance is exact and
+//     never needs more IPM batches than a cold start.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "core/api.hpp"
+#include "fault/fault_plan.hpp"
+#include "flow/dinic.hpp"
+#include "flow/ssp_mincost.hpp"
+#include "graph/generators.hpp"
+#include "obs/round_ledger.hpp"
+#include "solver/laplacian_solver.hpp"
+#include "spectral/sparsify.hpp"
+#include "test_seed.hpp"
+
+namespace lapclique {
+namespace {
+
+using test::base_seed;
+
+std::uint64_t bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "lapclique_" + name + ".ckpt";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Everything one flow run produces, flattened into comparable channels.
+/// Doubles enter `ints` through their bit patterns — the contract is
+/// byte-identity, not tolerance-identity.
+struct Observed {
+  std::vector<std::int64_t> ints;
+  std::int64_t rounds = 0;
+  std::int64_t words = 0;
+  std::map<std::string, std::int64_t> phases;
+  std::string ledger_json;
+};
+
+void expect_identical(const Observed& want, const Observed& got,
+                      const std::string& where) {
+  EXPECT_EQ(want.ints, got.ints) << where;
+  EXPECT_EQ(want.rounds, got.rounds) << where;
+  EXPECT_EQ(want.words, got.words) << where;
+  EXPECT_EQ(want.phases, got.phases) << where;
+  EXPECT_EQ(want.ledger_json, got.ledger_json) << where;
+}
+
+Observed observe(const flow::MaxFlowIpmReport& rep,
+                 const obs::RoundLedger& ledger) {
+  Observed o;
+  o.ints.push_back(rep.value);
+  o.ints.insert(o.ints.end(), rep.flow.begin(), rep.flow.end());
+  o.ints.push_back(rep.ipm_iterations);
+  o.ints.push_back(rep.augmentation_steps);
+  o.ints.push_back(rep.boosting_steps);
+  o.ints.push_back(rep.laplacian_solves);
+  o.ints.push_back(rep.finishing_augmenting_paths);
+  o.ints.push_back(rep.rounding_phases);
+  o.ints.push_back(static_cast<std::int64_t>(bits(rep.routed_fraction)));
+  o.rounds = rep.run.rounds;
+  o.words = rep.run.words;
+  o.phases = rep.run.phases.rounds_by_phase;
+  o.ledger_json = ledger.to_json().dump();
+  return o;
+}
+
+Observed observe(const flow::MinCostIpmReport& rep,
+                 const obs::RoundLedger& ledger) {
+  Observed o;
+  o.ints.push_back(rep.feasible ? 1 : 0);
+  o.ints.push_back(rep.cost);
+  o.ints.insert(o.ints.end(), rep.flow.begin(), rep.flow.end());
+  o.ints.push_back(rep.ipm_iterations);
+  o.ints.push_back(rep.perturbations);
+  o.ints.push_back(rep.laplacian_solves);
+  o.ints.push_back(rep.finishing_paths);
+  o.ints.push_back(rep.negative_cycles_cancelled);
+  o.ints.push_back(rep.rounding_phases);
+  o.rounds = rep.run.rounds;
+  o.words = rep.run.words;
+  o.phases = rep.run.phases.rounds_by_phase;
+  o.ledger_json = ledger.to_json().dump();
+  return o;
+}
+
+// Small instances with scaled-down budgets: the sweeps run one preempted +
+// one resumed run per batch boundary, so the boundary count is the test's
+// cost multiplier.  The finishers keep the answers exact regardless.
+flow::MaxFlowIpmOptions quick_max() {
+  flow::MaxFlowIpmOptions opt;
+  opt.iteration_scale = 0.01;
+  opt.max_iterations = 20;
+  return opt;
+}
+
+flow::MinCostIpmOptions quick_min() {
+  flow::MinCostIpmOptions opt;
+  opt.iteration_scale = 0.002;
+  opt.max_iterations = 10;
+  return opt;
+}
+
+graph::Digraph sweep_flow_network() {
+  return graph::random_flow_network(10, 24, 4, base_seed() + 40);
+}
+
+// --- preempt-at-every-batch sweeps ---------------------------------------
+
+// For every batch boundary B: run with `preempt=B` until PreemptError, then
+// resume from the committed checkpoint and demand byte-identity with an
+// uninterrupted reference.  The sweep ends when preempt=B no longer fires
+// (B is past the last boundary); that run must still match the reference,
+// which also pins that a preempt-only plan is accounting-neutral.
+void max_flow_preempt_sweep(clique::RoutingMode mode, int threads) {
+  const graph::Digraph g = sweep_flow_network();
+  const int s = 0;
+  const int t = 9;
+  const std::string tag =
+      std::string(clique::to_string(mode)) + "_t" + std::to_string(threads);
+
+  Runtime base_rt;
+  base_rt.threads = threads;
+  base_rt.routing_mode = mode;
+
+  obs::RoundLedger ref_ledger;
+  Runtime ref_rt = base_rt;
+  ref_rt.trace = &ref_ledger;
+  ref_rt.checkpoint_path = tmp_path("mf_ref_" + tag);
+  const Observed want = observe(max_flow(g, s, t, quick_max(), ref_rt), ref_ledger);
+
+  bool past_last_boundary = false;
+  for (std::int64_t batch = 0; batch < 256 && !past_last_boundary; ++batch) {
+    const std::string where = tag + " preempt=" + std::to_string(batch);
+    const std::string path = tmp_path("mf_sweep_" + tag);
+    fault::FaultPlan plan(
+        fault::parse_fault_spec("preempt=" + std::to_string(batch)), 1);
+    obs::RoundLedger preempt_ledger;
+    Runtime r1 = base_rt;
+    r1.trace = &preempt_ledger;
+    r1.faults = &plan;
+    r1.checkpoint_path = path;
+    bool preempted = false;
+    try {
+      const flow::MaxFlowIpmReport full = max_flow(g, s, t, quick_max(), r1);
+      expect_identical(want, observe(full, preempt_ledger), where + " (ran through)");
+      past_last_boundary = true;
+    } catch (const fault::PreemptError&) {
+      preempted = true;
+    }
+    if (!preempted) continue;
+
+    obs::RoundLedger resumed_ledger;
+    Runtime r2 = base_rt;
+    r2.trace = &resumed_ledger;
+    r2.checkpoint_path = path;
+    r2.resume = true;
+    const flow::MaxFlowIpmReport resumed = max_flow(g, s, t, quick_max(), r2);
+    expect_identical(want, observe(resumed, resumed_ledger), where + " (resumed)");
+  }
+  EXPECT_TRUE(past_last_boundary) << tag << ": sweep never ran past the last boundary";
+}
+
+void min_cost_preempt_sweep(clique::RoutingMode mode, int threads) {
+  const graph::Digraph g = graph::random_unit_cost_digraph(9, 24, 5, base_seed() + 41);
+  const std::vector<std::int64_t> sigma =
+      graph::feasible_unit_demands(g, 2, base_seed() + 91);
+  const std::string tag =
+      std::string(clique::to_string(mode)) + "_t" + std::to_string(threads);
+
+  Runtime base_rt;
+  base_rt.threads = threads;
+  base_rt.routing_mode = mode;
+
+  obs::RoundLedger ref_ledger;
+  Runtime ref_rt = base_rt;
+  ref_rt.trace = &ref_ledger;
+  ref_rt.checkpoint_path = tmp_path("mc_ref_" + tag);
+  const Observed want =
+      observe(min_cost_flow(g, sigma, quick_min(), ref_rt), ref_ledger);
+
+  bool past_last_boundary = false;
+  for (std::int64_t batch = 0; batch < 256 && !past_last_boundary; ++batch) {
+    const std::string where = tag + " preempt=" + std::to_string(batch);
+    const std::string path = tmp_path("mc_sweep_" + tag);
+    fault::FaultPlan plan(
+        fault::parse_fault_spec("preempt=" + std::to_string(batch)), 1);
+    obs::RoundLedger preempt_ledger;
+    Runtime r1 = base_rt;
+    r1.trace = &preempt_ledger;
+    r1.faults = &plan;
+    r1.checkpoint_path = path;
+    bool preempted = false;
+    try {
+      const flow::MinCostIpmReport full = min_cost_flow(g, sigma, quick_min(), r1);
+      expect_identical(want, observe(full, preempt_ledger), where + " (ran through)");
+      past_last_boundary = true;
+    } catch (const fault::PreemptError&) {
+      preempted = true;
+    }
+    if (!preempted) continue;
+
+    obs::RoundLedger resumed_ledger;
+    Runtime r2 = base_rt;
+    r2.trace = &resumed_ledger;
+    r2.checkpoint_path = path;
+    r2.resume = true;
+    const flow::MinCostIpmReport resumed = min_cost_flow(g, sigma, quick_min(), r2);
+    expect_identical(want, observe(resumed, resumed_ledger), where + " (resumed)");
+  }
+  EXPECT_TRUE(past_last_boundary) << tag << ": sweep never ran past the last boundary";
+}
+
+TEST(CheckpointSweep, MaxFlowPreemptEveryBatchAllModesAndThreads) {
+  for (clique::RoutingMode mode :
+       {clique::RoutingMode::kCharged, clique::RoutingMode::kExecuted,
+        clique::RoutingMode::kBroadcast}) {
+    for (int threads : {1, 8}) max_flow_preempt_sweep(mode, threads);
+  }
+}
+
+TEST(CheckpointSweep, MinCostPreemptEveryBatchAllModesAndThreads) {
+  for (clique::RoutingMode mode :
+       {clique::RoutingMode::kCharged, clique::RoutingMode::kExecuted,
+        clique::RoutingMode::kBroadcast}) {
+    for (int threads : {1, 8}) min_cost_preempt_sweep(mode, threads);
+  }
+}
+
+// --- checkpointing is observationally free -------------------------------
+
+TEST(CheckpointOverhead, WriterChangesNothingMaxFlow) {
+  const graph::Digraph g = graph::random_flow_network(12, 30, 6, base_seed() + 42);
+  flow::MaxFlowIpmOptions opt;
+  opt.iteration_scale = 0.02;
+  opt.max_iterations = 400;
+
+  obs::RoundLedger plain_ledger;
+  Runtime plain_rt;
+  plain_rt.trace = &plain_ledger;
+  const Observed plain = observe(max_flow(g, 0, 11, opt, plain_rt), plain_ledger);
+
+  obs::RoundLedger ck_ledger;
+  Runtime ck_rt;
+  ck_rt.trace = &ck_ledger;
+  ck_rt.checkpoint_path = tmp_path("overhead_mf");
+  const Observed with = observe(max_flow(g, 0, 11, opt, ck_rt), ck_ledger);
+  expect_identical(plain, with, "maxflow with writer attached");
+}
+
+TEST(CheckpointOverhead, WriterChangesNothingMinCost) {
+  const graph::Digraph g =
+      graph::random_unit_cost_digraph(10, 40, 7, base_seed() + 43);
+  const std::vector<std::int64_t> sigma =
+      graph::feasible_unit_demands(g, 3, base_seed() + 93);
+  flow::MinCostIpmOptions opt;
+  opt.iteration_scale = 0.002;
+  opt.max_iterations = 60;
+
+  obs::RoundLedger plain_ledger;
+  Runtime plain_rt;
+  plain_rt.trace = &plain_ledger;
+  const Observed plain =
+      observe(min_cost_flow(g, sigma, opt, plain_rt), plain_ledger);
+
+  obs::RoundLedger ck_ledger;
+  Runtime ck_rt;
+  ck_rt.trace = &ck_ledger;
+  ck_rt.checkpoint_path = tmp_path("overhead_mc");
+  ck_rt.checkpoint_every = 2;
+  const Observed with = observe(min_cost_flow(g, sigma, opt, ck_rt), ck_ledger);
+  expect_identical(plain, with, "mincost with writer attached");
+}
+
+// --- container hardening -------------------------------------------------
+
+/// Commits a real checkpoint by preempting a run at boundary 2, and returns
+/// the file path.
+std::string make_checkpoint_file(const std::string& name, const graph::Digraph& g,
+                                 const char* spec = "preempt=2") {
+  const std::string path = tmp_path(name);
+  fault::FaultPlan plan(fault::parse_fault_spec(spec), 7);
+  Runtime rt;
+  rt.routing_mode = clique::RoutingMode::kCharged;
+  rt.faults = &plan;
+  rt.checkpoint_path = path;
+  EXPECT_THROW(max_flow(g, 0, g.num_vertices() - 1, quick_max(), rt),
+               fault::PreemptError);
+  return path;
+}
+
+void expect_checkpoint_error(const std::string& path,
+                             const std::vector<std::string>& any_of) {
+  try {
+    (void)ckpt::load_checkpoint(path);
+    FAIL() << "expected CheckpointError mentioning '" << any_of.front() << "'";
+  } catch (const ckpt::CheckpointError& ex) {
+    const std::string what = ex.what();
+    bool matched = false;
+    for (const std::string& needle : any_of) {
+      matched = matched || what.find(needle) != std::string::npos;
+    }
+    EXPECT_TRUE(matched) << what;
+    EXPECT_NE(what.find(path), std::string::npos)
+        << "diagnostic does not locate the file: " << what;
+  }
+}
+
+TEST(CheckpointFormat, RoundTripsThroughDisk) {
+  const std::string path = make_checkpoint_file("fmt_roundtrip", sweep_flow_network());
+  const ckpt::Checkpoint ck = ckpt::load_checkpoint(path);
+  EXPECT_EQ(ck.schema, ckpt::kSchemaVersion);
+  EXPECT_EQ(ck.algo, "maxflow");
+  EXPECT_EQ(ck.batch, 2);
+  EXPECT_EQ(ck.graph_hash, ckpt::graph_hash(sweep_flow_network()));
+  EXPECT_EQ(ck.routing_mode, clique::to_string(clique::RoutingMode::kCharged));
+  EXPECT_TRUE(ck.has_fault_plan);
+  EXPECT_EQ(ck.fault_spec, "preempt=2");
+  EXPECT_FALSE(ck.state.empty());
+}
+
+TEST(CheckpointFormat, MissingFileRejected) {
+  expect_checkpoint_error(tmp_path("fmt_does_not_exist"), {"cannot"});
+}
+
+TEST(CheckpointFormat, TruncatedFileRejected) {
+  const std::string path = make_checkpoint_file("fmt_trunc_src", sweep_flow_network());
+  const std::string bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 20u);
+  const std::string trunc = tmp_path("fmt_trunc");
+  // Every prefix must be rejected, never parsed into garbage: below the
+  // minimum frame, mid-body, and one byte short of the checksum.
+  // Below the minimum frame the framing check names the truncation; past
+  // it, a clean cut is indistinguishable from corruption and the checksum
+  // rejects it.  Either way: a located error, never garbage state.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{11}}) {
+    spew(trunc, bytes.substr(0, cut));
+    expect_checkpoint_error(trunc, {"truncated"});
+  }
+  for (const std::size_t cut : {bytes.size() / 2, bytes.size() - 1}) {
+    spew(trunc, bytes.substr(0, cut));
+    expect_checkpoint_error(trunc, {"truncated", "checksum mismatch"});
+  }
+}
+
+TEST(CheckpointFormat, ChecksumMismatchRejected) {
+  const std::string path = make_checkpoint_file("fmt_corrupt_src", sweep_flow_network());
+  std::string bytes = slurp(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  const std::string corrupt = tmp_path("fmt_corrupt");
+  spew(corrupt, bytes);
+  expect_checkpoint_error(corrupt, {"checksum mismatch"});
+}
+
+TEST(CheckpointFormat, BadMagicRejected) {
+  const std::string path = make_checkpoint_file("fmt_magic_src", sweep_flow_network());
+  std::string bytes = slurp(path);
+  bytes[0] = 'X';
+  const std::string bad = tmp_path("fmt_magic");
+  spew(bad, bytes);
+  expect_checkpoint_error(bad, {"bad magic"});
+}
+
+TEST(CheckpointFormat, SchemaSkewRejected) {
+  const std::string path = make_checkpoint_file("fmt_schema_src", sweep_flow_network());
+  std::string bytes = slurp(path);
+  // A well-formed file from a hypothetical future writer: bump the schema
+  // word and re-stamp the checksum, so the skew check (not the checksum)
+  // must be what rejects it.
+  bytes[8] = static_cast<char>(bytes[8] + 1);
+  const std::uint64_t sum = ckpt::fnv1a64(bytes.data(), bytes.size() - 8);
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>((sum >> (8 * i)) & 0xff);
+  }
+  const std::string skewed = tmp_path("fmt_schema");
+  spew(skewed, bytes);
+  expect_checkpoint_error(skewed, {"schema version skew"});
+}
+
+void expect_resume_rejected(const graph::Digraph& g, const Runtime& rt,
+                            const char* needle) {
+  try {
+    (void)max_flow(g, 0, g.num_vertices() - 1, quick_max(), rt);
+    FAIL() << "expected CheckpointError mentioning '" << needle << "'";
+  } catch (const ckpt::CheckpointError& ex) {
+    EXPECT_NE(std::string(ex.what()).find(needle), std::string::npos) << ex.what();
+  }
+}
+
+TEST(CheckpointCompat, GraphHashMismatchRejected) {
+  const std::string path = make_checkpoint_file("compat_ghash", sweep_flow_network());
+  const graph::Digraph other = graph::random_flow_network(10, 24, 4, base_seed() + 77);
+  Runtime rt;
+  rt.routing_mode = clique::RoutingMode::kCharged;
+  rt.checkpoint_path = path;
+  rt.resume = true;
+  expect_resume_rejected(other, rt, "graph hash mismatch");
+}
+
+TEST(CheckpointCompat, RoutingModeMismatchRejected) {
+  const std::string path = make_checkpoint_file("compat_mode", sweep_flow_network());
+  Runtime rt;
+  rt.routing_mode = clique::RoutingMode::kBroadcast;
+  rt.checkpoint_path = path;
+  rt.resume = true;
+  expect_resume_rejected(sweep_flow_network(), rt, "routing mode mismatch");
+}
+
+TEST(CheckpointCompat, AlgorithmMismatchRejected) {
+  const std::string path = make_checkpoint_file("compat_algo", sweep_flow_network());
+  const graph::Digraph g = graph::random_unit_cost_digraph(9, 24, 5, base_seed() + 41);
+  const std::vector<std::int64_t> sigma =
+      graph::feasible_unit_demands(g, 2, base_seed() + 91);
+  Runtime rt;
+  rt.routing_mode = clique::RoutingMode::kCharged;
+  rt.checkpoint_path = path;
+  rt.resume = true;
+  try {
+    (void)min_cost_flow(g, sigma, quick_min(), rt);
+    FAIL() << "expected CheckpointError";
+  } catch (const ckpt::CheckpointError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("algorithm"), std::string::npos) << ex.what();
+  }
+}
+
+TEST(CheckpointCompat, FaultConfigMismatchRejected) {
+  // Checkpoint written under an accounting-relevant fault plan; resuming
+  // without it would replay a different fault stream, so it must refuse.
+  const std::string path = make_checkpoint_file("compat_faults", sweep_flow_network(),
+                                                "drop=0.05,preempt=2");
+  Runtime rt;
+  rt.routing_mode = clique::RoutingMode::kCharged;
+  rt.checkpoint_path = path;
+  rt.resume = true;
+  expect_resume_rejected(sweep_flow_network(), rt, "fault configuration mismatch");
+}
+
+// --- preempt grammar and signature ---------------------------------------
+
+TEST(FaultSpecPreempt, GrammarRoundTrip) {
+  const fault::FaultSpec spec = fault::parse_fault_spec("preempt=3");
+  EXPECT_EQ(spec.preempt_at, 3);
+  EXPECT_FALSE(spec.any_transport_faults());
+  EXPECT_EQ(fault::to_string(spec), "preempt=3");
+
+  const fault::FaultSpec mixed = fault::parse_fault_spec("drop=0.05,preempt=7");
+  EXPECT_TRUE(mixed.any_transport_faults());
+  EXPECT_EQ(mixed.preempt_at, 7);
+  EXPECT_EQ(fault::parse_fault_spec(fault::to_string(mixed)).preempt_at, 7);
+
+  EXPECT_THROW((void)fault::parse_fault_spec("preempt=-2"), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_fault_spec("preempt=x"), std::invalid_argument);
+}
+
+TEST(FaultSpecPreempt, SignatureStripsPreemptClause) {
+  EXPECT_EQ(ckpt::fault_signature(nullptr), "");
+  fault::FaultPlan preempt_only(fault::parse_fault_spec("preempt=5"), 9);
+  EXPECT_EQ(ckpt::fault_signature(&preempt_only), "");
+
+  fault::FaultPlan mixed(fault::parse_fault_spec("drop=0.05,preempt=5"), 9);
+  fault::FaultSpec stripped = mixed.spec();
+  stripped.preempt_at = fault::FaultSpec::kNever;
+  EXPECT_EQ(ckpt::fault_signature(&mixed), fault::to_string(stripped) + "#9");
+}
+
+TEST(FaultSpecPreempt, PreemptFiresWithoutWriter) {
+  // `preempt=` is a process-level drill: it stops the run at the boundary
+  // even when no checkpoint path is configured (there is just nothing to
+  // resume from afterwards).
+  fault::FaultPlan plan(fault::parse_fault_spec("preempt=1"), 1);
+  Runtime rt;
+  rt.faults = &plan;
+  try {
+    (void)max_flow(sweep_flow_network(), 0, 9, quick_max(), rt);
+    FAIL() << "expected PreemptError";
+  } catch (const fault::PreemptError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("batch 1"), std::string::npos) << ex.what();
+  }
+}
+
+// --- warm-start re-solve --------------------------------------------------
+
+TEST(CheckpointWarm, MaxFlowWarmStartExactAndNoSlower) {
+  const graph::Digraph g = graph::random_flow_network(10, 24, 4, base_seed() + 44);
+  const int s = 0;
+  const int t = 9;
+  flow::MaxFlowIpmOptions opt;
+  opt.iteration_scale = 0.02;
+  opt.max_iterations = 400;
+
+  // Checkpoint a completed run on g, then edit the instance.
+  const std::string path = tmp_path("warm_mf");
+  ckpt::CheckpointWriter writer(path, 1, 1);
+  flow::MaxFlowIpmOptions copt = opt;
+  copt.checkpoint.writer = &writer;
+  clique::Network base_net(g.num_vertices());
+  (void)flow::max_flow_clique(g, s, t, base_net, copt);
+  ASSERT_GT(writer.written(), 0);
+
+  graph::Digraph edited = g;
+  edited.add_arc(s, 4, 2);
+  const flow::MaxFlowResult oracle = flow::dinic_max_flow(edited, s, t);
+
+  clique::Network cold_net(edited.num_vertices());
+  const flow::MaxFlowIpmReport cold = flow::max_flow_clique(edited, s, t, cold_net, opt);
+
+  const ckpt::Checkpoint ck = ckpt::load_checkpoint(path);
+  flow::MaxFlowIpmOptions wopt = opt;
+  wopt.checkpoint.warm_start = &ck;
+  clique::Network warm_net(edited.num_vertices());
+  const flow::MaxFlowIpmReport warm =
+      flow::max_flow_clique(edited, s, t, warm_net, wopt);
+
+  EXPECT_FALSE(cold.run.used_warm_start);
+  EXPECT_TRUE(warm.run.used_warm_start);
+  EXPECT_EQ(warm.run.warm_saved_iterations, ck.batch);
+  EXPECT_GT(warm.run.warm_saved_iterations, 0);
+  EXPECT_EQ(cold.value, oracle.value);
+  EXPECT_EQ(warm.value, oracle.value);
+  EXPECT_LE(warm.ipm_iterations, cold.ipm_iterations);
+}
+
+TEST(CheckpointWarm, MinCostWarmStartExactAndNoSlower) {
+  const graph::Digraph g = graph::random_unit_cost_digraph(10, 30, 5, base_seed() + 45);
+  const std::vector<std::int64_t> sigma =
+      graph::feasible_unit_demands(g, 2, base_seed() + 95);
+  flow::MinCostIpmOptions opt;
+  opt.iteration_scale = 0.002;
+  opt.max_iterations = 60;
+
+  const std::string path = tmp_path("warm_mc");
+  ckpt::CheckpointWriter writer(path, 1, 1);
+  flow::MinCostIpmOptions copt = opt;
+  copt.checkpoint.writer = &writer;
+  clique::Network base_net(g.num_vertices());
+  (void)flow::min_cost_flow_clique(g, sigma, base_net, copt);
+  ASSERT_GT(writer.written(), 0);
+
+  graph::Digraph edited = g;
+  edited.add_arc(2, 7, 1, 3);
+  const flow::MinCostFlowResult oracle = flow::ssp_min_cost_flow(edited, sigma);
+
+  clique::Network cold_net(edited.num_vertices());
+  const flow::MinCostIpmReport cold =
+      flow::min_cost_flow_clique(edited, sigma, cold_net, opt);
+
+  const ckpt::Checkpoint ck = ckpt::load_checkpoint(path);
+  flow::MinCostIpmOptions wopt = opt;
+  wopt.checkpoint.warm_start = &ck;
+  clique::Network warm_net(edited.num_vertices());
+  const flow::MinCostIpmReport warm =
+      flow::min_cost_flow_clique(edited, sigma, warm_net, wopt);
+
+  EXPECT_FALSE(cold.run.used_warm_start);
+  EXPECT_TRUE(warm.run.used_warm_start);
+  EXPECT_GT(warm.run.warm_saved_iterations, 0);
+  ASSERT_TRUE(oracle.feasible);
+  EXPECT_TRUE(cold.feasible);
+  EXPECT_TRUE(warm.feasible);
+  EXPECT_EQ(cold.cost, oracle.cost);
+  EXPECT_EQ(warm.cost, oracle.cost);
+  EXPECT_LE(warm.ipm_iterations, cold.ipm_iterations);
+}
+
+// --- incremental sparsifier repair ---------------------------------------
+
+TEST(SparsifierRepair, InsertOnlyEditIsLocal) {
+  const graph::Graph g = graph::random_connected_gnm(24, 60, base_seed() + 46);
+  graph::Graph edited = g;
+  edited.add_edge(3, 17, 1.5);
+  spectral::GraphEdit edit;
+  edit.inserted.push_back(graph::Edge{3, 17, 1.5});
+
+  const spectral::SparsifyResult sp = spectral::deterministic_sparsify(g);
+  const spectral::SparsifierRepairResult rr =
+      spectral::repair_sparsifier(edited, sp.h, edit);
+  EXPECT_FALSE(rr.rebuilt);
+  EXPECT_EQ(rr.edges_added, 1);
+  EXPECT_EQ(rr.edges_removed, 0);
+  EXPECT_EQ(rr.h.num_edges(), sp.h.num_edges() + 1);
+}
+
+TEST(SparsifierRepair, VerbatimDeleteStaysLocalElseRebuilds) {
+  graph::Graph g(5);
+  for (int v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5, 1.0 + v);
+  g.add_edge(0, 2, 3.0);
+
+  // H == G is a (trivially valid) sparsifier; deleting an edge H carries
+  // verbatim is absorbed locally.
+  graph::Graph without_last(5);
+  for (int e = 0; e + 1 < g.num_edges(); ++e) {
+    without_last.add_edge(g.edge(e).u, g.edge(e).v, g.edge(e).w);
+  }
+  spectral::GraphEdit del;
+  del.deleted.push_back(g.edge(g.num_edges() - 1));
+  const spectral::SparsifierRepairResult local =
+      spectral::repair_sparsifier(without_last, g, del);
+  EXPECT_FALSE(local.rebuilt);
+  EXPECT_EQ(local.edges_removed, 1);
+  EXPECT_EQ(local.h.num_edges(), g.num_edges() - 1);
+
+  // A deletion H cannot absorb (the weight was rescaled away) forces a
+  // full rebuild on the new instance.
+  spectral::GraphEdit foreign;
+  foreign.deleted.push_back(graph::Edge{0, 2, 99.0});
+  const spectral::SparsifierRepairResult rebuilt =
+      spectral::repair_sparsifier(without_last, g, foreign);
+  EXPECT_TRUE(rebuilt.rebuilt);
+  EXPECT_EQ(rebuilt.h.num_vertices(), 5);
+}
+
+TEST(SparsifierRepair, SolverRepairCtorStillSolves) {
+  const graph::Graph g = graph::random_connected_gnm(24, 60, base_seed() + 47);
+  const solver::LaplacianSolver base(g);
+
+  graph::Graph edited = g;
+  edited.add_edge(2, 19, 2.0);
+  spectral::GraphEdit edit;
+  edit.inserted.push_back(graph::Edge{2, 19, 2.0});
+  const solver::LaplacianSolver repaired(edited, base, edit);
+  EXPECT_FALSE(repaired.sparsifier_rebuilt());
+  EXPECT_EQ(repaired.sparsifier().num_edges(), base.sparsifier().num_edges() + 1);
+
+  std::vector<double> b(24, 0.0);
+  b[0] = 1.0;
+  b[23] = -1.0;
+  solver::LaplacianSolveStats stats;
+  (void)repaired.solve(b, 1e-8, &stats);
+  EXPECT_FALSE(stats.exact_fallback);
+  EXPECT_LE(stats.relative_residual, 1e-8);
+}
+
+}  // namespace
+}  // namespace lapclique

@@ -28,6 +28,13 @@
 //   --fault-seed <n>       seed for the fault plan (default 1)
 //   --fault-report <path>  write the machine-readable recovery summary JSON
 //                          to <path> ("-" for stdout; default: stderr)
+//   --checkpoint <path>    (maxflow/mincost) commit a resumable snapshot to
+//                          <path> at batch boundaries, atomically (see
+//                          docs/CHECKPOINT.md)
+//   --checkpoint-every <n> write every n-th boundary only (default 1)
+//   --resume               continue from --checkpoint instead of starting
+//                          fresh; outputs and ledgers are bit-identical to
+//                          an uninterrupted run
 //
 // Both JSON outputs embed a "runtime" block (threads, fault spec, routing
 // mode) so a saved trace records the configuration that produced it.
@@ -253,6 +260,9 @@ int main(int argc, char** argv) {
   const char* fault_spec = nullptr;
   const char* fault_report = nullptr;
   std::uint64_t fault_seed = 1;
+  const char* checkpoint_path = nullptr;
+  std::int64_t checkpoint_every = 1;
+  bool resume = false;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   const auto flag_value = [&](int& i, const char* flag) -> const char* {
@@ -295,6 +305,19 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--fault-report") == 0) {
       fault_report = flag_value(i, "--fault-report");
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      checkpoint_path = flag_value(i, "--checkpoint");
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      const char* v = flag_value(i, "--checkpoint-every");
+      try {
+        checkpoint_every = arg_int("--checkpoint-every", v, 1,
+                                   std::numeric_limits<std::int64_t>::max());
+      } catch (const std::exception& ex) {
+        std::cerr << "error: " << ex.what() << "\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -325,6 +348,13 @@ int main(int argc, char** argv) {
   Runtime rt;
   rt.threads = threads;
   rt.routing_mode = routing;
+  if (checkpoint_path != nullptr) rt.checkpoint_path = checkpoint_path;
+  rt.checkpoint_every = checkpoint_every;
+  rt.resume = resume;
+  if (resume && checkpoint_path == nullptr) {
+    std::cerr << "--resume requires --checkpoint <path>\n";
+    return 2;
+  }
   set_default_runtime(rt);
   exec::set_threads(rt.resolved_threads());
 
@@ -339,6 +369,14 @@ int main(int argc, char** argv) {
     else if (cmd == "gen-maxflow") rc = cmd_gen_maxflow(nrest, rest);
     else if (cmd == "gen-mincost") rc = cmd_gen_mincost(nrest, rest);
     else return usage();
+  } catch (const fault::PreemptError& ex) {
+    std::cerr << "preempted: " << ex.what();
+    if (checkpoint_path != nullptr) {
+      std::cerr << " (resume with --checkpoint " << checkpoint_path
+                << " --resume)";
+    }
+    std::cerr << "\n";
+    return 3;
   } catch (const std::exception& ex) {
     std::cerr << "error: " << ex.what() << "\n";
     return 1;
