@@ -1,0 +1,275 @@
+// E9 — serving: what the artifact cache buys.
+//
+// Drives an in-process serve::Server with the same line-delimited JSON
+// protocol the daemon speaks and measures three request shapes:
+//   cold    — cache cleared before every request: pays sparsifier +
+//             factorization construction each time
+//   hit     — warm cache: construction skipped, pure solve time
+//   batched — one solve_batch carrying K right-hand sides vs K single
+//             solve requests against the warm cache
+// per routing mode (charged, broadcast) and per --threads entry.  Response
+// bodies are checked byte-identical between the cold and hit runs — the
+// serving determinism contract (docs/SERVING.md) — and across thread counts.
+//
+// --json PATH writes the lapclique-bench-v1 table (committed as
+// BENCH_serve.json).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace lapclique;
+namespace json = obs::json;
+
+constexpr int kN = 64;
+constexpr int kM = 224;
+constexpr std::uint64_t kSeed = 33;
+constexpr double kEps = 1e-6;
+constexpr int kRequests = 40;   // per scenario
+constexpr int kBatchCols = 32;  // RHS per solve_batch request
+
+std::string load_request(const graph::Graph& g) {
+  json::Object req;
+  req.emplace("op", "graph.load");
+  req.emplace("id", "load");
+  req.emplace("name", "g");
+  req.emplace("n", g.num_vertices());
+  json::Array edges;
+  for (const graph::Edge& e : g.edges()) {
+    json::Array row;
+    row.push_back(e.u);
+    row.push_back(e.v);
+    row.push_back(e.w);
+    edges.push_back(json::Value(std::move(row)));
+  }
+  req.emplace("edges", json::Value(std::move(edges)));
+  return json::Value(std::move(req)).dump();
+}
+
+json::Value vec_json(const std::vector<double>& b) {
+  json::Array a;
+  for (const double x : b) a.push_back(x);
+  return {std::move(a)};
+}
+
+std::vector<double> random_b(std::uint64_t salt) {
+  std::mt19937_64 rng(kSeed + salt);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> b(kN);
+  for (double& x : b) x = dist(rng);
+  return b;
+}
+
+std::string solve_request(const std::vector<double>& b, const char* routing,
+                          int threads, int id) {
+  json::Object req;
+  req.emplace("op", "solve");
+  req.emplace("id", id);
+  req.emplace("graph", "g");
+  req.emplace("eps", kEps);
+  req.emplace("routing", routing);
+  req.emplace("threads", threads);
+  req.emplace("b", vec_json(b));
+  return json::Value(std::move(req)).dump();
+}
+
+std::string batch_request(const std::vector<std::vector<double>>& bs,
+                          const char* routing, int threads) {
+  json::Object req;
+  req.emplace("op", "solve_batch");
+  req.emplace("id", "batch");
+  req.emplace("graph", "g");
+  req.emplace("eps", kEps);
+  req.emplace("routing", routing);
+  req.emplace("threads", threads);
+  json::Array rhs;
+  for (const std::vector<double>& b : bs) rhs.push_back(vec_json(b));
+  req.emplace("rhs", json::Value(std::move(rhs)));
+  return json::Value(std::move(req)).dump();
+}
+
+struct Timing {
+  double total_ms = 0;
+  double mean_ms = 0;
+  double p99_ms = 0;
+  double reqs_per_s = 0;
+};
+
+Timing summarize(std::vector<double> per_request_ms) {
+  Timing t;
+  for (const double ms : per_request_ms) t.total_ms += ms;
+  const auto r = static_cast<double>(per_request_ms.size());
+  t.mean_ms = t.total_ms / r;
+  std::sort(per_request_ms.begin(), per_request_ms.end());
+  const auto idx =
+      static_cast<std::size_t>(std::ceil(0.99 * r)) - 1;  // nearest-rank p99
+  t.p99_ms = per_request_ms[idx];
+  t.reqs_per_s = t.total_ms > 0 ? 1000.0 * r / t.total_ms : 0.0;
+  return t;
+}
+
+json::Value timing_json(const Timing& t) {
+  json::Object o;
+  o.emplace("mean_ms", t.mean_ms);
+  o.emplace("p99_ms", t.p99_ms);
+  o.emplace("reqs_per_s", t.reqs_per_s);
+  o.emplace("total_ms", t.total_ms);
+  return {std::move(o)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  const std::vector<int> threads = bench::thread_sweep(argc, argv);
+
+  bench::header("E9 (serving)",
+                "cache hits skip construction; batched RHS amortize overhead");
+  const graph::Graph g = graph::with_random_weights(
+      graph::random_connected_gnm(kN, kM, kSeed), 8.0, kSeed + 1);
+  const std::string load = load_request(g);
+
+  std::vector<std::vector<double>> bs(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    bs[static_cast<std::size_t>(i)] = random_b(static_cast<std::uint64_t>(i));
+  }
+  std::vector<std::vector<double>> batch_bs(kBatchCols);
+  for (int i = 0; i < kBatchCols; ++i) {
+    batch_bs[static_cast<std::size_t>(i)] =
+        random_b(1000 + static_cast<std::uint64_t>(i));
+  }
+
+  bench::row("%-9s | %3s | %-7s | %10s | %9s | %9s | %9s", "routing", "thr",
+             "shape", "reqs/s", "mean ms", "p99 ms", "rounds");
+  json::Array sweep;
+  bool all_deterministic = true;
+  for (const char* routing : {"charged", "broadcast"}) {
+    // Reference bodies at the first thread count: every other configuration
+    // must reproduce them byte-for-byte.
+    std::vector<std::string> reference(bs.size());
+    for (const int thr : threads) {
+      serve::Server server;
+      std::string out = server.handle(load);
+
+      // Cold: clear the cache before every request so each solve pays the
+      // full construction path.
+      std::vector<double> cold_ms(bs.size());
+      std::vector<std::string> cold_bodies(bs.size());
+      for (std::size_t i = 0; i < bs.size(); ++i) {
+        (void)server.handle("{\"op\":\"cache.clear\"}");
+        const std::string req =
+            solve_request(bs[i], routing, thr, static_cast<int>(i));
+        const double t0 = bench::now_ms();
+        cold_bodies[i] = server.handle(req);
+        cold_ms[i] = bench::now_ms() - t0;
+      }
+
+      // Hit: same requests against the warm cache.
+      std::vector<double> hit_ms(bs.size());
+      bool hit_matches_cold = true;
+      for (std::size_t i = 0; i < bs.size(); ++i) {
+        const std::string req =
+            solve_request(bs[i], routing, thr, static_cast<int>(i));
+        const double t0 = bench::now_ms();
+        const std::string body = server.handle(req);
+        hit_ms[i] = bench::now_ms() - t0;
+        hit_matches_cold &= body == cold_bodies[i];
+        if (reference[i].empty()) {
+          reference[i] = body;
+        } else if (reference[i] != body) {
+          all_deterministic = false;
+        }
+      }
+      all_deterministic &= hit_matches_cold;
+
+      // Batched: one request with kBatchCols RHS vs the same columns as
+      // single requests, both warm.
+      const std::string batched = batch_request(batch_bs, routing, thr);
+      double t0 = bench::now_ms();
+      out = server.handle(batched);
+      const double batch_total = bench::now_ms() - t0;
+      const std::int64_t batch_rounds =
+          json::parse(out).at("run").at("rounds").as_int();
+      double singles_total = 0;
+      for (std::size_t i = 0; i < batch_bs.size(); ++i) {
+        const std::string req = solve_request(batch_bs[i], routing, thr,
+                                              10000 + static_cast<int>(i));
+        t0 = bench::now_ms();
+        out = server.handle(req);
+        singles_total += bench::now_ms() - t0;
+      }
+
+      const Timing cold = summarize(cold_ms);
+      const Timing hit = summarize(hit_ms);
+      const std::int64_t solve_rounds =
+          json::parse(cold_bodies[0]).at("run").at("rounds").as_int();
+      bench::row("%-9s | %3d | %-7s | %10.1f | %9.3f | %9.3f | %9lld", routing,
+                 thr, "cold", cold.reqs_per_s, cold.mean_ms, cold.p99_ms,
+                 static_cast<long long>(solve_rounds));
+      bench::row("%-9s | %3d | %-7s | %10.1f | %9.3f | %9.3f | %9s %s", routing,
+                 thr, "hit", hit.reqs_per_s, hit.mean_ms, hit.p99_ms, "=",
+                 hit_matches_cold ? "" : "[BODIES DIVERGED]");
+      bench::row("%-9s | %3d | %-7s | %10.1f | %9.3f | %9.3f | %9lld", routing,
+                 thr, "batched", 1000.0 * kBatchCols / batch_total,
+                 batch_total / kBatchCols, batch_total,
+                 static_cast<long long>(batch_rounds));
+
+      json::Object row;
+      row.emplace("routing", routing);
+      row.emplace("threads", thr);
+      row.emplace("cold", timing_json(cold));
+      row.emplace("hit", timing_json(hit));
+      json::Object batch;
+      batch.emplace("columns", kBatchCols);
+      batch.emplace("ms_per_column", batch_total / kBatchCols);
+      batch.emplace("rounds", batch_rounds);
+      batch.emplace("speedup_vs_singles",
+                    batch_total > 0 ? singles_total / batch_total : 0.0);
+      batch.emplace("total_ms", batch_total);
+      row.emplace("batched", json::Value(std::move(batch)));
+      row.emplace("hit_matches_cold", hit_matches_cold);
+      row.emplace("hit_speedup_vs_cold",
+                  hit.mean_ms > 0 ? cold.mean_ms / hit.mean_ms : 0.0);
+      row.emplace("solve_rounds", solve_rounds);
+      sweep.push_back(json::Value(std::move(row)));
+    }
+  }
+  bench::row("%s", all_deterministic
+                       ? "determinism: all bodies byte-identical across "
+                         "cache state and thread counts"
+                       : "determinism: BODIES DIVERGED");
+
+  if (json_path != nullptr) {
+    json::Object top;
+    top.emplace("bench", "bench_serve");
+    top.emplace("schema", "lapclique-bench-v1");
+    json::Object instance;
+    instance.emplace("batch_columns", kBatchCols);
+    instance.emplace("eps", kEps);
+    instance.emplace("family", "random_connected_gnm+weights");
+    instance.emplace("m", kM);
+    instance.emplace("n", kN);
+    instance.emplace("requests", kRequests);
+    instance.emplace("seed", static_cast<std::int64_t>(kSeed));
+    top.emplace("instance", json::Value(std::move(instance)));
+    top.emplace("deterministic", all_deterministic);
+    top.emplace("sweep", json::Value(std::move(sweep)));
+    std::ofstream out(json_path);
+    out << json::Value(std::move(top)).dump_pretty() << "\n";
+  }
+  return all_deterministic ? 0 : 1;
+}

@@ -2,10 +2,12 @@
 
 #include <memory>
 #include <optional>
+#include <stdexcept>
 
 #include "ckpt/checkpoint.hpp"
 #include "euler/euler_orient.hpp"
 #include "exec/pool.hpp"
+#include "graph/connectivity.hpp"
 
 namespace lapclique {
 
@@ -53,6 +55,35 @@ solver::CliqueSolveReport solve_laplacian(const Graph& g, std::span<const double
   exec::ThreadScope scope(rt.resolved_threads());
   clique::Network net = make_network(g.num_vertices(), rt);
   return solver::solve_laplacian_clique(g, b, eps, opt, net);
+}
+
+BatchSolveReport solve_laplacian_batch(const Graph& g,
+                                       std::span<const linalg::Vec> bs,
+                                       double eps,
+                                       const solver::LaplacianSolverOptions& opt) {
+  return solve_laplacian_batch(g, bs, eps, opt, default_runtime());
+}
+
+BatchSolveReport solve_laplacian_batch(const Graph& g,
+                                       std::span<const linalg::Vec> bs,
+                                       double eps,
+                                       const solver::LaplacianSolverOptions& opt,
+                                       const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
+  if (g.num_vertices() < 2) {
+    throw std::invalid_argument("solve_laplacian_batch: n >= 2 required");
+  }
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument(
+        "solve_laplacian_batch: graph must be connected (solve components "
+        "separately)");
+  }
+  const solver::CliqueLaplacianSolver solver(g, opt, net);
+  BatchSolveReport rep;
+  rep.columns = solver.solve_block(bs, eps, &rep.stats);
+  rep.run.capture(net);
+  return rep;
 }
 
 SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt) {

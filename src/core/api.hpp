@@ -36,6 +36,18 @@ solver::CliqueSolveReport solve_laplacian(const Graph& g,
                                           const solver::LaplacianSolverOptions& opt,
                                           const Runtime& rt);
 
+/// Theorem 1.1, batched: solve L_G x = b_c for every column b_c of `bs`
+/// against one sparsifier/factorization.  Column c of the result is
+/// bit-identical to solve_laplacian(g, bs[c], eps).x.
+BatchSolveReport solve_laplacian_batch(
+    const Graph& g, std::span<const linalg::Vec> bs, double eps,
+    const solver::LaplacianSolverOptions& opt = {});
+BatchSolveReport solve_laplacian_batch(const Graph& g,
+                                       std::span<const linalg::Vec> bs,
+                                       double eps,
+                                       const solver::LaplacianSolverOptions& opt,
+                                       const Runtime& rt);
+
 /// Theorem 3.3: deterministic spectral sparsifier (known to every node).
 SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt = {});
 SparsifyReport sparsify(const Graph& g, const spectral::SparsifyOptions& opt,

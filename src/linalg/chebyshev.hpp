@@ -45,6 +45,24 @@ Vec preconditioned_chebyshev(const ApplyFn& apply_a, const ApplyFn& solve_b,
                              std::span<const double> b, const ChebyshevOptions& opt,
                              ChebyshevStats* stats = nullptr);
 
+/// Multi-RHS operator application: one call applies A (or B^{-1}) to every
+/// column, sharing the matrix pass (CsrMatrix::multiply_block,
+/// LaplacianFactor::solve_block).
+using BlockApplyFn = std::function<std::vector<Vec>(std::span<const Vec>)>;
+
+/// Batched PreconCheby over k right-hand sides.  The Chebyshev recurrence
+/// coefficients depend only on (kappa, eps) — never on the data — and the
+/// iteration count is fixed up front, so column c of the result is
+/// bit-identical to preconditioned_chebyshev(b[c]) while every iteration's
+/// matvec and preconditioner solve is one shared block pass.  Per-column
+/// ChebyshevStats land in `stats` (resized to k) when non-null; the ledger
+/// counter records the per-column iteration total, matching k scalar calls.
+std::vector<Vec> preconditioned_chebyshev_block(const BlockApplyFn& apply_a,
+                                                const BlockApplyFn& solve_b,
+                                                std::span<const Vec> b,
+                                                const ChebyshevOptions& opt,
+                                                std::vector<ChebyshevStats>* stats = nullptr);
+
 /// Theoretical iteration count for given kappa/eps (Theorem 2.2, item 2).
 int chebyshev_iteration_bound(double kappa, double eps);
 

@@ -166,6 +166,101 @@ Vec DenseLdlt::solve(std::span<const double> b) const {
   return x;
 }
 
+void DenseLdlt::solve_block_inplace(std::span<Vec> xs) const {
+  const std::size_t ncols = xs.size();
+  if (ncols == 0) return;
+  if (ncols == 1) {
+    solve_inplace(xs[0]);
+    return;
+  }
+  for (const Vec& col : xs) {
+    if (static_cast<int>(col.size()) != n_) {
+      throw std::invalid_argument("DenseLdlt::solve_block: size mismatch");
+    }
+  }
+  const auto n = static_cast<std::size_t>(n_);
+  const double* l = l_.data();
+  const double* lt = lt_.data();
+  // Column pointers so the inner loops index xv[c][i] without bounds checks.
+  std::vector<double*> xv(ncols);
+  for (std::size_t c = 0; c < ncols; ++c) xv[c] = xs[c].data();
+
+  // The schedule below is solve_inplace's blocked walk verbatim; every
+  // accumulation gains an inner loop over RHS columns, so the factor row is
+  // read once per block step while each column's reduction order (ascending
+  // k within the block walk) is unchanged from the scalar kernel.
+
+  // Forward: L y = b.
+  for (std::size_t c0 = 0; c0 < n; c0 += kSolveBlock) {
+    const std::size_t c1 = std::min(n, c0 + static_cast<std::size_t>(kSolveBlock));
+    for (std::size_t i = c0; i < c1; ++i) {
+      for (std::size_t c = 0; c < ncols; ++c) {
+        double s = xv[c][i];
+        for (std::size_t k = c0; k < i; ++k) s -= l[i * n + k] * xv[c][k];
+        xv[c][i] = s;
+      }
+    }
+    const std::int64_t tail = static_cast<std::int64_t>(n - c1);
+    const auto update = [l, &xv, ncols, n, c0, c1](std::int64_t b, std::int64_t e) {
+      for (std::int64_t t = b; t < e; ++t) {
+        const std::size_t i = c1 + static_cast<std::size_t>(t);
+        for (std::size_t c = 0; c < ncols; ++c) {
+          double s = xv[c][i];
+          for (std::size_t k = c0; k < c1; ++k) s -= l[i * n + k] * xv[c][k];
+          xv[c][i] = s;
+        }
+      }
+    };
+    if (tail * static_cast<std::int64_t>(c1 - c0) >= kParallelFlops) {
+      exec::parallel_for(tail, std::max<std::int64_t>(1, kParallelFlops / kSolveBlock),
+                         update);
+    } else {
+      update(0, tail);
+    }
+  }
+
+  // Diagonal.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < ncols; ++c) xv[c][i] /= d_[i];
+  }
+
+  // Backward: L^T x = y.
+  const std::size_t nblocks = (n + kSolveBlock - 1) / kSolveBlock;
+  for (std::size_t blk = nblocks; blk-- > 0;) {
+    const std::size_t c0 = blk * static_cast<std::size_t>(kSolveBlock);
+    const std::size_t c1 = std::min(n, c0 + static_cast<std::size_t>(kSolveBlock));
+    const std::int64_t rows = static_cast<std::int64_t>(c1 - c0);
+    const auto absorb = [lt, &xv, ncols, n, c0, c1](std::int64_t b, std::int64_t e) {
+      for (std::int64_t t = b; t < e; ++t) {
+        const std::size_t i = c0 + static_cast<std::size_t>(t);
+        for (std::size_t c = 0; c < ncols; ++c) {
+          double s = xv[c][i];
+          for (std::size_t k = c1; k < n; ++k) s -= lt[i * n + k] * xv[c][k];
+          xv[c][i] = s;
+        }
+      }
+    };
+    const std::int64_t absorb_flops = rows * static_cast<std::int64_t>(n - c1);
+    if (absorb_flops >= kParallelFlops) {
+      exec::parallel_for(
+          rows,
+          std::max<std::int64_t>(1, kParallelFlops /
+                                        std::max<std::int64_t>(1, n - c1)),
+          absorb);
+    } else {
+      absorb(0, rows);
+    }
+    for (std::size_t ii = c1; ii-- > c0;) {
+      for (std::size_t c = 0; c < ncols; ++c) {
+        double s = xv[c][ii];
+        for (std::size_t k = ii + 1; k < c1; ++k) s -= lt[ii * n + k] * xv[c][k];
+        xv[c][ii] = s;
+      }
+      if (ii == 0) break;  // size_t wrap guard when c0 == 0
+    }
+  }
+}
+
 LaplacianFactor LaplacianFactor::factor(const CsrMatrix& laplacian) {
   LaplacianFactor f;
   const int n = laplacian.size();
@@ -255,6 +350,60 @@ Vec LaplacianFactor::solve(std::span<const double> b) const {
     x[static_cast<std::size_t>(v)] -= xmean[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])];
   }
   return x;
+}
+
+std::vector<Vec> LaplacianFactor::solve_block(std::span<const Vec> b) const {
+  const std::size_t ncols = b.size();
+  std::vector<Vec> xs(ncols);
+  if (ncols == 0) return xs;
+  for (const Vec& col : b) {
+    if (static_cast<int>(col.size()) != n_) {
+      throw std::invalid_argument("LaplacianFactor::solve_block: size mismatch");
+    }
+  }
+  // Projection and normalization are per-column reductions over the same
+  // vertex order as solve(); the substitution itself is the blocked kernel.
+  for (std::size_t c = 0; c < ncols; ++c) {
+    std::vector<double> mean(static_cast<std::size_t>(num_components_), 0.0);
+    std::vector<int> count(static_cast<std::size_t>(num_components_), 0);
+    for (int v = 0; v < n_; ++v) {
+      mean[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])] +=
+          b[c][static_cast<std::size_t>(v)];
+      ++count[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])];
+    }
+    for (int cc = 0; cc < num_components_; ++cc) {
+      mean[static_cast<std::size_t>(cc)] /=
+          static_cast<double>(count[static_cast<std::size_t>(cc)]);
+    }
+    Vec rhs(b[c].begin(), b[c].end());
+    for (int v = 0; v < n_; ++v) {
+      rhs[static_cast<std::size_t>(v)] -=
+          mean[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])];
+    }
+    for (int g : grounded_) rhs[static_cast<std::size_t>(g)] = 0.0;
+    xs[c] = std::move(rhs);
+  }
+
+  ldlt_.solve_block_inplace(xs);
+
+  for (std::size_t c = 0; c < ncols; ++c) {
+    std::vector<double> xmean(static_cast<std::size_t>(num_components_), 0.0);
+    std::vector<int> count(static_cast<std::size_t>(num_components_), 0);
+    for (int v = 0; v < n_; ++v) {
+      xmean[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])] +=
+          xs[c][static_cast<std::size_t>(v)];
+      ++count[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])];
+    }
+    for (int cc = 0; cc < num_components_; ++cc) {
+      xmean[static_cast<std::size_t>(cc)] /=
+          static_cast<double>(count[static_cast<std::size_t>(cc)]);
+    }
+    for (int v = 0; v < n_; ++v) {
+      xs[c][static_cast<std::size_t>(v)] -=
+          xmean[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])];
+    }
+  }
+  return xs;
 }
 
 }  // namespace lapclique::linalg

@@ -31,6 +31,12 @@ class DenseLdlt {
   [[nodiscard]] Vec solve(std::span<const double> b) const;
   void solve_inplace(std::span<double> x) const;
 
+  /// Multi-RHS triangular solves: one walk over the factor serves every
+  /// column.  The row/block schedule is exactly solve_inplace's, with an
+  /// inner loop over columns, so each column's floating-point reduction
+  /// order — and therefore its bits — matches a standalone solve.
+  void solve_block_inplace(std::span<Vec> xs) const;
+
  private:
   int n_ = 0;
   std::vector<double> l_;   ///< unit lower triangle, row-major packed n*n
@@ -52,6 +58,11 @@ class LaplacianFactor {
 
   /// x = L^+ b.  (b is projected onto the range of L per component first.)
   [[nodiscard]] Vec solve(std::span<const double> b) const;
+
+  /// Multi-RHS pseudoinverse action: column c is bit-identical to
+  /// solve(b[c]) — projection, substitution, and normalization all run the
+  /// per-column arithmetic of the scalar path while sharing the factor walk.
+  [[nodiscard]] std::vector<Vec> solve_block(std::span<const Vec> b) const;
 
   [[nodiscard]] int num_components() const { return num_components_; }
   [[nodiscard]] std::span<const int> component_of() const { return comp_; }

@@ -69,6 +69,41 @@ void CsrMatrix::multiply_into(std::span<const double> x, std::span<double> y) co
   });
 }
 
+std::vector<Vec> CsrMatrix::multiply_block(std::span<const Vec> x) const {
+  std::vector<Vec> y(x.size(), Vec(static_cast<std::size_t>(n_), 0.0));
+  multiply_block_into(x, y);
+  return y;
+}
+
+void CsrMatrix::multiply_block_into(std::span<const Vec> x, std::span<Vec> y) const {
+  const std::size_t k = x.size();
+  if (y.size() != k) {
+    throw std::invalid_argument("CsrMatrix::multiply_block: column count mismatch");
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (static_cast<int>(x[c].size()) != n_ || static_cast<int>(y[c].size()) != n_) {
+      throw std::invalid_argument("CsrMatrix::multiply_block: size mismatch");
+    }
+  }
+  if (k == 0) return;
+  exec::parallel_for(n_, kRowGrain, [&](std::int64_t lo, std::int64_t hi) {
+    // Per row, every nonzero is read once and applied to all k columns;
+    // each column's accumulator sees the row's entries in ascending column
+    // order, exactly as multiply_into's scalar loop does.
+    std::vector<double> acc(k);
+    for (std::int64_t r = lo; r < hi; ++r) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (int e = rowptr_[static_cast<std::size_t>(r)];
+           e < rowptr_[static_cast<std::size_t>(r) + 1]; ++e) {
+        const double v = vals_[static_cast<std::size_t>(e)];
+        const auto col = static_cast<std::size_t>(colidx_[static_cast<std::size_t>(e)]);
+        for (std::size_t c = 0; c < k; ++c) acc[c] += v * x[c][col];
+      }
+      for (std::size_t c = 0; c < k; ++c) y[c][static_cast<std::size_t>(r)] = acc[c];
+    }
+  });
+}
+
 double CsrMatrix::quadratic_form(std::span<const double> x) const {
   if (static_cast<int>(x.size()) != n_) {
     throw std::invalid_argument("CsrMatrix::quadratic_form: size mismatch");

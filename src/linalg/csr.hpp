@@ -29,6 +29,14 @@ class CsrMatrix {
   [[nodiscard]] Vec multiply(std::span<const double> x) const;
   void multiply_into(std::span<const double> x, std::span<double> y) const;
 
+  /// Multi-RHS matvec: y[c] = A x[c] for every column c.  One pass over the
+  /// matrix serves all columns (the batched-serving hot path), and each
+  /// column's per-row accumulation runs in the same entry order as
+  /// multiply(), so column c of the block product is bit-identical to
+  /// multiply(x[c]) at every thread count.
+  [[nodiscard]] std::vector<Vec> multiply_block(std::span<const Vec> x) const;
+  void multiply_block_into(std::span<const Vec> x, std::span<Vec> y) const;
+
   /// x^T A x
   [[nodiscard]] double quadratic_form(std::span<const double> x) const;
 

@@ -1,0 +1,169 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+
+namespace lapclique::serve {
+
+namespace json = obs::json;
+
+const json::Value* find_field(const json::Value& obj, const std::string& key) {
+  if (obj.kind() != json::Value::Kind::kObject) {
+    throw RequestError("bad_request", "request must be a JSON object");
+  }
+  const auto& members = obj.as_object();
+  const auto it = members.find(key);
+  return it == members.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+const json::Value& require_field(const json::Value& obj, const std::string& key) {
+  const json::Value* v = find_field(obj, key);
+  if (v == nullptr) {
+    throw RequestError("bad_request", "missing required field \"" + key + "\"");
+  }
+  return *v;
+}
+
+double number_of(const json::Value& v, const std::string& key) {
+  if (v.kind() == json::Value::Kind::kInt) {
+    return static_cast<double>(v.as_int());
+  }
+  if (v.kind() == json::Value::Kind::kDouble) return v.as_double();
+  throw RequestError("bad_request", "field \"" + key + "\" must be a number");
+}
+
+}  // namespace
+
+std::string require_string(const json::Value& obj, const std::string& key) {
+  const json::Value& v = require_field(obj, key);
+  if (v.kind() != json::Value::Kind::kString) {
+    throw RequestError("bad_request", "field \"" + key + "\" must be a string");
+  }
+  return v.as_string();
+}
+
+std::int64_t require_int(const json::Value& obj, const std::string& key) {
+  const json::Value& v = require_field(obj, key);
+  if (v.kind() != json::Value::Kind::kInt) {
+    throw RequestError("bad_request", "field \"" + key + "\" must be an integer");
+  }
+  return v.as_int();
+}
+
+double require_number(const json::Value& obj, const std::string& key) {
+  return number_of(require_field(obj, key), key);
+}
+
+std::vector<double> require_number_array(const json::Value& obj,
+                                         const std::string& key) {
+  const json::Value& v = require_field(obj, key);
+  if (v.kind() != json::Value::Kind::kArray) {
+    throw RequestError("bad_request", "field \"" + key + "\" must be an array");
+  }
+  std::vector<double> out;
+  out.reserve(v.as_array().size());
+  for (const json::Value& e : v.as_array()) out.push_back(number_of(e, key));
+  return out;
+}
+
+std::optional<std::int64_t> optional_int(const json::Value& obj,
+                                         const std::string& key) {
+  const json::Value* v = find_field(obj, key);
+  if (v == nullptr) return std::nullopt;
+  if (v->kind() != json::Value::Kind::kInt) {
+    throw RequestError("bad_request", "field \"" + key + "\" must be an integer");
+  }
+  return v->as_int();
+}
+
+std::optional<double> optional_number(const json::Value& obj,
+                                      const std::string& key) {
+  const json::Value* v = find_field(obj, key);
+  if (v == nullptr) return std::nullopt;
+  return number_of(*v, key);
+}
+
+std::optional<std::string> optional_string(const json::Value& obj,
+                                           const std::string& key) {
+  const json::Value* v = find_field(obj, key);
+  if (v == nullptr) return std::nullopt;
+  if (v->kind() != json::Value::Kind::kString) {
+    throw RequestError("bad_request", "field \"" + key + "\" must be a string");
+  }
+  return v->as_string();
+}
+
+json::Value vec_to_json(std::span<const double> v) {
+  json::Array arr;
+  arr.reserve(v.size());
+  for (const double x : v) arr.emplace_back(x);
+  return {std::move(arr)};
+}
+
+json::Value int_vec_to_json(std::span<const std::int64_t> v) {
+  json::Array arr;
+  arr.reserve(v.size());
+  for (const std::int64_t x : v) arr.emplace_back(x);
+  return {std::move(arr)};
+}
+
+json::Value run_to_json(const RunInfo& run) {
+  json::Object phases;
+  for (const auto& [phase, rounds] : run.phases.rounds_by_phase) {
+    phases.emplace(phase, rounds);
+  }
+  json::Object o;
+  o.emplace("rounds", run.rounds);
+  o.emplace("words", run.words);
+  o.emplace("phases", json::Value(std::move(phases)));
+  o.emplace("used_fallback", run.used_fallback);
+  o.emplace("fallback_reason", run.fallback_reason);
+  return {std::move(o)};
+}
+
+std::string hash_to_string(std::uint64_t hash) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string ok_response(const json::Value& id, const std::string& op,
+                        json::Object extra) {
+  json::Object o = std::move(extra);
+  o.insert_or_assign("id", id);
+  o.insert_or_assign("ok", json::Value(true));
+  o.insert_or_assign("op", json::Value(op));
+  return json::Value(std::move(o)).dump();
+}
+
+std::string error_response(const json::Value& id, const std::string& code,
+                           const std::string& message, std::int64_t offset) {
+  json::Object err;
+  err.emplace("code", code);
+  err.emplace("message", message);
+  if (offset >= 0) err.emplace("offset", offset);
+  json::Object o;
+  o.emplace("id", id);
+  o.emplace("ok", false);
+  o.emplace("error", json::Value(std::move(err)));
+  return json::Value(std::move(o)).dump();
+}
+
+std::int64_t parse_error_offset(const std::string& what) {
+  const std::string marker = "at offset ";
+  const std::size_t pos = what.find(marker);
+  if (pos == std::string::npos) return -1;
+  std::size_t i = pos + marker.size();
+  std::int64_t offset = 0;
+  bool any = false;
+  while (i < what.size() && what[i] >= '0' && what[i] <= '9') {
+    offset = offset * 10 + (what[i] - '0');
+    ++i;
+    any = true;
+  }
+  return any ? offset : -1;
+}
+
+}  // namespace lapclique::serve

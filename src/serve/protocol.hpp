@@ -1,0 +1,97 @@
+// Wire protocol of lapclique_serve: line-delimited JSON requests/responses.
+//
+// Request:  one JSON object per line, {"op": "...", "id": <any scalar>, ...}.
+// Response: one JSON object per line.
+//   success: {"id":..., "ok":true, "op":..., "result":{...}, "run":{...},
+//             "artifact":{...}}   (run/artifact present on compute ops)
+//   failure: {"id":..., "ok":false, "error":{"code":..., "message":...,
+//             "offset":N}}       (offset only for located parse errors)
+//
+// Serialization is obs::json::dump(): sorted object keys, %.17g doubles —
+// byte-deterministic, which is what the serve determinism suite compares.
+// Full protocol documentation: docs/SERVING.md.
+//
+// This header holds the request-side validation helpers (typed field
+// accessors that throw RequestError with a stable error code) and the
+// response builders shared by the Server and the tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cliquesim/run_info.hpp"
+#include "obs/json.hpp"
+
+namespace lapclique::serve {
+
+/// A request-level failure with a stable machine-readable code:
+///   "parse"         malformed JSON (offset = byte offset when known)
+///   "limit"         request line exceeds the configured byte limit
+///   "bad_request"   well-formed JSON that violates the op's schema
+///   "unknown_op"    unrecognized "op"
+///   "unknown_graph" graph name not in the registry
+///   "internal"      unexpected failure inside an algorithm
+class RequestError : public std::runtime_error {
+ public:
+  RequestError(std::string code, const std::string& message,
+               std::int64_t offset = -1)
+      : std::runtime_error(message), code_(std::move(code)), offset_(offset) {}
+
+  [[nodiscard]] const std::string& code() const { return code_; }
+  [[nodiscard]] std::int64_t offset() const { return offset_; }
+
+ private:
+  std::string code_;
+  std::int64_t offset_;
+};
+
+// --- typed field access (throws RequestError{"bad_request"}) --------------
+
+/// Pointer to obj[key], or nullptr when absent (obj must be an object).
+[[nodiscard]] const obs::json::Value* find_field(const obs::json::Value& obj,
+                                                 const std::string& key);
+
+[[nodiscard]] std::string require_string(const obs::json::Value& obj,
+                                         const std::string& key);
+[[nodiscard]] std::int64_t require_int(const obs::json::Value& obj,
+                                       const std::string& key);
+/// Accepts either a JSON int or double.
+[[nodiscard]] double require_number(const obs::json::Value& obj,
+                                    const std::string& key);
+[[nodiscard]] std::vector<double> require_number_array(const obs::json::Value& obj,
+                                                       const std::string& key);
+
+[[nodiscard]] std::optional<std::int64_t> optional_int(const obs::json::Value& obj,
+                                                       const std::string& key);
+[[nodiscard]] std::optional<double> optional_number(const obs::json::Value& obj,
+                                                    const std::string& key);
+[[nodiscard]] std::optional<std::string> optional_string(
+    const obs::json::Value& obj, const std::string& key);
+
+// --- response assembly ----------------------------------------------------
+
+[[nodiscard]] obs::json::Value vec_to_json(std::span<const double> v);
+[[nodiscard]] obs::json::Value int_vec_to_json(std::span<const std::int64_t> v);
+[[nodiscard]] obs::json::Value run_to_json(const RunInfo& run);
+/// "0x"-prefixed 16-digit hex; 64-bit hashes overflow the json int.
+[[nodiscard]] std::string hash_to_string(std::uint64_t hash);
+
+/// {"id":id, "ok":true, "op":op, <extra members>} serialized compactly.
+[[nodiscard]] std::string ok_response(const obs::json::Value& id,
+                                      const std::string& op,
+                                      obs::json::Object extra);
+/// {"id":id-or-null, "ok":false, "error":{...}} serialized compactly.
+[[nodiscard]] std::string error_response(const obs::json::Value& id,
+                                         const std::string& code,
+                                         const std::string& message,
+                                         std::int64_t offset = -1);
+
+/// Byte offset parsed from an obs::json parse-error message
+/// ("json parse error at offset N: ..."), or -1.
+[[nodiscard]] std::int64_t parse_error_offset(const std::string& what);
+
+}  // namespace lapclique::serve

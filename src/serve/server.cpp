@@ -1,0 +1,586 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "ckpt/checkpoint.hpp"
+#include "exec/pool.hpp"
+#include "flow/maxflow_ipm.hpp"
+#include "flow/mincost_ipm.hpp"
+#include "graph/connectivity.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace lapclique::serve {
+
+namespace json = obs::json;
+
+namespace {
+
+/// Registry sanity cap: a request must not allocate per-vertex state for an
+/// absurd n before any edge data backs it up.
+constexpr std::int64_t kMaxVertices = 1000000;
+
+int checked_vertex(std::int64_t v, int n, const char* what) {
+  if (v < 0 || v >= n) {
+    throw RequestError("bad_request", std::string(what) + " out of range [0, " +
+                                          std::to_string(n) + ")");
+  }
+  return static_cast<int>(v);
+}
+
+json::Value stats_to_json(const solver::LaplacianSolveStats& st) {
+  json::Object o;
+  o.emplace("chebyshev_iterations", st.chebyshev_iterations);
+  o.emplace("exact_fallback", st.exact_fallback);
+  o.emplace("kappa", st.kappa);
+  o.emplace("relative_residual", st.relative_residual);
+  o.emplace("restarts", st.restarts);
+  o.emplace("sparsifier_edges", st.sparsifier_edges);
+  return {std::move(o)};
+}
+
+/// The artifact block is a deterministic function of the cache key, echoed
+/// identically whether this request built the artifact or an earlier one
+/// did — the load-bearing piece of the hit==cold response-byte contract.
+json::Value artifact_to_json(const Artifact& artifact, std::uint64_t hash,
+                             double eps, clique::RoutingMode mode) {
+  json::Object o;
+  o.emplace("construction", run_to_json(artifact.construction));
+  o.emplace("eps", eps);
+  o.emplace("graph", hash_to_string(hash));
+  o.emplace("routing", clique::to_string(mode));
+  return {std::move(o)};
+}
+
+clique::RoutingMode parse_routing(const json::Value& req) {
+  // Deliberately NOT defaulted from LAPCLIQUE_ROUTING: a server's responses
+  // must not depend on its environment.
+  const std::optional<std::string> name = optional_string(req, "routing");
+  if (!name.has_value()) return clique::RoutingMode::kCharged;
+  const std::optional<clique::RoutingMode> mode =
+      clique::routing_mode_from_string(*name);
+  if (!mode.has_value()) {
+    throw RequestError("bad_request", "unknown routing mode \"" + *name +
+                                          "\" (charged | executed | broadcast)");
+  }
+  return *mode;
+}
+
+double parse_eps(const json::Value& req) {
+  const double eps = require_number(req, "eps");
+  if (!(eps > 0 && eps <= 0.5)) {
+    throw RequestError("bad_request", "eps must be in (0, 1/2]");
+  }
+  return eps;
+}
+
+int parse_threads(const json::Value& req) {
+  const std::optional<std::int64_t> threads = optional_int(req, "threads");
+  if (!threads.has_value()) return exec::threads();
+  if (*threads < 1 || *threads > 4096) {
+    throw RequestError("bad_request", "threads must be in [1, 4096]");
+  }
+  return static_cast<int>(*threads);
+}
+
+void fill_telemetry(RequestTelemetry* telemetry, const obs::RoundLedger& ledger) {
+  if (telemetry == nullptr) return;
+  static constexpr const char* kPhases[] = {
+      "solver/sparsify", "solver/gather_sparsifier", "solver/range_estimation",
+      "solver/chebyshev", "solver/fallback"};
+  for (const char* phase : kPhases) {
+    telemetry->ledger_rounds[phase] = ledger.rounds_in(phase);
+  }
+  telemetry->construction_rounds =
+      telemetry->ledger_rounds["solver/sparsify"] +
+      telemetry->ledger_rounds["solver/gather_sparsifier"] +
+      telemetry->ledger_rounds["solver/range_estimation"];
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opt)
+    : opt_(opt), cache_(opt.cache_capacity) {}
+
+std::shared_ptr<const Server::Slot> Server::find_graph(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(graphs_mu_);
+  const auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    throw RequestError("unknown_graph", "no graph named \"" + name + "\"");
+  }
+  return it->second;
+}
+
+std::string Server::handle(const std::string& line, RequestTelemetry* telemetry) {
+  if (telemetry != nullptr) *telemetry = {};
+  json::Value id;  // null until the request yields one
+  try {
+    if (line.size() > opt_.max_request_bytes) {
+      throw RequestError("limit",
+                         "request of " + std::to_string(line.size()) +
+                             " bytes exceeds the limit of " +
+                             std::to_string(opt_.max_request_bytes) + " bytes");
+    }
+    json::Value req;
+    try {
+      req = json::parse(line);
+    } catch (const std::invalid_argument& e) {
+      throw RequestError("parse", e.what(), parse_error_offset(e.what()));
+    }
+    if (req.kind() != json::Value::Kind::kObject) {
+      throw RequestError("bad_request", "request must be a JSON object");
+    }
+    if (const json::Value* idf = find_field(req, "id")) id = *idf;
+    const std::string op = require_string(req, "op");
+    return dispatch(req, id, op, telemetry);
+  } catch (const RequestError& e) {
+    return error_response(id, e.code(), e.what(), e.offset());
+  } catch (const std::invalid_argument& e) {
+    // Validation inside an algorithm layer (graph construction, solver
+    // preconditions) — a client error, reported as such.
+    return error_response(id, "bad_request", e.what());
+  } catch (const std::exception& e) {
+    return error_response(id, "internal", e.what());
+  }
+}
+
+std::string Server::dispatch(const json::Value& req, const json::Value& id,
+                             const std::string& op,
+                             RequestTelemetry* telemetry) {
+  if (op == "graph.load") return handle_graph_load(req, id);
+  if (op == "graph.drop") return handle_graph_drop(req, id);
+  if (op == "solve") return handle_solve(req, id, /*batch=*/false, telemetry);
+  if (op == "solve_batch") return handle_solve(req, id, /*batch=*/true, telemetry);
+  if (op == "resistance") return handle_resistance(req, id, telemetry);
+  if (op == "flow.max") return handle_flow_max(req, id);
+  if (op == "flow.mincost") return handle_flow_mincost(req, id);
+  if (op == "cache.stats") return handle_cache_stats(id);
+  if (op == "cache.clear") return handle_cache_clear(id);
+  if (op == "shutdown") {
+    shutdown_.store(true, std::memory_order_relaxed);
+    json::Object result;
+    result.emplace("stopping", true);
+    json::Object extra;
+    extra.emplace("result", json::Value(std::move(result)));
+    return ok_response(id, op, std::move(extra));
+  }
+  throw RequestError("unknown_op", "unknown op \"" + op + "\"");
+}
+
+std::string Server::handle_graph_load(const json::Value& req,
+                                      const json::Value& id) {
+  const std::string name = require_string(req, "name");
+  if (name.empty()) {
+    throw RequestError("bad_request", "graph name must be non-empty");
+  }
+  const json::Value* edges = find_field(req, "edges");
+  const json::Value* arcs = find_field(req, "arcs");
+  if ((edges == nullptr) == (arcs == nullptr)) {
+    throw RequestError("bad_request",
+                       "exactly one of \"edges\" (undirected) or \"arcs\" "
+                       "(directed) is required");
+  }
+  const json::Value& rows_v = edges != nullptr ? *edges : *arcs;
+  if (rows_v.kind() != json::Value::Kind::kArray) {
+    throw RequestError("bad_request", "edge list must be an array of arrays");
+  }
+  const json::Array& rows = rows_v.as_array();
+
+  // Determine n: explicit field, else max endpoint + 1.
+  std::int64_t n = 0;
+  for (const json::Value& row_v : rows) {
+    if (row_v.kind() != json::Value::Kind::kArray) {
+      throw RequestError("bad_request", "edge list must be an array of arrays");
+    }
+    const json::Array& row = row_v.as_array();
+    for (std::size_t i = 0; i < std::min<std::size_t>(row.size(), 2); ++i) {
+      if (row[i].kind() != json::Value::Kind::kInt) {
+        throw RequestError("bad_request", "edge endpoints must be integers");
+      }
+      n = std::max(n, row[i].as_int() + 1);
+    }
+  }
+  if (const std::optional<std::int64_t> explicit_n = optional_int(req, "n")) {
+    if (*explicit_n < n) {
+      throw RequestError("bad_request",
+                         "\"n\" is smaller than the largest endpoint + 1");
+    }
+    n = *explicit_n;
+  }
+  if (n < 1 || n > kMaxVertices) {
+    throw RequestError("bad_request", "vertex count must be in [1, " +
+                                          std::to_string(kMaxVertices) + "]");
+  }
+
+  // Build the whole slot before touching the registry: a failed load leaves
+  // prior state untouched (all-or-nothing).
+  auto slot = std::make_shared<Slot>();
+  slot->directed = arcs != nullptr;
+  const int nn = static_cast<int>(n);
+  if (slot->directed) {
+    slot->dg = graph::Digraph(nn);
+    for (const json::Value& row_v : rows) {
+      const json::Array& row = row_v.as_array();
+      if (row.size() < 2 || row.size() > 4) {
+        throw RequestError("bad_request",
+                           "each arc must be [from, to], [from, to, cap], or "
+                           "[from, to, cap, cost]");
+      }
+      const int from = checked_vertex(row[0].as_int(), nn, "arc endpoint");
+      const int to = checked_vertex(row[1].as_int(), nn, "arc endpoint");
+      std::int64_t cap = 1;
+      std::int64_t cost = 0;
+      if (row.size() >= 3) {
+        if (row[2].kind() != json::Value::Kind::kInt) {
+          throw RequestError("bad_request", "arc capacity must be an integer");
+        }
+        cap = row[2].as_int();
+      }
+      if (row.size() == 4) {
+        if (row[3].kind() != json::Value::Kind::kInt) {
+          throw RequestError("bad_request", "arc cost must be an integer");
+        }
+        cost = row[3].as_int();
+      }
+      if (cap < 0) throw RequestError("bad_request", "arc capacity must be >= 0");
+      slot->dg.add_arc(from, to, cap, cost);
+    }
+    slot->hash = ckpt::graph_hash(slot->dg);
+  } else {
+    slot->g = graph::Graph(nn);
+    for (const json::Value& row_v : rows) {
+      const json::Array& row = row_v.as_array();
+      if (row.size() < 2 || row.size() > 3) {
+        throw RequestError("bad_request",
+                           "each edge must be [u, v] or [u, v, w]");
+      }
+      const int u = checked_vertex(row[0].as_int(), nn, "edge endpoint");
+      const int v = checked_vertex(row[1].as_int(), nn, "edge endpoint");
+      if (u == v) throw RequestError("bad_request", "self-loops are rejected");
+      double w = 1.0;
+      if (row.size() == 3) {
+        if (row[2].kind() == json::Value::Kind::kInt) {
+          w = static_cast<double>(row[2].as_int());
+        } else if (row[2].kind() == json::Value::Kind::kDouble) {
+          w = row[2].as_double();
+        } else {
+          throw RequestError("bad_request", "edge weight must be a number");
+        }
+      }
+      if (!(w > 0) || !std::isfinite(w)) {
+        throw RequestError("bad_request", "edge weights must be finite and > 0");
+      }
+      slot->g.add_edge(u, v, w);
+    }
+    slot->hash = ckpt::graph_hash(slot->g);
+  }
+
+  json::Object result;
+  result.emplace("directed", slot->directed);
+  result.emplace("hash", hash_to_string(slot->hash));
+  result.emplace("m", slot->directed ? slot->dg.num_arcs() : slot->g.num_edges());
+  result.emplace("n", nn);
+  result.emplace("name", name);
+  {
+    const std::lock_guard<std::mutex> lock(graphs_mu_);
+    graphs_[name] = std::move(slot);
+  }
+  json::Object extra;
+  extra.emplace("result", json::Value(std::move(result)));
+  return ok_response(id, "graph.load", std::move(extra));
+}
+
+std::string Server::handle_graph_drop(const json::Value& req,
+                                      const json::Value& id) {
+  const std::string name = require_string(req, "name");
+  {
+    const std::lock_guard<std::mutex> lock(graphs_mu_);
+    if (graphs_.erase(name) == 0) {
+      throw RequestError("unknown_graph", "no graph named \"" + name + "\"");
+    }
+  }
+  json::Object result;
+  result.emplace("dropped", name);
+  json::Object extra;
+  extra.emplace("result", json::Value(std::move(result)));
+  return ok_response(id, "graph.drop", std::move(extra));
+}
+
+std::string Server::handle_solve(const json::Value& req, const json::Value& id,
+                                 bool batch, RequestTelemetry* telemetry) {
+  const std::shared_ptr<const Slot> slot = find_graph(require_string(req, "graph"));
+  if (slot->directed) {
+    throw RequestError("bad_request", "solve requires an undirected graph");
+  }
+  const double eps = parse_eps(req);
+  const clique::RoutingMode mode = parse_routing(req);
+  const int n = slot->g.num_vertices();
+  if (n < 2) throw RequestError("bad_request", "solve requires n >= 2");
+  if (!graph::is_connected(slot->g)) {
+    throw RequestError("bad_request",
+                       "graph must be connected (solve components separately)");
+  }
+
+  std::vector<linalg::Vec> bs;
+  if (batch) {
+    const json::Value* rhs = find_field(req, "rhs");
+    if (rhs == nullptr || rhs->kind() != json::Value::Kind::kArray) {
+      throw RequestError("bad_request",
+                         "field \"rhs\" must be an array of vectors");
+    }
+    bs.reserve(rhs->as_array().size());
+    for (const json::Value& col : rhs->as_array()) {
+      if (col.kind() != json::Value::Kind::kArray) {
+        throw RequestError("bad_request",
+                           "field \"rhs\" must be an array of vectors");
+      }
+      linalg::Vec b;
+      b.reserve(col.as_array().size());
+      for (const json::Value& e : col.as_array()) {
+        if (e.kind() == json::Value::Kind::kInt) {
+          b.push_back(static_cast<double>(e.as_int()));
+        } else if (e.kind() == json::Value::Kind::kDouble) {
+          b.push_back(e.as_double());
+        } else {
+          throw RequestError("bad_request", "rhs entries must be numbers");
+        }
+      }
+      if (static_cast<int>(b.size()) != n) {
+        throw RequestError("bad_request", "every rhs vector must have n = " +
+                                              std::to_string(n) + " entries");
+      }
+      bs.push_back(std::move(b));
+    }
+  } else {
+    std::vector<double> b = require_number_array(req, "b");
+    if (static_cast<int>(b.size()) != n) {
+      throw RequestError("bad_request",
+                         "\"b\" must have n = " + std::to_string(n) + " entries");
+    }
+    bs.push_back(std::move(b));
+  }
+
+  const exec::ThreadScope scope(parse_threads(req));
+  obs::RoundLedger ledger;
+  const ArtifactCache::Acquired acq =
+      cache_.acquire(slot->g, slot->hash, eps, mode, opt_.solver, &ledger);
+  if (telemetry != nullptr) {
+    telemetry->cache_lookup = true;
+    telemetry->cache_hit = acq.hit;
+  }
+
+  clique::Network net(std::max(n, 2));
+  net.set_routing_mode(mode);
+  net.set_tracer(&ledger);
+
+  json::Object result;
+  if (batch) {
+    std::vector<solver::LaplacianSolveStats> stats;
+    const std::vector<linalg::Vec> columns =
+        acq.artifact->solver->solve_block(bs, eps, &stats, &net);
+    json::Array cols_json;
+    cols_json.reserve(columns.size());
+    for (const linalg::Vec& col : columns) cols_json.push_back(vec_to_json(col));
+    json::Array stats_json;
+    stats_json.reserve(stats.size());
+    for (const solver::LaplacianSolveStats& st : stats) {
+      stats_json.push_back(stats_to_json(st));
+    }
+    result.emplace("columns", json::Value(std::move(cols_json)));
+    result.emplace("stats", json::Value(std::move(stats_json)));
+  } else {
+    solver::LaplacianSolveStats st;
+    const linalg::Vec x = acq.artifact->solver->solve(bs[0], eps, &st, &net);
+    result.emplace("x", vec_to_json(x));
+    result.emplace("stats", stats_to_json(st));
+  }
+  RunInfo run;
+  run.capture(net);
+  fill_telemetry(telemetry, ledger);
+
+  json::Object extra;
+  extra.emplace("artifact", artifact_to_json(*acq.artifact, slot->hash, eps, mode));
+  extra.emplace("result", json::Value(std::move(result)));
+  extra.emplace("run", run_to_json(run));
+  return ok_response(id, batch ? "solve_batch" : "solve", std::move(extra));
+}
+
+std::string Server::handle_resistance(const json::Value& req,
+                                      const json::Value& id,
+                                      RequestTelemetry* telemetry) {
+  const std::shared_ptr<const Slot> slot = find_graph(require_string(req, "graph"));
+  if (slot->directed) {
+    throw RequestError("bad_request", "resistance requires an undirected graph");
+  }
+  const double eps = parse_eps(req);
+  const clique::RoutingMode mode = parse_routing(req);
+  const int n = slot->g.num_vertices();
+  if (n < 2) throw RequestError("bad_request", "resistance requires n >= 2");
+  if (!graph::is_connected(slot->g)) {
+    throw RequestError("bad_request", "graph must be connected");
+  }
+  const int u = checked_vertex(require_int(req, "u"), n, "vertex u");
+  const int v = checked_vertex(require_int(req, "v"), n, "vertex v");
+  if (u == v) throw RequestError("bad_request", "u and v must differ");
+
+  const exec::ThreadScope scope(parse_threads(req));
+  obs::RoundLedger ledger;
+  const ArtifactCache::Acquired acq =
+      cache_.acquire(slot->g, slot->hash, eps, mode, opt_.solver, &ledger);
+  if (telemetry != nullptr) {
+    telemetry->cache_lookup = true;
+    telemetry->cache_hit = acq.hit;
+  }
+
+  clique::Network net(std::max(n, 2));
+  net.set_routing_mode(mode);
+  net.set_tracer(&ledger);
+
+  linalg::Vec chi(static_cast<std::size_t>(n), 0.0);
+  chi[static_cast<std::size_t>(u)] = 1.0;
+  chi[static_cast<std::size_t>(v)] = -1.0;
+  solver::LaplacianSolveStats st;
+  const linalg::Vec x = acq.artifact->solver->solve(chi, eps, &st, &net);
+  RunInfo run;
+  run.capture(net);
+  run.rounds += 1;  // + one broadcast of the two potentials
+  fill_telemetry(telemetry, ledger);
+
+  json::Object result;
+  result.emplace("resistance", linalg::dot(chi, x));
+  result.emplace("stats", stats_to_json(st));
+  json::Object extra;
+  extra.emplace("artifact", artifact_to_json(*acq.artifact, slot->hash, eps, mode));
+  extra.emplace("result", json::Value(std::move(result)));
+  extra.emplace("run", run_to_json(run));
+  return ok_response(id, "resistance", std::move(extra));
+}
+
+std::string Server::handle_flow_max(const json::Value& req,
+                                    const json::Value& id) {
+  const std::shared_ptr<const Slot> slot = find_graph(require_string(req, "graph"));
+  if (!slot->directed) {
+    throw RequestError("bad_request", "flow.max requires a directed graph");
+  }
+  const int n = slot->dg.num_vertices();
+  const int s = checked_vertex(require_int(req, "s"), n, "vertex s");
+  const int t = checked_vertex(require_int(req, "t"), n, "vertex t");
+  if (s == t) throw RequestError("bad_request", "s and t must differ");
+  const clique::RoutingMode mode = parse_routing(req);
+
+  flow::MaxFlowIpmOptions fopt;
+  if (const std::optional<double> v = optional_number(req, "iteration_scale")) {
+    fopt.iteration_scale = *v;
+  }
+  if (const std::optional<std::int64_t> v = optional_int(req, "max_iterations")) {
+    fopt.max_iterations = *v;
+  }
+  if (const std::optional<std::int64_t> v = optional_int(req, "known_value")) {
+    fopt.known_value = *v;
+  }
+
+  const exec::ThreadScope scope(parse_threads(req));
+  clique::Network net(std::max(n, 2));
+  net.set_routing_mode(mode);
+  const flow::MaxFlowIpmReport rep = flow::max_flow_clique(slot->dg, s, t, net, fopt);
+
+  json::Object result;
+  result.emplace("finishing_augmenting_paths", rep.finishing_augmenting_paths);
+  result.emplace("flow", int_vec_to_json(rep.flow));
+  result.emplace("ipm_iterations", rep.ipm_iterations);
+  result.emplace("laplacian_solves", rep.laplacian_solves);
+  result.emplace("value", rep.value);
+  json::Object extra;
+  extra.emplace("result", json::Value(std::move(result)));
+  extra.emplace("run", run_to_json(rep.run));
+  return ok_response(id, "flow.max", std::move(extra));
+}
+
+std::string Server::handle_flow_mincost(const json::Value& req,
+                                        const json::Value& id) {
+  const std::shared_ptr<const Slot> slot = find_graph(require_string(req, "graph"));
+  if (!slot->directed) {
+    throw RequestError("bad_request", "flow.mincost requires a directed graph");
+  }
+  const int n = slot->dg.num_vertices();
+  const json::Value* sigma_v = find_field(req, "sigma");
+  if (sigma_v == nullptr || sigma_v->kind() != json::Value::Kind::kArray) {
+    throw RequestError("bad_request",
+                       "field \"sigma\" must be an array of integers");
+  }
+  std::vector<std::int64_t> sigma;
+  sigma.reserve(sigma_v->as_array().size());
+  for (const json::Value& e : sigma_v->as_array()) {
+    if (e.kind() != json::Value::Kind::kInt) {
+      throw RequestError("bad_request", "sigma entries must be integers");
+    }
+    sigma.push_back(e.as_int());
+  }
+  if (static_cast<int>(sigma.size()) != n) {
+    throw RequestError("bad_request",
+                       "\"sigma\" must have n = " + std::to_string(n) + " entries");
+  }
+  const clique::RoutingMode mode = parse_routing(req);
+
+  flow::MinCostIpmOptions fopt;
+  if (const std::optional<double> v = optional_number(req, "iteration_scale")) {
+    fopt.iteration_scale = *v;
+  }
+  if (const std::optional<std::int64_t> v = optional_int(req, "max_iterations")) {
+    fopt.max_iterations = *v;
+  }
+
+  const exec::ThreadScope scope(parse_threads(req));
+  clique::Network net(std::max(n, 2));
+  net.set_routing_mode(mode);
+  const flow::MinCostIpmReport rep =
+      flow::min_cost_flow_clique(slot->dg, sigma, net, fopt);
+
+  json::Object result;
+  result.emplace("cost", rep.cost);
+  result.emplace("feasible", rep.feasible);
+  result.emplace("flow", int_vec_to_json(rep.flow));
+  json::Object extra;
+  extra.emplace("result", json::Value(std::move(result)));
+  extra.emplace("run", run_to_json(rep.run));
+  return ok_response(id, "flow.mincost", std::move(extra));
+}
+
+std::string Server::handle_cache_stats(const json::Value& id) {
+  const CacheStats s = cache_.stats();
+  json::Object result;
+  result.emplace("capacity", static_cast<std::int64_t>(s.capacity));
+  result.emplace("evictions", s.evictions);
+  result.emplace("hits", s.hits);
+  result.emplace("misses", s.misses);
+  result.emplace("size", static_cast<std::int64_t>(s.size));
+  json::Object extra;
+  extra.emplace("result", json::Value(std::move(result)));
+  return ok_response(id, "cache.stats", std::move(extra));
+}
+
+std::string Server::handle_cache_clear(const json::Value& id) {
+  cache_.clear();
+  json::Object result;
+  result.emplace("cleared", true);
+  json::Object extra;
+  extra.emplace("result", json::Value(std::move(result)));
+  return ok_response(id, "cache.clear", std::move(extra));
+}
+
+int Server::serve(std::istream& in, std::ostream& out) {
+  int handled = 0;
+  std::string line;
+  while (!shutdown_requested() && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle(line) << '\n' << std::flush;
+    ++handled;
+  }
+  return handled;
+}
+
+}  // namespace lapclique::serve

@@ -1,0 +1,117 @@
+// lapclique_serve — solver-as-a-service on the deterministic runtime.
+//
+// A Server holds parsed graphs resident in a name registry and answers
+// solve / solve_batch / resistance / flow requests from a deterministic
+// ArtifactCache (serve/artifact_cache.hpp), so repeat-topology requests skip
+// sparsifier/factorization construction entirely.  Protocol (line-delimited
+// JSON) and determinism contract: docs/SERVING.md.
+//
+// Determinism contract enforced here:
+//   * Response bodies are byte-identical for the same request regardless of
+//     request interleaving, server thread count, cache hits/misses, and
+//     evictions.  The "run" block captures only the request's own solve
+//     network; construction accounting is the cached artifact's property and
+//     is echoed identically whether this request built it or not.
+//   * Each request runs on its own Network and its own RoundLedger, so
+//     concurrent handle() calls never share mutable accounting state.
+//
+// handle() is safe to call from multiple threads (the registry and cache
+// are internally locked); serve() is the single-threaded stdin/stdout loop
+// used by tools/lapclique_serve.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "obs/json.hpp"
+#include "serve/artifact_cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace lapclique::serve {
+
+struct ServerOptions {
+  /// ArtifactCache capacity in artifacts (LRU beyond this).
+  std::size_t cache_capacity = 16;
+  /// Hard cap on one request line; longer lines get a "limit" error without
+  /// being parsed.
+  std::size_t max_request_bytes = 4u << 20u;
+  /// Solver options shared by every cached artifact (part of no cache key:
+  /// a server runs one configuration).
+  solver::LaplacianSolverOptions solver;
+};
+
+/// Out-of-band per-request observability for tests and benches: never enters
+/// the response body (which must be cache-state independent).
+struct RequestTelemetry {
+  /// The op consulted the ArtifactCache (solve / solve_batch / resistance).
+  bool cache_lookup = false;
+  bool cache_hit = false;
+  /// Rounds the request's private ledger recorded per phase.  On a cache
+  /// miss the construction phases ("solver/sparsify",
+  /// "solver/gather_sparsifier", "solver/range_estimation") are non-zero;
+  /// on a hit they are exactly zero — the skip-construction proof.
+  std::map<std::string, std::int64_t> ledger_rounds;
+  /// Sum of the three construction phases above.
+  std::int64_t construction_rounds = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt = {});
+
+  /// Handle one request line, returning the response line (no trailing
+  /// newline).  Never throws and never crashes on malformed input: every
+  /// failure becomes an error response, and a failed request leaves the
+  /// graph registry and artifact cache exactly as they were.
+  [[nodiscard]] std::string handle(const std::string& line,
+                                   RequestTelemetry* telemetry = nullptr);
+
+  /// Line loop: read requests from `in`, write one response line per
+  /// request (flushed), stop at EOF or after a "shutdown" op.  Blank lines
+  /// are skipped.  Returns the number of requests handled.
+  int serve(std::istream& in, std::ostream& out);
+
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One resident graph: undirected (solve/resistance) or directed (flow).
+  struct Slot {
+    bool directed = false;
+    graph::Graph g;
+    graph::Digraph dg;
+    std::uint64_t hash = 0;
+  };
+
+  [[nodiscard]] std::shared_ptr<const Slot> find_graph(const std::string& name) const;
+
+  std::string dispatch(const obs::json::Value& request, const obs::json::Value& id,
+                       const std::string& op, RequestTelemetry* telemetry);
+  std::string handle_graph_load(const obs::json::Value& req, const obs::json::Value& id);
+  std::string handle_graph_drop(const obs::json::Value& req, const obs::json::Value& id);
+  std::string handle_solve(const obs::json::Value& req, const obs::json::Value& id,
+                           bool batch, RequestTelemetry* telemetry);
+  std::string handle_resistance(const obs::json::Value& req, const obs::json::Value& id,
+                                RequestTelemetry* telemetry);
+  std::string handle_flow_max(const obs::json::Value& req, const obs::json::Value& id);
+  std::string handle_flow_mincost(const obs::json::Value& req, const obs::json::Value& id);
+  std::string handle_cache_stats(const obs::json::Value& id);
+  std::string handle_cache_clear(const obs::json::Value& id);
+
+  ServerOptions opt_;
+  ArtifactCache cache_;
+  mutable std::mutex graphs_mu_;
+  std::map<std::string, std::shared_ptr<const Slot>> graphs_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace lapclique::serve

@@ -204,10 +204,9 @@ Vec LaplacianSolver::solve(std::span<const double> b, double eps,
     // Guard rail: every Chebyshev budget was exhausted without a certified
     // residual (or the iterate went non-finite).  Degrade to the exact
     // direct factorization of L_G — slower, but always correct.
-    if (!lg_factor_.has_value()) {
-      lg_factor_.emplace(linalg::LaplacianFactor::factor(lg_));
-    }
-    x = lg_factor_->solve(rhs);
+    const std::shared_ptr<const linalg::LaplacianFactor> lg_factor =
+        lg_factor_or_build();
+    x = lg_factor->solve(rhs);
     linalg::project_out_ones(x);
     Vec res = lg_.multiply(x);
     for (std::size_t i = 0; i < res.size(); ++i) res[i] -= rhs[i];
@@ -243,6 +242,181 @@ Vec LaplacianSolver::solve(std::span<const double> b, double eps,
     stats->relative_residual = rel;
     stats->sparsify_stats = sparsify_stats_;
     stats->sparsifier_edges = h_.num_edges();
+  }
+  return x;
+}
+
+std::shared_ptr<const linalg::LaplacianFactor>
+LaplacianSolver::lg_factor_or_build() const {
+  const std::lock_guard<std::mutex> lock(*lg_factor_mu_);
+  if (lg_factor_ == nullptr) {
+    lg_factor_ = std::make_shared<const linalg::LaplacianFactor>(
+        linalg::LaplacianFactor::factor(lg_));
+  }
+  return lg_factor_;
+}
+
+std::vector<Vec> LaplacianSolver::solve_block(
+    std::span<const Vec> bs, double eps,
+    std::vector<LaplacianSolveStats>* stats, clique::Network* net) const {
+  if (stats != nullptr) stats->clear();
+  const std::size_t k = bs.size();
+  for (const Vec& b : bs) {
+    if (static_cast<int>(b.size()) != lg_.size()) {
+      throw std::invalid_argument("LaplacianSolver::solve_block: size mismatch");
+    }
+  }
+  if (!(eps > 0 && eps <= 0.5)) {
+    throw std::invalid_argument("LaplacianSolver::solve_block: eps in (0, 1/2]");
+  }
+  if (stats != nullptr) stats->resize(k);
+  if (k == 0) return {};
+
+  fault::FaultPlan* plan = net != nullptr ? net->fault_plan() : nullptr;
+  if (plan != nullptr) {
+    // A fault plan's counters (solver_nan_due per restart, fallback stats)
+    // advance in the scalar order; run the columns sequentially so drills
+    // observe exactly what k standalone solves would.
+    std::vector<Vec> out;
+    out.reserve(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      LaplacianSolveStats st;
+      out.push_back(solve(bs[c], eps, &st, net));
+      if (stats != nullptr) (*stats)[c] = st;
+    }
+    return out;
+  }
+
+  // Per-column projected rhs and norm, exactly as the scalar path computes
+  // them.
+  std::vector<Vec> rhs;
+  rhs.reserve(k);
+  std::vector<double> bnorm(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    Vec r(bs[c].begin(), bs[c].end());
+    linalg::project_out_ones(r);
+    bnorm[c] = std::max(linalg::norm2(r), 1e-300);
+    rhs.push_back(std::move(r));
+  }
+
+  std::vector<Vec> x(k);
+  std::vector<int> total_iters(k, 0);
+  std::vector<int> restarts(k, 0);
+  std::vector<double> rel(k, 0.0);
+  std::vector<char> certified(k, 0);
+  // Per column: Chebyshev iteration count of each restart level it ran, for
+  // replaying the scalar path's per-call ledger counters.
+  std::vector<std::vector<int>> level_iters(k);
+
+  const linalg::BlockApplyFn apply_a = [this](std::span<const Vec> xs) {
+    return lg_.multiply_block(xs);
+  };
+
+  // Restart schedule: level L uses kappa_ * 2^L.  A column still active at
+  // level L restarts from zero on its own rhs — the same trajectory a scalar
+  // solve's L-th restart would take — so the block groups every column that
+  // shares a level into one block-Chebyshev call.
+  double kappa = kappa_;
+  for (int level = 0; level <= opt_.max_restarts; ++level) {
+    std::vector<std::size_t> active;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (certified[c] == 0) active.push_back(c);
+    }
+    if (active.empty()) break;
+
+    const double lmax = lambda_max_ * (kappa / kappa_);
+    const linalg::BlockApplyFn solve_b = [this,
+                                          lmax](std::span<const Vec> rs) {
+      std::vector<Vec> zs = lh_factor_.solve_block(rs);
+      for (Vec& z : zs) linalg::scale(1.0 / lmax, z);
+      return zs;
+    };
+    linalg::ChebyshevOptions copt;
+    copt.eps = eps;
+    copt.kappa = kappa;
+    // The ledger counter is replayed per column below, in column order, so
+    // attached tracers see exactly what sequential scalar solves report.
+    copt.ledger = nullptr;
+
+    std::vector<Vec> brhs;
+    brhs.reserve(active.size());
+    for (const std::size_t c : active) brhs.push_back(rhs[c]);
+    std::vector<linalg::ChebyshevStats> cstats;
+    std::vector<Vec> bx =
+        linalg::preconditioned_chebyshev_block(apply_a, solve_b, brhs, copt, &cstats);
+
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const std::size_t c = active[i];
+      total_iters[c] += cstats[i].iterations;
+      level_iters[c].push_back(cstats[i].iterations);
+      rel[c] = cstats[i].final_residual / bnorm[c];
+      x[c] = std::move(bx[i]);
+      if (rel[c] <= eps) {
+        certified[c] = 1;
+        restarts[c] = level;
+      }
+    }
+    kappa *= 2.0;
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (certified[c] == 0) restarts[c] = opt_.max_restarts + 1;
+    linalg::project_out_ones(x[c]);
+  }
+
+  std::vector<char> fell(k, 0);
+  for (std::size_t c = 0; c < k; ++c) {
+    bool healthy = rel[c] <= eps;
+    for (std::size_t i = 0; healthy && i < x[c].size(); ++i) {
+      if (!std::isfinite(x[c][i])) healthy = false;
+    }
+    if (healthy) continue;
+    fell[c] = 1;
+    const std::shared_ptr<const linalg::LaplacianFactor> lg_factor =
+        lg_factor_or_build();
+    x[c] = lg_factor->solve(rhs[c]);
+    linalg::project_out_ones(x[c]);
+    Vec res = lg_.multiply(x[c]);
+    for (std::size_t i = 0; i < res.size(); ++i) res[i] -= rhs[c][i];
+    rel[c] = linalg::norm2(res) / bnorm[c];
+  }
+
+  if (net != nullptr) {
+    // Replay the per-column charging sequence in column order: the Network's
+    // op log, phase ledger, round/word totals, and ledger counters end up
+    // byte-equal to k sequential scalar solves.
+    obs::RoundLedger* tracer = net->tracer();
+    const auto nn = static_cast<std::int64_t>(net->size());
+    for (std::size_t c = 0; c < k; ++c) {
+      for (const int iters : level_iters[c]) {
+        obs::count(tracer, "chebyshev_iterations", iters);
+      }
+      net->set_phase("solver/chebyshev");
+      net->charge_all_to_all(total_iters[c] + 1);
+      if (fell[c] != 0) {
+        net->set_phase("solver/fallback");
+        if (net->routing_mode() == clique::RoutingMode::kBroadcast) {
+          net->charge(nn + 1, 2 * nn);
+        } else {
+          net->charge(4, 2 * nn);
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    for (std::size_t c = 0; c < k; ++c) {
+      LaplacianSolveStats& st = (*stats)[c];
+      st.exact_fallback = fell[c] != 0;
+      st.chebyshev_iterations = total_iters[c];
+      st.restarts = restarts[c];
+      // Scalar stats report kappa after `restarts` doublings of the base.
+      double kap = kappa_;
+      for (int r = 0; r < restarts[c]; ++r) kap *= 2.0;
+      st.kappa = kap;
+      st.relative_residual = rel[c];
+      st.sparsify_stats = sparsify_stats_;
+      st.sparsifier_edges = h_.num_edges();
+    }
   }
   return x;
 }

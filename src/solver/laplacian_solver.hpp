@@ -4,7 +4,8 @@
 #pragma once
 
 #include <memory>
-#include <optional>
+#include <mutex>
+#include <vector>
 
 #include "cliquesim/network.hpp"
 #include "graph/graph.hpp"
@@ -72,9 +73,28 @@ class LaplacianSolver {
                   clique::Network* net = nullptr);
 
   /// x ~= L_G^+ b with ||x - L^+ b||_{L_G} <= eps ||L^+ b||_{L_G}.
+  ///
+  /// Thread-safe: solve() only reads the artifacts built at construction
+  /// (the serve daemon issues concurrent solves against one cached solver);
+  /// the lazily-built exact-fallback factor is mutex-guarded.
   [[nodiscard]] linalg::Vec solve(std::span<const double> b, double eps,
                                   LaplacianSolveStats* stats = nullptr,
                                   clique::Network* net = nullptr) const;
+
+  /// Batched multi-RHS solve.  Column c of the result is BIT-IDENTICAL to
+  /// solve(bs[c], eps): the restart schedule, fallback decision, and every
+  /// floating-point reduction replay the scalar path per column, while each
+  /// Chebyshev iteration's matvec and preconditioner solve is one shared
+  /// block pass over all columns still active at that restart level
+  /// (linalg::preconditioned_chebyshev_block).  Network charging replays the
+  /// per-column operation sequence in column order, so rounds, words, phase
+  /// ledgers, and trace JSON equal those of sequential scalar solves.  With
+  /// an armed FaultPlan the batch degrades to sequential scalar solves so
+  /// the plan's counters advance in the scalar order.
+  [[nodiscard]] std::vector<linalg::Vec> solve_block(
+      std::span<const linalg::Vec> bs, double eps,
+      std::vector<LaplacianSolveStats>* stats = nullptr,
+      clique::Network* net = nullptr) const;
 
   [[nodiscard]] const graph::Graph& sparsifier() const { return h_; }
   [[nodiscard]] const linalg::CsrMatrix& matrix() const { return lg_; }
@@ -96,10 +116,18 @@ class LaplacianSolver {
   graph::Graph h_;
   linalg::CsrMatrix lg_;
   linalg::CsrMatrix lh_;
+  /// Returns the exact L_G factor, building it under the mutex on first use.
+  std::shared_ptr<const linalg::LaplacianFactor> lg_factor_or_build() const;
+
   linalg::LaplacianFactor lh_factor_;
   /// Exact factorization of L_G itself, built lazily the first time the
   /// residual guard rail trips (see LaplacianSolveStats::exact_fallback).
-  mutable std::optional<linalg::LaplacianFactor> lg_factor_;
+  /// Shared-pointer + shared mutex so concurrent solves on one solver (the
+  /// serve daemon's cache-hit path) stay race-free; copies of the solver
+  /// share the cache, which is sound because they share the graph.
+  mutable std::shared_ptr<const linalg::LaplacianFactor> lg_factor_;
+  mutable std::shared_ptr<std::mutex> lg_factor_mu_ =
+      std::make_shared<std::mutex>();
   spectral::SparsifyStats sparsify_stats_;
   double lambda_min_ = 0;
   double lambda_max_ = 0;

@@ -1,13 +1,18 @@
 // Corollary 2.3 / the central half of Theorem 1.1.
 
 #include <cmath>
+#include <cstring>
 #include <gtest/gtest.h>
+#include <random>
 
+#include "exec/pool.hpp"
+#include "fault/fault_plan.hpp"
 #include "graph/generators.hpp"
 #include "graph/laplacian.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/vector_ops.hpp"
 #include "solver/laplacian_solver.hpp"
+#include "test_seed.hpp"
 
 namespace lapclique::solver {
 namespace {
@@ -146,6 +151,144 @@ TEST(LaplacianSolver, WeightedGraphsWithLargeU) {
   const Vec b = demand_pair(24, 2, 17);
   const Vec x = solver.solve(b, 1e-6);
   EXPECT_LT(energy_error(g, x, b), 1e-5);
+}
+
+// --- batched multi-RHS solve: the serve daemon's bit-identity contract ----
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+std::vector<Vec> random_rhs(int n, int k, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<Vec> bs(static_cast<std::size_t>(k));
+  for (Vec& b : bs) {
+    b.resize(static_cast<std::size_t>(n));
+    for (double& x : b) x = dist(rng);
+  }
+  return bs;
+}
+
+class SolveBlockSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SolveBlockSweep, ColumnsBitwiseEqualScalarSolves) {
+  const auto [k, threads] = GetParam();
+  const exec::ThreadScope scope(threads);
+  const Graph g = graph::random_connected_gnm(28, 90, test::base_seed());
+  const LaplacianSolver solver(g);
+  const std::vector<Vec> bs =
+      random_rhs(28, k, test::base_seed() + static_cast<std::uint64_t>(k));
+  const double eps = 1e-7;
+
+  std::vector<LaplacianSolveStats> want_stats;
+  std::vector<Vec> want;
+  for (const Vec& b : bs) {
+    LaplacianSolveStats st;
+    want.push_back(solver.solve(b, eps, &st));
+    want_stats.push_back(st);
+  }
+  std::vector<LaplacianSolveStats> stats;
+  const std::vector<Vec> got = solver.solve_block(bs, eps, &stats);
+
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_EQ(stats.size(), want_stats.size());
+  for (std::size_t c = 0; c < got.size(); ++c) {
+    ASSERT_EQ(got[c].size(), want[c].size());
+    for (std::size_t i = 0; i < got[c].size(); ++i) {
+      ASSERT_EQ(bits_of(got[c][i]), bits_of(want[c][i]))
+          << "col " << c << " entry " << i;
+    }
+    EXPECT_EQ(stats[c].chebyshev_iterations, want_stats[c].chebyshev_iterations);
+    EXPECT_EQ(stats[c].restarts, want_stats[c].restarts);
+    EXPECT_EQ(stats[c].exact_fallback, want_stats[c].exact_fallback);
+    EXPECT_EQ(bits_of(stats[c].kappa), bits_of(want_stats[c].kappa)) << c;
+    EXPECT_EQ(bits_of(stats[c].relative_residual),
+              bits_of(want_stats[c].relative_residual))
+        << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SolveBlockSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 6),
+                                            ::testing::Values(1, 8)));
+
+TEST(SolveBlock, NetworkAccountingEqualsSequentialScalarSolves) {
+  // One solve_block on net B must leave exactly the accounting of k
+  // sequential scalar solves on net A: rounds, words, per-phase ledger, op
+  // log, and the observing RoundLedger's full JSON (span tree + counters).
+  const Graph g = graph::random_connected_gnm(26, 80, test::base_seed() + 7);
+  const std::vector<Vec> bs = random_rhs(26, 4, test::base_seed() + 8);
+  const double eps = 1e-6;
+  const LaplacianSolver solver(g);
+
+  obs::RoundLedger ledger_seq;
+  clique::Network net_seq(26);
+  net_seq.set_tracer(&ledger_seq);
+  for (const Vec& b : bs) (void)solver.solve(b, eps, nullptr, &net_seq);
+
+  obs::RoundLedger ledger_blk;
+  clique::Network net_blk(26);
+  net_blk.set_tracer(&ledger_blk);
+  (void)solver.solve_block(bs, eps, nullptr, &net_blk);
+
+  EXPECT_EQ(net_blk.rounds(), net_seq.rounds());
+  EXPECT_EQ(net_blk.words_sent(), net_seq.words_sent());
+  EXPECT_EQ(net_blk.ledger().rounds_by_phase, net_seq.ledger().rounds_by_phase);
+  ASSERT_EQ(net_blk.op_log().size(), net_seq.op_log().size());
+  for (std::size_t i = 0; i < net_blk.op_log().size(); ++i) {
+    EXPECT_EQ(net_blk.op_log()[i].phase, net_seq.op_log()[i].phase) << i;
+    EXPECT_EQ(net_blk.op_log()[i].rounds, net_seq.op_log()[i].rounds) << i;
+    EXPECT_EQ(net_blk.op_log()[i].words, net_seq.op_log()[i].words) << i;
+  }
+  EXPECT_EQ(ledger_blk.to_json().dump(), ledger_seq.to_json().dump());
+}
+
+TEST(SolveBlock, ArmedFaultPlanDegradesToScalarOrder) {
+  // With a fault plan armed the batch must consult the drill per column in
+  // scalar order (solver-nan@all forces the exact fallback every time).
+  const Graph g = graph::random_connected_gnm(20, 60, test::base_seed() + 9);
+  const std::vector<Vec> bs = random_rhs(20, 3, test::base_seed() + 10);
+  const double eps = 1e-6;
+  const LaplacianSolver solver(g);
+  const fault::FaultSpec spec = fault::parse_fault_spec("solver-nan@all");
+
+  fault::FaultPlan plan_seq(spec, 5);
+  clique::Network net_seq(20);
+  net_seq.set_fault_plan(&plan_seq);
+  std::vector<Vec> want;
+  std::vector<LaplacianSolveStats> want_stats(bs.size());
+  for (std::size_t c = 0; c < bs.size(); ++c) {
+    want.push_back(solver.solve(bs[c], eps, &want_stats[c], &net_seq));
+  }
+
+  fault::FaultPlan plan_blk(spec, 5);
+  clique::Network net_blk(20);
+  net_blk.set_fault_plan(&plan_blk);
+  std::vector<LaplacianSolveStats> stats;
+  const std::vector<Vec> got = solver.solve_block(bs, eps, &stats, &net_blk);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t c = 0; c < got.size(); ++c) {
+    EXPECT_TRUE(stats[c].exact_fallback) << c;
+    for (std::size_t i = 0; i < got[c].size(); ++i) {
+      ASSERT_EQ(bits_of(got[c][i]), bits_of(want[c][i])) << c << "," << i;
+    }
+  }
+  EXPECT_EQ(net_blk.rounds(), net_seq.rounds());
+  EXPECT_EQ(plan_blk.stats().solver_fallbacks, plan_seq.stats().solver_fallbacks);
+}
+
+TEST(SolveBlock, ValidatesInput) {
+  const Graph g = graph::random_connected_gnm(12, 30, test::base_seed() + 11);
+  const LaplacianSolver solver(g);
+  EXPECT_TRUE(solver.solve_block({}, 1e-6).empty());
+  const std::vector<Vec> bad{Vec(11, 0.0)};
+  EXPECT_THROW((void)solver.solve_block(bad, 1e-6), std::invalid_argument);
+  const std::vector<Vec> ok{Vec(12, 0.0)};
+  EXPECT_THROW((void)solver.solve_block(ok, 0.9), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,691 @@
+// Serve-layer determinism and hardening suite.
+//
+// The contract under test (docs/SERVING.md): response bodies are a pure
+// function of the request — independent of request interleaving, server
+// thread count, cache hits/misses, and evictions — and cache hits provably
+// skip artifact construction (RoundLedger construction phases == 0).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/pool.hpp"
+#include "flow/maxflow_ipm.hpp"
+#include "flow/mincost_ipm.hpp"
+#include "graph/generators.hpp"
+#include "linalg/vector_ops.hpp"
+#include "obs/json.hpp"
+#include "serve/server.hpp"
+#include "solver/laplacian_solver.hpp"
+#include "test_seed.hpp"
+
+namespace lapclique::serve {
+namespace {
+
+namespace json = obs::json;
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+/// Response doubles round-trip exactly through the %.17g dump, but integral
+/// values come back as kInt — accept both, as the server does.
+double num(const json::Value& v) {
+  return v.kind() == json::Value::Kind::kInt ? static_cast<double>(v.as_int())
+                                             : v.as_double();
+}
+
+graph::Graph test_graph(int n, int m, std::uint64_t salt) {
+  return graph::with_random_weights(
+      graph::random_connected_gnm(n, m, test::base_seed() + salt), 8.0,
+      test::base_seed() + salt + 1);
+}
+
+linalg::Vec random_b(int n, std::uint64_t salt) {
+  std::mt19937_64 rng(test::base_seed() + salt);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  linalg::Vec b(static_cast<std::size_t>(n));
+  for (double& x : b) x = dist(rng);
+  return b;
+}
+
+std::string load_request(const std::string& name, const graph::Graph& g,
+                         const std::string& id = "load") {
+  json::Object req;
+  req.emplace("op", "graph.load");
+  req.emplace("id", id);
+  req.emplace("name", name);
+  req.emplace("n", g.num_vertices());
+  json::Array edges;
+  for (const graph::Edge& e : g.edges()) {
+    json::Array row;
+    row.push_back(e.u);
+    row.push_back(e.v);
+    row.push_back(e.w);
+    edges.push_back(json::Value(std::move(row)));
+  }
+  req.emplace("edges", json::Value(std::move(edges)));
+  return json::Value(std::move(req)).dump();
+}
+
+std::string load_arcs_request(const std::string& name, const graph::Digraph& g,
+                              const std::string& id = "load") {
+  json::Object req;
+  req.emplace("op", "graph.load");
+  req.emplace("id", id);
+  req.emplace("name", name);
+  req.emplace("n", g.num_vertices());
+  json::Array arcs;
+  for (const graph::Arc& a : g.arcs()) {
+    json::Array row;
+    row.push_back(a.from);
+    row.push_back(a.to);
+    row.push_back(a.cap);
+    row.push_back(a.cost);
+    arcs.push_back(json::Value(std::move(row)));
+  }
+  req.emplace("arcs", json::Value(std::move(arcs)));
+  return json::Value(std::move(req)).dump();
+}
+
+json::Value vec_json(const linalg::Vec& b) {
+  json::Array a;
+  for (double x : b) a.push_back(x);
+  return {std::move(a)};
+}
+
+std::string solve_request(const std::string& graph_name, const linalg::Vec& b,
+                          double eps, const std::string& id,
+                          int threads = 0, const std::string& routing = "") {
+  json::Object req;
+  req.emplace("op", "solve");
+  req.emplace("id", id);
+  req.emplace("graph", graph_name);
+  req.emplace("eps", eps);
+  req.emplace("b", vec_json(b));
+  if (threads > 0) req.emplace("threads", threads);
+  if (!routing.empty()) req.emplace("routing", routing);
+  return json::Value(std::move(req)).dump();
+}
+
+std::string batch_request(const std::string& graph_name,
+                          const std::vector<linalg::Vec>& bs, double eps,
+                          const std::string& id) {
+  json::Object req;
+  req.emplace("op", "solve_batch");
+  req.emplace("id", id);
+  req.emplace("graph", graph_name);
+  req.emplace("eps", eps);
+  json::Array rhs;
+  for (const linalg::Vec& b : bs) rhs.push_back(vec_json(b));
+  req.emplace("rhs", json::Value(std::move(rhs)));
+  return json::Value(std::move(req)).dump();
+}
+
+json::Value parse_ok(const std::string& body) {
+  const json::Value v = json::parse(body);
+  EXPECT_TRUE(v.at("ok").as_bool()) << body;
+  return v;
+}
+
+void expect_error(const std::string& body, const std::string& code) {
+  const json::Value v = json::parse(body);
+  ASSERT_FALSE(v.at("ok").as_bool()) << body;
+  EXPECT_EQ(v.at("error").at("code").as_string(), code) << body;
+}
+
+std::vector<double> response_x(const json::Value& v) {
+  std::vector<double> x;
+  for (const json::Value& e : v.at("result").at("x").as_array()) {
+    x.push_back(num(e));
+  }
+  return x;
+}
+
+TEST(Serve, SolveMatchesDirectSolverBitwise) {
+  Server server;
+  const graph::Graph g = test_graph(22, 66, 1);
+  const linalg::Vec b = random_b(22, 3);
+  parse_ok(server.handle(load_request("g", g)));
+  const json::Value resp =
+      parse_ok(server.handle(solve_request("g", b, 1e-6, "s1")));
+
+  const solver::LaplacianSolver direct(g);
+  const linalg::Vec want = direct.solve(b, 1e-6);
+  const std::vector<double> got = response_x(resp);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(bits_of(got[i]), bits_of(want[i])) << i;
+  }
+  // The run block reflects a real charged execution.
+  EXPECT_GT(resp.at("run").at("rounds").as_int(), 0);
+}
+
+TEST(Serve, CacheHitSkipsConstructionAndKeepsBodyBytes) {
+  // The acceptance criterion: on a hit the request's private ledger records
+  // zero rounds in every construction phase, yet the response bytes match
+  // the cold solve exactly.
+  Server server;
+  const graph::Graph g = test_graph(24, 70, 5);
+  const linalg::Vec b = random_b(24, 7);
+  parse_ok(server.handle(load_request("g", g)));
+  const std::string req = solve_request("g", b, 1e-6, "s");
+
+  RequestTelemetry cold;
+  const std::string cold_body = server.handle(req, &cold);
+  ASSERT_TRUE(cold.cache_lookup);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_GT(cold.construction_rounds, 0);
+  EXPECT_GT(cold.ledger_rounds.at("solver/sparsify"), 0);
+  EXPECT_GT(cold.ledger_rounds.at("solver/range_estimation"), 0);
+
+  RequestTelemetry warm;
+  const std::string warm_body = server.handle(req, &warm);
+  ASSERT_TRUE(warm.cache_lookup);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.construction_rounds, 0);
+  EXPECT_EQ(warm.ledger_rounds.at("solver/sparsify"), 0);
+  EXPECT_EQ(warm.ledger_rounds.at("solver/gather_sparsifier"), 0);
+  EXPECT_EQ(warm.ledger_rounds.at("solver/range_estimation"), 0);
+  // The hit still paid for its own solve.
+  EXPECT_GT(warm.ledger_rounds.at("solver/chebyshev"), 0);
+
+  EXPECT_EQ(warm_body, cold_body);
+  const CacheStats s = server.cache_stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.hits, 1);
+}
+
+TEST(Serve, InterleavingInvariance) {
+  // The same request set in a different order (which flips who is the cache
+  // miss) must produce byte-identical bodies per request id.
+  const graph::Graph g1 = test_graph(20, 55, 11);
+  const graph::Graph g2 = test_graph(18, 48, 13);
+  const std::vector<std::string> requests = {
+      solve_request("g1", random_b(20, 21), 1e-6, "a"),
+      solve_request("g2", random_b(18, 22), 1e-6, "b"),
+      solve_request("g1", random_b(20, 23), 1e-4, "c"),
+      batch_request("g2", {random_b(18, 24), random_b(18, 25)}, 1e-6, "d"),
+      solve_request("g1", random_b(20, 21), 1e-6, "e"),  // same b as "a"
+  };
+
+  const auto run = [&](bool reversed) {
+    Server server;
+    parse_ok(server.handle(load_request("g1", g1)));
+    parse_ok(server.handle(load_request("g2", g2)));
+    std::vector<std::string> order = requests;
+    if (reversed) std::reverse(order.begin(), order.end());
+    std::map<std::string, std::string> by_id;
+    for (const std::string& r : order) {
+      const std::string body = server.handle(r);
+      by_id[json::parse(body).at("id").as_string()] = body;
+    }
+    return by_id;
+  };
+
+  const auto forward = run(false);
+  const auto backward = run(true);
+  ASSERT_EQ(forward.size(), requests.size());
+  EXPECT_EQ(forward, backward);
+  // "e" repeats "a"'s request under a different id: identical except the id.
+}
+
+TEST(Serve, ThreadCountInvariance) {
+  // The same request at threads 1 and 8 (both via the request field and via
+  // the global pool) yields byte-identical bodies.
+  const graph::Graph g = test_graph(26, 80, 31);
+  const linalg::Vec b = random_b(26, 33);
+  std::vector<std::string> bodies;
+  for (const int threads : {1, 8}) {
+    Server server;
+    parse_ok(server.handle(load_request("g", g)));
+    bodies.push_back(server.handle(solve_request("g", b, 1e-6, "s", threads)));
+
+    const exec::ThreadScope scope(threads);
+    Server global_server;
+    parse_ok(global_server.handle(load_request("g", g)));
+    bodies.push_back(global_server.handle(solve_request("g", b, 1e-6, "s")));
+  }
+  for (std::size_t i = 1; i < bodies.size(); ++i) {
+    EXPECT_EQ(bodies[i], bodies[0]) << i;
+  }
+}
+
+TEST(Serve, EvictionMidStreamNeverChangesBodies) {
+  // Capacity-1 server: every alternation between graphs evicts, so each
+  // request is a cold rebuild.  Bodies must match the big-cache server's.
+  const graph::Graph g1 = test_graph(16, 40, 41);
+  const graph::Graph g2 = test_graph(17, 44, 43);
+  std::vector<std::string> requests;
+  for (int i = 0; i < 3; ++i) {
+    requests.push_back(
+        solve_request("g1", random_b(16, 50 + static_cast<std::uint64_t>(i)),
+                      1e-6, "a" + std::to_string(i)));
+    requests.push_back(
+        solve_request("g2", random_b(17, 60 + static_cast<std::uint64_t>(i)),
+                      1e-6, "b" + std::to_string(i)));
+  }
+
+  ServerOptions small;
+  small.cache_capacity = 1;
+  Server thrashing(small);
+  Server roomy;
+  for (Server* s : {&thrashing, &roomy}) {
+    parse_ok(s->handle(load_request("g1", g1)));
+    parse_ok(s->handle(load_request("g2", g2)));
+  }
+  for (const std::string& r : requests) {
+    EXPECT_EQ(thrashing.handle(r), roomy.handle(r));
+  }
+  EXPECT_GT(thrashing.cache_stats().evictions, 0);
+  EXPECT_EQ(thrashing.cache_stats().hits, 0);
+  EXPECT_GT(roomy.cache_stats().hits, 0);
+  EXPECT_EQ(roomy.cache_stats().evictions, 0);
+}
+
+TEST(Serve, BatchColumnsBitwiseEqualSingleSolves) {
+  Server server;
+  const graph::Graph g = test_graph(21, 60, 71);
+  const std::vector<linalg::Vec> bs = {random_b(21, 73), random_b(21, 74),
+                                       random_b(21, 75)};
+  parse_ok(server.handle(load_request("g", g)));
+
+  std::vector<std::vector<double>> singles;
+  std::int64_t single_rounds = 0;
+  for (std::size_t c = 0; c < bs.size(); ++c) {
+    const json::Value resp = parse_ok(server.handle(
+        solve_request("g", bs[c], 1e-6, "s" + std::to_string(c))));
+    singles.push_back(response_x(resp));
+    single_rounds += resp.at("run").at("rounds").as_int();
+  }
+
+  const json::Value batch =
+      parse_ok(server.handle(batch_request("g", bs, 1e-6, "batch")));
+  const json::Array& cols = batch.at("result").at("columns").as_array();
+  ASSERT_EQ(cols.size(), bs.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const json::Array& col = cols[c].as_array();
+    ASSERT_EQ(col.size(), singles[c].size());
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      EXPECT_EQ(bits_of(num(col[i])), bits_of(singles[c][i])) << c << "," << i;
+    }
+  }
+  // Charge replay: the batch network accrues exactly the k sequential solves.
+  EXPECT_EQ(batch.at("run").at("rounds").as_int(), single_rounds);
+}
+
+TEST(Serve, ResistanceMatchesDirectSolve) {
+  graph::Graph path(4);
+  path.add_edge(0, 1, 1.0);
+  path.add_edge(1, 2, 1.0);
+  path.add_edge(2, 3, 1.0);
+  Server server;
+  parse_ok(server.handle(load_request("p", path)));
+
+  json::Object req;
+  req.emplace("op", "resistance");
+  req.emplace("id", "r");
+  req.emplace("graph", "p");
+  req.emplace("eps", 1e-8);
+  req.emplace("u", 0);
+  req.emplace("v", 3);
+  const json::Value resp =
+      parse_ok(server.handle(json::Value(std::move(req)).dump()));
+
+  const double got = num(resp.at("result").at("resistance"));
+  EXPECT_NEAR(got, 3.0, 1e-6);  // series resistance of three unit edges
+
+  const solver::LaplacianSolver direct(path);
+  linalg::Vec chi(4, 0.0);
+  chi[0] = 1.0;
+  chi[3] = -1.0;
+  const double want = linalg::dot(chi, direct.solve(chi, 1e-8));
+  EXPECT_EQ(bits_of(got), bits_of(want));
+}
+
+TEST(Serve, FlowMaxMatchesDirectIpm) {
+  graph::Digraph dg(4);
+  dg.add_arc(0, 1, 2);
+  dg.add_arc(0, 2, 2);
+  dg.add_arc(1, 3, 2);
+  dg.add_arc(2, 3, 1);
+  dg.add_arc(1, 2, 1);
+  Server server;
+  parse_ok(server.handle(load_arcs_request("net", dg)));
+
+  // Reduced budget on both sides (the repo's FastBudget convention): the
+  // finishing augmenting paths still make the value exact.
+  json::Object req;
+  req.emplace("op", "flow.max");
+  req.emplace("id", "f");
+  req.emplace("graph", "net");
+  req.emplace("s", 0);
+  req.emplace("t", 3);
+  req.emplace("iteration_scale", 0.05);
+  const json::Value resp =
+      parse_ok(server.handle(json::Value(std::move(req)).dump()));
+
+  clique::Network net(4);
+  flow::MaxFlowIpmOptions fopt;
+  fopt.iteration_scale = 0.05;
+  const flow::MaxFlowIpmReport want = flow::max_flow_clique(dg, 0, 3, net, fopt);
+  EXPECT_EQ(resp.at("result").at("value").as_int(), want.value);
+  EXPECT_EQ(want.value, 3);
+  EXPECT_EQ(resp.at("run").at("rounds").as_int(), want.run.rounds);
+  const json::Array& flow_json = resp.at("result").at("flow").as_array();
+  ASSERT_EQ(flow_json.size(), want.flow.size());
+  for (std::size_t i = 0; i < flow_json.size(); ++i) {
+    EXPECT_EQ(flow_json[i].as_int(), want.flow[i]) << i;
+  }
+}
+
+TEST(Serve, FlowMincostMatchesDirectIpm) {
+  // min_cost_flow_clique is the unit-capacity IPM: route 2 units from 0 to
+  // 2, one along the cheap path and one along the direct expensive arc.
+  graph::Digraph dg(3);
+  dg.add_arc(0, 1, 1, 1);
+  dg.add_arc(1, 2, 1, 1);
+  dg.add_arc(0, 2, 1, 5);
+  Server server;
+  parse_ok(server.handle(load_arcs_request("net", dg)));
+
+  json::Object req;
+  req.emplace("op", "flow.mincost");
+  req.emplace("id", "m");
+  req.emplace("graph", "net");
+  json::Array sigma;
+  sigma.push_back(2);
+  sigma.push_back(0);
+  sigma.push_back(-2);
+  req.emplace("sigma", json::Value(std::move(sigma)));
+  const json::Value resp =
+      parse_ok(server.handle(json::Value(std::move(req)).dump()));
+
+  clique::Network net(3);
+  const std::vector<std::int64_t> demand = {2, 0, -2};
+  const flow::MinCostIpmReport want =
+      flow::min_cost_flow_clique(dg, demand, net, flow::MinCostIpmOptions{});
+  EXPECT_EQ(resp.at("result").at("feasible").as_bool(), want.feasible);
+  EXPECT_EQ(resp.at("result").at("cost").as_int(), want.cost);
+  EXPECT_EQ(resp.at("run").at("rounds").as_int(), want.run.rounds);
+}
+
+TEST(Serve, RoutingModeIsPartOfTheCacheKey) {
+  Server server;
+  const graph::Graph g = test_graph(18, 50, 81);
+  const linalg::Vec b = random_b(18, 83);
+  parse_ok(server.handle(load_request("g", g)));
+  const std::string charged = server.handle(solve_request("g", b, 1e-6, "s"));
+  const std::string broadcast =
+      server.handle(solve_request("g", b, 1e-6, "s", 0, "broadcast"));
+  EXPECT_NE(charged, broadcast);  // different accounting, different artifact
+  EXPECT_EQ(server.cache_stats().misses, 2);
+  EXPECT_EQ(server.cache_stats().size, 2u);
+  // Solutions themselves agree bit-for-bit: routing changes charges only.
+  const std::vector<double> xc = response_x(json::parse(charged));
+  const std::vector<double> xb = response_x(json::parse(broadcast));
+  ASSERT_EQ(xc.size(), xb.size());
+  for (std::size_t i = 0; i < xc.size(); ++i) {
+    EXPECT_EQ(bits_of(xc[i]), bits_of(xb[i])) << i;
+  }
+}
+
+TEST(Serve, MalformedRequestsGetLocatedErrorsAndLeaveStateIntact) {
+  Server server;
+  const graph::Graph g = test_graph(14, 34, 91);
+  const linalg::Vec b = random_b(14, 93);
+  parse_ok(server.handle(load_request("g", g)));
+  const std::string good = solve_request("g", b, 1e-6, "s");
+  const std::string baseline = server.handle(good);
+  const CacheStats before = server.cache_stats();
+
+  const std::vector<std::pair<std::string, std::string>> table = {
+      {"{\"op\":\"solve\"", "parse"},
+      {"not json at all", "parse"},
+      {"[1,2,3]", "bad_request"},
+      {"{\"id\":\"x\"}", "bad_request"},  // missing op
+      {"{\"op\":17}", "bad_request"},     // op must be a string
+      {"{\"op\":\"nope\",\"id\":\"u\"}", "unknown_op"},
+      {solve_request("missing", b, 1e-6, "e1"), "unknown_graph"},
+      {solve_request("g", b, 0.9, "e2"), "bad_request"},   // eps out of range
+      {solve_request("g", b, -1.0, "e3"), "bad_request"},  // eps <= 0
+      {solve_request("g", linalg::Vec(3, 1.0), 1e-6, "e4"),
+       "bad_request"},  // wrong b size
+      {solve_request("g", b, 1e-6, "e5", 0, "psychic"),
+       "bad_request"},  // unknown routing
+      {"{\"op\":\"graph.drop\",\"name\":\"missing\",\"id\":\"e6\"}",
+       "unknown_graph"},
+      {"{\"op\":\"graph.load\",\"name\":\"h\",\"id\":\"e7\"}",
+       "bad_request"},  // neither edges nor arcs
+      {"{\"op\":\"graph.load\",\"name\":\"h\",\"edges\":[[0,0]],\"id\":\"e8\"}",
+       "bad_request"},  // self-loop
+      {"{\"op\":\"graph.load\",\"name\":\"h\",\"edges\":[[0,1,-2]],"
+       "\"id\":\"e9\"}",
+       "bad_request"},  // non-positive weight
+      {"{\"op\":\"resistance\",\"graph\":\"g\",\"eps\":0.001,\"u\":0,"
+       "\"v\":99,\"id\":\"e10\"}",
+       "bad_request"},  // vertex out of range
+  };
+  for (const auto& [line, code] : table) {
+    expect_error(server.handle(line), code);
+  }
+
+  // Parse errors carry a byte offset pointing into the line.
+  const std::string trunc = "{\"op\":\"solve\"";
+  const json::Value err = json::parse(server.handle(trunc));
+  ASSERT_EQ(err.at("error").at("code").as_string(), "parse");
+  const std::int64_t offset = err.at("error").at("offset").as_int();
+  EXPECT_GE(offset, 0);
+  EXPECT_LE(offset, static_cast<std::int64_t>(trunc.size()));
+
+  // Error ids echo the request id when one was readable.
+  const json::Value echoed =
+      json::parse(server.handle(solve_request("missing", b, 1e-6, "echo-me")));
+  EXPECT_EQ(echoed.at("id").as_string(), "echo-me");
+
+  // None of the failures leaked into cache or registry state: the cache
+  // counters moved only for the well-formed requests that reached it, and
+  // the original request still answers byte-identically (as a hit).
+  const CacheStats after = server.cache_stats();
+  EXPECT_EQ(after.size, before.size);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.evictions, before.evictions);
+  EXPECT_EQ(server.handle(good), baseline);
+}
+
+TEST(Serve, OversizedRequestIsRejectedWithoutParsing) {
+  ServerOptions opt;
+  opt.max_request_bytes = 128;
+  Server server(opt);
+  const std::string big = "{\"op\":\"solve\",\"pad\":\"" +
+                          std::string(200, 'x') + "\"}";
+  expect_error(server.handle(big), "limit");
+  // Under the limit still works.
+  expect_error(server.handle("{\"op\":\"nope\"}"), "unknown_op");
+}
+
+TEST(Serve, TruncationFuzzNeverCrashesOrCorruptsState) {
+  Server server;
+  const graph::Graph g = test_graph(12, 28, 101);
+  const linalg::Vec b = random_b(12, 103);
+  parse_ok(server.handle(load_request("g", g)));
+  const std::string good = solve_request("g", b, 1e-6, "s");
+  const std::string baseline = server.handle(good);
+
+  // Every strict prefix must yield a well-formed error response.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    const std::string body = server.handle(good.substr(0, len));
+    const json::Value v = json::parse(body);
+    ASSERT_FALSE(v.at("ok").as_bool()) << "prefix length " << len;
+  }
+  // Random splices, seeded from the suite seed.
+  std::mt19937_64 rng(test::base_seed() + 107);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutant = good;
+    const std::size_t pos = rng() % mutant.size();
+    mutant[pos] = static_cast<char>(rng() % 256);
+    const std::string body = server.handle(mutant);
+    const json::Value v = json::parse(body);
+    ASSERT_EQ(v.kind(), json::Value::Kind::kObject) << "trial " << trial;
+  }
+  // The server still answers the original request byte-identically.
+  EXPECT_EQ(server.handle(good), baseline);
+}
+
+TEST(Serve, ConcurrentSubmissionMatchesSequentialBodies) {
+  // The TSan target: 8 client threads hammer one server with a shared
+  // request set; every response must equal the sequentially computed body.
+  const graph::Graph g1 = test_graph(19, 52, 111);
+  const graph::Graph g2 = test_graph(15, 38, 113);
+  std::vector<std::string> requests;
+  for (int i = 0; i < 8; ++i) {
+    const auto salt = static_cast<std::uint64_t>(120 + i);
+    requests.push_back(solve_request(i % 2 == 0 ? "g1" : "g2",
+                                     random_b(i % 2 == 0 ? 19 : 15, salt),
+                                     1e-6, "q" + std::to_string(i)));
+  }
+  requests.push_back(batch_request(
+      "g1", {random_b(19, 131), random_b(19, 132)}, 1e-6, "qb"));
+  requests.push_back(
+      "{\"op\":\"resistance\",\"graph\":\"g2\",\"eps\":0.0001,\"u\":0,"
+      "\"v\":7,\"id\":\"qr\"}");
+
+  Server sequential;
+  parse_ok(sequential.handle(load_request("g1", g1)));
+  parse_ok(sequential.handle(load_request("g2", g2)));
+  std::vector<std::string> expected;
+  for (const std::string& r : requests) expected.push_back(sequential.handle(r));
+
+  Server concurrent;
+  parse_ok(concurrent.handle(load_request("g1", g1)));
+  parse_ok(concurrent.handle(load_request("g2", g2)));
+  constexpr int kClients = 8;
+  constexpr int kRepeats = 3;  // repeats force hit-path races too
+  std::vector<std::vector<std::string>> got(
+      kClients, std::vector<std::string>(requests.size() * kRepeats));
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          // Stagger the order per client so misses and hits interleave.
+          const std::size_t j =
+              (i + static_cast<std::size_t>(c)) % requests.size();
+          got[static_cast<std::size_t>(c)]
+             [static_cast<std::size_t>(rep) * requests.size() + i] =
+                 concurrent.handle(requests[j]) + "\x1f" + std::to_string(j);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const auto& per_client : got) {
+    for (const std::string& tagged : per_client) {
+      const std::size_t sep = tagged.rfind('\x1f');
+      ASSERT_NE(sep, std::string::npos);
+      const std::size_t j = std::stoul(tagged.substr(sep + 1));
+      EXPECT_EQ(tagged.substr(0, sep), expected[j]) << "request " << j;
+    }
+  }
+}
+
+TEST(Serve, ServeLoopStopsAtShutdown) {
+  const graph::Graph g = test_graph(10, 22, 141);
+  std::ostringstream requests;
+  requests << load_request("g", g) << "\n"
+           << "\n"  // blank lines are skipped
+           << solve_request("g", random_b(10, 143), 1e-5, "s") << "\n"
+           << "{\"op\":\"shutdown\",\"id\":\"bye\"}\n"
+           << solve_request("g", random_b(10, 144), 1e-5, "after") << "\n";
+  std::istringstream in(requests.str());
+  std::ostringstream out;
+  Server server;
+  const int handled = server.serve(in, out);
+  EXPECT_EQ(handled, 3);  // load, solve, shutdown — never the trailing solve
+  EXPECT_TRUE(server.shutdown_requested());
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(json::parse(line).kind(), json::Value::Kind::kObject);
+  }
+  EXPECT_EQ(count, 3);
+  const json::Value last = json::parse(out.str().substr(
+      out.str().rfind("{\"id\":\"bye\"")));
+  EXPECT_TRUE(last.at("result").at("stopping").as_bool());
+}
+
+TEST(Serve, CacheClearForcesRebuildWithIdenticalBody) {
+  Server server;
+  const graph::Graph g = test_graph(16, 42, 151);
+  const linalg::Vec b = random_b(16, 153);
+  parse_ok(server.handle(load_request("g", g)));
+  const std::string req = solve_request("g", b, 1e-6, "s");
+  const std::string first = server.handle(req);
+  parse_ok(server.handle("{\"op\":\"cache.clear\",\"id\":\"c\"}"));
+  EXPECT_EQ(server.cache_stats().size, 0u);
+  RequestTelemetry t;
+  const std::string second = server.handle(req, &t);
+  EXPECT_FALSE(t.cache_hit);        // rebuilt from scratch...
+  EXPECT_EQ(second, first);         // ...to the same bytes
+  EXPECT_EQ(server.cache_stats().misses, 2);
+
+  const json::Value stats =
+      parse_ok(server.handle("{\"op\":\"cache.stats\",\"id\":\"st\"}"));
+  EXPECT_EQ(stats.at("result").at("misses").as_int(), 2);
+  EXPECT_EQ(stats.at("result").at("size").as_int(), 1);
+}
+
+TEST(Serve, GraphRegistryLifecycle) {
+  Server server;
+  const graph::Graph g = test_graph(12, 26, 161);
+  const linalg::Vec b = random_b(12, 163);
+
+  // Load twice under the same name: the reload wins, hash is stable.
+  const json::Value first = parse_ok(server.handle(load_request("g", g)));
+  const json::Value second = parse_ok(server.handle(load_request("g", g)));
+  EXPECT_EQ(first.at("result").at("hash").as_string(),
+            second.at("result").at("hash").as_string());
+  EXPECT_EQ(first.at("result").at("n").as_int(), 12);
+  EXPECT_EQ(first.at("result").at("m").as_int(), 26);
+
+  // Directed and undirected ops are kept apart.
+  graph::Digraph dg(3);
+  dg.add_arc(0, 1, 1);
+  dg.add_arc(1, 2, 1);
+  parse_ok(server.handle(load_arcs_request("d", dg)));
+  expect_error(server.handle(solve_request("d", linalg::Vec(3, 0.0), 1e-4, "x")),
+               "bad_request");
+  expect_error(server.handle("{\"op\":\"flow.max\",\"graph\":\"g\",\"s\":0,"
+                             "\"t\":1,\"id\":\"x\"}"),
+               "bad_request");
+
+  // Drop removes exactly the named graph.
+  parse_ok(server.handle("{\"op\":\"graph.drop\",\"name\":\"g\",\"id\":\"x\"}"));
+  expect_error(server.handle(solve_request("g", b, 1e-6, "x")), "unknown_graph");
+  parse_ok(server.handle("{\"op\":\"flow.max\",\"graph\":\"d\",\"s\":0,"
+                         "\"t\":2,\"iteration_scale\":0.05,\"id\":\"ok\"}"));
+
+  // A disconnected undirected graph is refused by solve with a clear error.
+  graph::Graph disc(4);
+  disc.add_edge(0, 1, 1.0);
+  disc.add_edge(2, 3, 1.0);
+  parse_ok(server.handle(load_request("disc", disc)));
+  expect_error(server.handle(solve_request("disc", linalg::Vec(4, 0.0), 1e-4,
+                                           "x")),
+               "bad_request");
+}
+
+}  // namespace
+}  // namespace lapclique::serve

@@ -1,0 +1,137 @@
+// lapclique_serve — the solver-as-a-service daemon.
+//
+// Speaks the line-delimited JSON protocol of docs/SERVING.md on stdin/stdout
+// (default) or on a TCP socket (--port).  Graphs stay resident between
+// requests and repeat-topology solves are answered from the deterministic
+// artifact cache, skipping sparsifier/factorization construction.
+//
+// Usage:
+//   lapclique_serve [--cache-capacity N] [--max-request-bytes N]
+//                   [--threads N] [--port P]
+//
+//   --cache-capacity N     artifacts kept before LRU eviction (default 16)
+//   --max-request-bytes N  per-line request cap (default 4194304)
+//   --threads N            default worker threads for requests that do not
+//                          pass their own "threads" field
+//   --port P               listen on 127.0.0.1:P instead of stdin; serves
+//                          one connection at a time, line-delimited as on
+//                          stdin, until a "shutdown" request
+//
+// Responses are identical in both transports: the socket path wraps the
+// same Server::handle the stdin loop and the test suite drive.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "exec/pool.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--cache-capacity N] [--max-request-bytes N] [--threads N]"
+               " [--port P]\n";
+  return 2;
+}
+
+/// Line loop over a connected socket: accumulate bytes, handle each
+/// '\n'-terminated request, write the response line back.
+void serve_connection(lapclique::serve::Server& server, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!server.shutdown_requested()) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      const std::string response = server.handle(line) + "\n";
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t w = ::write(fd, response.data() + sent, response.size() - sent);
+        if (w <= 0) return;
+        sent += static_cast<std::size_t>(w);
+      }
+      if (server.shutdown_requested()) break;
+    }
+    buffer.erase(0, start);
+  }
+}
+
+int serve_socket(lapclique::serve::Server& server, int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "lapclique_serve: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 4) < 0) {
+    std::cerr << "lapclique_serve: bind/listen: " << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 1;
+  }
+  std::cerr << "lapclique_serve: listening on 127.0.0.1:" << port << "\n";
+  while (!server.shutdown_requested()) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    serve_connection(server, fd);
+    ::close(fd);
+  }
+  ::close(listener);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lapclique::serve::ServerOptions opt;
+  int threads = 0;
+  int port = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> long long {
+      if (i + 1 >= argc) {
+        std::exit(usage(argv[0]));
+      }
+      return std::atoll(argv[++i]);
+    };
+    if (arg == "--cache-capacity") {
+      opt.cache_capacity = static_cast<std::size_t>(next());
+    } else if (arg == "--max-request-bytes") {
+      opt.max_request_bytes = static_cast<std::size_t>(next());
+    } else if (arg == "--threads") {
+      threads = static_cast<int>(next());
+    } else if (arg == "--port") {
+      port = static_cast<int>(next());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (threads > 0) lapclique::exec::set_threads(threads);
+
+  lapclique::serve::Server server(opt);
+  if (port >= 0) return serve_socket(server, port);
+  server.serve(std::cin, std::cout);
+  return 0;
+}
