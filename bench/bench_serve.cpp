@@ -11,6 +11,13 @@
 // bodies are checked byte-identical between the cold and hit runs — the
 // serving determinism contract (docs/SERVING.md) — and across thread counts.
 //
+// A second sweep drives the SOCKET frontend with 1/4/16 concurrent
+// connections x {cold, hit} over a fixed pool of requests (cold forces a
+// cache miss per request by giving each its own eps — eps is part of the
+// artifact key).  Throughput is wall-clock based; latency is per-request
+// nearest-rank p99; every response is byte-compared to an in-process
+// sequential twin.
+//
 // --json PATH writes the lapclique-bench-v1 table (committed as
 // BENCH_serve.json).
 #include <algorithm>
@@ -20,11 +27,14 @@
 #include <fstream>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "graph/generators.hpp"
 #include "obs/json.hpp"
+#include "serve/client.hpp"
+#include "serve/frontend.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -36,8 +46,9 @@ constexpr int kN = 64;
 constexpr int kM = 224;
 constexpr std::uint64_t kSeed = 33;
 constexpr double kEps = 1e-6;
-constexpr int kRequests = 40;   // per scenario
-constexpr int kBatchCols = 32;  // RHS per solve_batch request
+constexpr int kRequests = 40;        // per scenario
+constexpr int kBatchCols = 32;       // RHS per solve_batch request
+constexpr int kConcurrentTotal = 48; // fixed work split across connections
 
 std::string load_request(const graph::Graph& g) {
   json::Object req;
@@ -72,12 +83,12 @@ std::vector<double> random_b(std::uint64_t salt) {
 }
 
 std::string solve_request(const std::vector<double>& b, const char* routing,
-                          int threads, int id) {
+                          int threads, int id, double eps = kEps) {
   json::Object req;
   req.emplace("op", "solve");
   req.emplace("id", id);
   req.emplace("graph", "g");
-  req.emplace("eps", kEps);
+  req.emplace("eps", eps);
   req.emplace("routing", routing);
   req.emplace("threads", threads);
   req.emplace("b", vec_json(b));
@@ -248,9 +259,93 @@ int main(int argc, char** argv) {
       sweep.push_back(json::Value(std::move(row)));
     }
   }
+  // --- concurrent-clients sweep over the socket frontend --------------------
+  bench::row("%s", "");
+  bench::row("%-9s | %4s | %-5s | %10s | %9s | %9s | %7s", "frontend", "conn",
+             "shape", "reqs/s", "mean ms", "p99 ms", "bytes");
+  json::Array concurrent;
+  for (const int connections : {1, 4, 16}) {
+    for (const bool cold : {true, false}) {
+      // Fixed total work split across the connections, so throughput numbers
+      // are comparable down the column.  Cold gives every request a distinct
+      // eps (a distinct artifact-cache key); hit shares one prewarmed key.
+      std::vector<std::string> reqs(kConcurrentTotal);
+      for (int i = 0; i < kConcurrentTotal; ++i) {
+        const double eps =
+            cold ? kEps * (1.0 + 1e-3 * static_cast<double>(i + 1)) : kEps;
+        reqs[static_cast<std::size_t>(i)] =
+            solve_request(bs[static_cast<std::size_t>(i) % bs.size()],
+                          "charged", 1, 20000 + i, eps);
+      }
+
+      // Sequential twin: the byte-identity reference for every response.
+      serve::Server sequential;
+      (void)sequential.handle(load);
+      std::vector<std::string> expected(reqs.size());
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        expected[i] = sequential.handle(reqs[i]);
+      }
+
+      serve::Server server;
+      serve::FrontendOptions fopt;
+      fopt.workers = connections;  // each persistent connection gets a worker
+      fopt.max_pending = 64;
+      serve::Frontend frontend(server, fopt);
+      frontend.listen();
+      std::thread runner([&frontend] { frontend.run(); });
+      {
+        serve::Client loader(frontend.port());
+        (void)loader.call(load);
+        if (!cold) (void)loader.call(reqs[0]);  // prewarm the shared artifact
+      }
+
+      std::vector<double> latency_ms(reqs.size(), 0.0);
+      std::vector<bool> matched(reqs.size(), false);
+      std::vector<std::thread> clients;
+      const double wall0 = bench::now_ms();
+      for (int c = 0; c < connections; ++c) {
+        clients.emplace_back([&, c] {
+          serve::Client client(frontend.port());
+          for (std::size_t i = static_cast<std::size_t>(c); i < reqs.size();
+               i += static_cast<std::size_t>(connections)) {
+            const double t0 = bench::now_ms();
+            const std::string body = client.call(reqs[i]);
+            latency_ms[i] = bench::now_ms() - t0;
+            matched[i] = body == expected[i];
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      const double wall_ms = bench::now_ms() - wall0;
+      server.begin_drain();
+      runner.join();
+
+      const bool all_matched =
+          std::all_of(matched.begin(), matched.end(), [](bool m) { return m; });
+      all_deterministic &= all_matched;
+      const Timing t = summarize(latency_ms);
+      const double rps =
+          wall_ms > 0 ? 1000.0 * static_cast<double>(reqs.size()) / wall_ms : 0;
+      bench::row("%-9s | %4d | %-5s | %10.1f | %9.3f | %9.3f | %7s",
+                 "socket", connections, cold ? "cold" : "hit", rps, t.mean_ms,
+                 t.p99_ms, all_matched ? "=" : "DIVERGED");
+
+      json::Object row;
+      row.emplace("connections", connections);
+      row.emplace("matches_sequential", all_matched);
+      row.emplace("mean_ms", t.mean_ms);
+      row.emplace("p99_ms", t.p99_ms);
+      row.emplace("reqs_per_s", rps);
+      row.emplace("requests", kConcurrentTotal);
+      row.emplace("shape", cold ? "cold" : "hit");
+      row.emplace("wall_ms", wall_ms);
+      concurrent.push_back(json::Value(std::move(row)));
+    }
+  }
+
   bench::row("%s", all_deterministic
                        ? "determinism: all bodies byte-identical across "
-                         "cache state and thread counts"
+                         "cache state, thread counts, and connection counts"
                        : "determinism: BODIES DIVERGED");
 
   if (json_path != nullptr) {
@@ -266,6 +361,8 @@ int main(int argc, char** argv) {
     instance.emplace("requests", kRequests);
     instance.emplace("seed", static_cast<std::int64_t>(kSeed));
     top.emplace("instance", json::Value(std::move(instance)));
+    top.emplace("concurrent", json::Value(std::move(concurrent)));
+    top.emplace("concurrent_requests", kConcurrentTotal);
     top.emplace("deterministic", all_deterministic);
     top.emplace("sweep", json::Value(std::move(sweep)));
     std::ofstream out(json_path);

@@ -507,6 +507,9 @@ std::string fault_signature(const fault::FaultPlan* plan) {
   if (plan == nullptr) return "";
   fault::FaultSpec spec = plan->spec();
   spec.preempt_at = fault::FaultSpec::kNever;
+  // sock-* faults act on the serving frontend's real sockets, never on the
+  // simulated run, so like preempt= they are accounting-neutral.
+  spec.sock_drop = spec.sock_partial = spec.sock_slow = 0.0;
   const std::string text = fault::to_string(spec);
   if (text.empty()) return "";
   return text + "#" + std::to_string(plan->seed());
@@ -516,6 +519,7 @@ std::string fault_signature(const Checkpoint& ck) {
   if (!ck.has_fault_plan || ck.fault_spec.empty()) return "";
   fault::FaultSpec spec = fault::parse_fault_spec(ck.fault_spec);
   spec.preempt_at = fault::FaultSpec::kNever;
+  spec.sock_drop = spec.sock_partial = spec.sock_slow = 0.0;
   const std::string text = fault::to_string(spec);
   if (text.empty()) return "";
   return text + "#" + std::to_string(ck.fault_seed);
@@ -623,6 +627,23 @@ void maybe_preempt(const fault::FaultPlan* plan, std::int64_t batch) {
   if (plan != nullptr && plan->preempt_due(batch)) {
     throw fault::PreemptError(batch);
   }
+}
+
+namespace {
+/// The calling thread's boundary check (empty = none).  Thread-local, so
+/// concurrent serve requests each enforce their own deadline.
+thread_local CancellationFn tls_cancellation;
+}  // namespace
+
+CancellationScope::CancellationScope(CancellationFn fn)
+    : prev_(std::move(tls_cancellation)) {
+  tls_cancellation = std::move(fn);
+}
+
+CancellationScope::~CancellationScope() { tls_cancellation = std::move(prev_); }
+
+void poll_cancellation(std::int64_t batch) {
+  if (tls_cancellation) tls_cancellation(batch);
 }
 
 void boundary(const CheckpointHooks& hooks, clique::Network& net,

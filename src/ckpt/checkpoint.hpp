@@ -240,6 +240,38 @@ struct CheckpointHooks {
 /// preempted run always leaves a resumable snapshot of the batch it died at.
 void maybe_preempt(const fault::FaultPlan* plan, std::int64_t batch);
 
+// --- cooperative cancellation at batch boundaries --------------------------
+//
+// Checkpoint-batch boundaries are the IPMs' natural preemption points; the
+// serving frontend (src/serve) reuses them as *deadline-check* points.  A
+// CancellationScope installs a per-thread check for the duration of one
+// request; the IPM loops poll it at every boundary — even when no checkpoint
+// hooks are attached — so an expired deadline aborts a long run at a clean
+// point instead of hanging the connection.  The check may throw any
+// exception (the serve layer throws its DeadlineError); it must not touch
+// the network, so an aborted run's partial accounting stays readable.
+
+/// Per-boundary check; `batch` is the boundary index about to run.
+using CancellationFn = std::function<void(std::int64_t batch)>;
+
+/// RAII: installs `fn` as the calling thread's boundary check, restoring
+/// the previous one (usually none) on destruction.  An empty fn is allowed
+/// and makes poll_cancellation a no-op for the scope.
+class CancellationScope {
+ public:
+  explicit CancellationScope(CancellationFn fn);
+  ~CancellationScope();
+  CancellationScope(const CancellationScope&) = delete;
+  CancellationScope& operator=(const CancellationScope&) = delete;
+
+ private:
+  CancellationFn prev_;
+};
+
+/// Invoke the calling thread's installed check, if any.  Cheap when none is
+/// installed (one thread-local load), so the IPMs call it unconditionally.
+void poll_cancellation(std::int64_t batch);
+
 /// The per-boundary call the IPMs make: write a checkpoint when one is due
 /// (the payload thunk runs only then), then honor a scheduled preemption.
 void boundary(const CheckpointHooks& hooks, clique::Network& net,

@@ -26,9 +26,13 @@
 // in).  `lapclique::Runtime` (core/runtime.hpp) carries the per-run value.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -165,5 +169,55 @@ T parallel_reduce(std::int64_t count, std::int64_t grain, T init, MapFn&& map,
   for (T& p : partials) acc = combine(std::move(acc), std::move(p));
   return acc;
 }
+
+/// A bounded set of long-lived task workers, the serving frontend's
+/// connection executor (src/serve/frontend.*).  Unlike the sharded pool
+/// above — which splits ONE deterministic computation across threads —
+/// a WorkerSet runs MANY independent opaque tasks (one per client
+/// connection) whose completion order is free to vary; determinism is the
+/// caller's contract (serve responses are pure functions of the request).
+/// Tasks submitted beyond the worker count queue FIFO; the queue depth is
+/// what the frontend's admission control bounds.
+///
+/// Tasks may themselves enter parallel regions (requests shard node-local
+/// compute through parallel_for); those regions contend for the single
+/// process pool and degrade gracefully to inline execution (see Pool::run),
+/// which cannot change results.
+class WorkerSet {
+ public:
+  /// Spawns `workers` threads immediately (clamped to [1, kMaxThreads]).
+  explicit WorkerSet(int workers);
+  /// close() + join(): pending tasks still run before destruction returns.
+  ~WorkerSet();
+  WorkerSet(const WorkerSet&) = delete;
+  WorkerSet& operator=(const WorkerSet&) = delete;
+
+  /// Enqueue a task.  Throws std::runtime_error after close().  A task that
+  /// throws is swallowed (workers must outlive any one task's failure);
+  /// tasks are expected to report their own errors.
+  void submit(std::function<void()> task);
+
+  /// Tasks queued and not yet claimed by a worker (the admission gauge).
+  [[nodiscard]] std::size_t pending() const;
+  /// Tasks currently executing.
+  [[nodiscard]] int busy() const;
+  [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Refuse further submissions; workers drain the queue, then exit.
+  void close();
+  /// Wait for every worker to exit (requires close() first or it blocks
+  /// until another thread calls it).
+  void join();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int busy_ = 0;
+  bool closed_ = false;
+};
 
 }  // namespace lapclique::exec

@@ -77,6 +77,12 @@ FaultSpec parse_fault_spec(const std::string& text) {
       spec.max_retries = static_cast<int>(parse_int(clause, val, 0));
     } else if (key == "preempt") {
       spec.preempt_at = parse_int(clause, val, 0);
+    } else if (key == "sock-drop") {
+      spec.sock_drop = parse_probability(clause, val);
+    } else if (key == "sock-partial") {
+      spec.sock_partial = parse_probability(clause, val);
+    } else if (key == "sock-slow") {
+      spec.sock_slow = parse_probability(clause, val);
     } else if (key == "crash") {
       const auto at = val.find('@');
       if (at == std::string::npos) bad_clause(clause, "expected NODE@OP");
@@ -100,6 +106,11 @@ FaultSpec parse_fault_spec(const std::string& text) {
         "fault spec: drop + corrupt must stay below 1 or recovery cannot "
         "terminate");
   }
+  if (spec.sock_drop + spec.sock_partial + spec.sock_slow >= 1.0) {
+    throw std::invalid_argument(
+        "fault spec: sock-drop + sock-partial + sock-slow must stay below 1 "
+        "or every socket operation faults and clients cannot make progress");
+  }
   return spec;
 }
 
@@ -117,6 +128,9 @@ std::string to_string(const FaultSpec& spec) {
   for (const CrashPoint& cp : spec.crashes) clause("crash=", cp.node, "@", cp.op);
   if (spec.max_retries != FaultSpec{}.max_retries) clause("retries=", spec.max_retries);
   if (spec.preempt_at != FaultSpec::kNever) clause("preempt=", spec.preempt_at);
+  if (spec.sock_drop > 0) clause("sock-drop=", spec.sock_drop);
+  if (spec.sock_partial > 0) clause("sock-partial=", spec.sock_partial);
+  if (spec.sock_slow > 0) clause("sock-slow=", spec.sock_slow);
   if (spec.ipm_nan_at != FaultSpec::kNever) clause("ipm-nan@", spec.ipm_nan_at);
   if (spec.solver_nan_at == FaultSpec::kAlways) {
     clause("solver-nan@all");
@@ -197,6 +211,40 @@ std::int64_t FaultPlan::count_transport_faults(std::int64_t words) {
   return failures;
 }
 
+SockFate FaultPlan::next_sock_fate() {
+  if (!spec_.any_socket_faults()) return SockFate::kOk;
+  // An independent counter-indexed stream: the tag keeps socket draws
+  // uncorrelated with the word-fate stream even under the same seed, and
+  // the atomic counter makes the call safe from concurrent connection
+  // workers sharing one plan.
+  constexpr std::uint64_t kSockTag = 0x534f434b46415445ULL;  // "SOCKFATE"
+  const std::uint64_t idx = sock_draws_.fetch_add(1, std::memory_order_relaxed);
+  const double u = u01_from(mix64(seed_ ^ kSockTag ^ idx));
+  sock_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (u < spec_.sock_drop) {
+    sock_drops_.fetch_add(1, std::memory_order_relaxed);
+    return SockFate::kDrop;
+  }
+  if (u < spec_.sock_drop + spec_.sock_partial) {
+    sock_partials_.fetch_add(1, std::memory_order_relaxed);
+    return SockFate::kPartial;
+  }
+  if (u < spec_.sock_drop + spec_.sock_partial + spec_.sock_slow) {
+    sock_slows_.fetch_add(1, std::memory_order_relaxed);
+    return SockFate::kSlow;
+  }
+  return SockFate::kOk;
+}
+
+SockStats FaultPlan::sock_stats() const {
+  SockStats s;
+  s.ops = sock_ops_.load(std::memory_order_relaxed);
+  s.drops = sock_drops_.load(std::memory_order_relaxed);
+  s.partials = sock_partials_.load(std::memory_order_relaxed);
+  s.slows = sock_slows_.load(std::memory_order_relaxed);
+  return s;
+}
+
 bool FaultPlan::ipm_nan_due(std::int64_t iteration) const {
   return spec_.ipm_nan_at != FaultSpec::kNever &&
          (spec_.ipm_nan_at == FaultSpec::kAlways ||
@@ -229,6 +277,15 @@ obs::json::Value FaultPlan::to_json() const {
   st["ipm_fallbacks"] = stats_.ipm_fallbacks;
   st["solver_fallbacks"] = stats_.solver_fallbacks;
   root["recovery"] = std::move(st);
+  if (spec_.any_socket_faults()) {
+    const SockStats sk = sock_stats();
+    obs::json::Object so;
+    so["ops"] = sk.ops;
+    so["drops"] = sk.drops;
+    so["partials"] = sk.partials;
+    so["slows"] = sk.slows;
+    root["socket"] = std::move(so);
+  }
   return obs::json::Value(std::move(root));
 }
 

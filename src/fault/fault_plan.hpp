@@ -31,7 +31,18 @@
 //   clause     := "drop=" P | "corrupt=" P | "dup=" P
 //               | "crash=" NODE "@" OP | "retries=" K | "preempt=" BATCH
 //               | "ipm-nan@" ITER | "solver-nan@" (RESTART | "all")
+//               | "sock-drop=" P | "sock-partial=" P | "sock-slow=" P
 //   P          := probability in [0, 1)
+//
+// The `sock-*` clauses target the serving frontend's real TCP transport
+// (src/serve/socket_io.*), not the simulated clique: `sock-drop` resets the
+// connection mid-operation, `sock-partial` truncates one read/write call
+// (exercising the short-I/O loops), `sock-slow` delays one call by a few
+// milliseconds.  They are recovered by the retrying serve::Client, never
+// enter the simulated network, and are accounting-neutral —
+// any_transport_faults() excludes them and the checkpoint fault signature
+// strips them.  Socket fates come from their own SplitMix64 stream with an
+// atomic draw counter, so concurrent connection workers may share one plan.
 //
 // e.g.  --faults drop=0.01,corrupt=0.005,dup=0.01,crash=2@40 --fault-seed 7
 //
@@ -45,6 +56,7 @@
 // uninterrupted one.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -81,9 +93,21 @@ struct FaultSpec {
   /// Process-level crash-stop: abort the run with PreemptError at this
   /// checkpoint-batch boundary (see header comment; accounting-neutral).
   std::int64_t preempt_at = kNever;
+  /// Serving-frontend socket faults (see header comment): per read()/write()
+  /// probabilities of a connection reset, a truncated call, and an injected
+  /// delay.  Never touch the simulated network or its accounting.
+  double sock_drop = 0.0;
+  double sock_partial = 0.0;
+  double sock_slow = 0.0;
 
+  /// Simulated-clique transport faults only: the sock-* clauses act on the
+  /// daemon's real sockets and must not arm the in-run recovery layer (or
+  /// perturb its word-fate draw stream).
   [[nodiscard]] bool any_transport_faults() const {
     return drop > 0 || corrupt > 0 || duplicate > 0 || !crashes.empty();
+  }
+  [[nodiscard]] bool any_socket_faults() const {
+    return sock_drop > 0 || sock_partial > 0 || sock_slow > 0;
   }
 };
 
@@ -137,6 +161,20 @@ struct RecoveryStats {
 /// How the injector disposed of one transmitted word.
 enum class WordFate { kOk, kDrop, kCorrupt, kDuplicate };
 
+/// How the injector disposed of one socket read()/write() call in the serve
+/// frontend (serve/socket_io.*).
+enum class SockFate { kOk, kDrop, kPartial, kSlow };
+
+/// Socket-fault tally, separate from RecoveryStats: these faults live in
+/// the daemon's transport, outside the simulated clique, and are healed by
+/// client retries rather than the in-run recovery layer.
+struct SockStats {
+  std::int64_t ops = 0;       ///< fates drawn (one per injected-path I/O call)
+  std::int64_t drops = 0;     ///< connections reset mid-operation
+  std::int64_t partials = 0;  ///< reads/writes truncated to force short I/O
+  std::int64_t slows = 0;     ///< calls delayed by the injected sleep
+};
+
 /// Value snapshot of a FaultPlan's mutable state (draw counter, batch
 /// counter, stats), used by the checkpoint subsystem: restoring it on
 /// resume makes the injected fault stream — and therefore the recovery
@@ -175,6 +213,20 @@ class FaultPlan {
   /// no retransmission (sequence numbers discard them on arrival).
   std::int64_t count_transport_faults(std::int64_t words);
 
+  // --- socket-level injection (called by serve/socket_io) ---
+
+  /// Dispose of the next socket I/O call.  Thread-safe (atomic draw
+  /// counter): the serve frontend's connection workers share one plan.  The
+  /// fate at draw index i is a pure function of (seed, i) on a stream
+  /// independent of the word-fate stream; which worker claims index i is
+  /// scheduling-dependent, which is why sock faults are excluded from the
+  /// bit-identical accounting contract (responses stay byte-identical
+  /// because the protocol layer re-sends, not because fates replay).
+  SockFate next_sock_fate();
+
+  /// Snapshot of the socket-fault tally (atomics read relaxed).
+  [[nodiscard]] SockStats sock_stats() const;
+
   // --- algorithm-level drills ---
 
   [[nodiscard]] bool ipm_nan_due(std::int64_t iteration) const;
@@ -212,6 +264,13 @@ class FaultPlan {
   std::uint64_t draws_ = 0;      ///< word-fate draw counter
   std::int64_t op_counter_ = 0;  ///< communication-batch counter
   RecoveryStats stats_;
+  // Socket-fault state, deliberately outside FaultPlanSnapshot: sock faults
+  // never perturb the simulated run, so checkpoints need not replay them.
+  std::atomic<std::uint64_t> sock_draws_{0};
+  std::atomic<std::int64_t> sock_ops_{0};
+  std::atomic<std::int64_t> sock_drops_{0};
+  std::atomic<std::int64_t> sock_partials_{0};
+  std::atomic<std::int64_t> sock_slows_{0};
 };
 
 /// Process-wide default plan, mirroring obs::default_ledger(): Network

@@ -710,7 +710,9 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
     if (const char* reason = divergence()) return degrade(reason);
     // Boundary 0: the state after initial augmentation, so even a run
     // preempted inside its very first loop batch resumes instead of
-    // restarting.
+    // restarting.  Boundaries double as deadline-check points for the serve
+    // frontend, polled even when no checkpoint hooks are attached.
+    ckpt::poll_cancellation(0);
     if (boundaries) ckpt::boundary(hooks, net, 0, kCkptAlgo, ghash, encode);
   }
 
@@ -739,6 +741,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
     // Boundary it+1: the state a continuation entering the loop at it+1
     // needs — written before the preempt check, so a preempted run always
     // leaves the snapshot it will resume from.
+    ckpt::poll_cancellation(it + 1);
     if (boundaries) {
       ckpt::boundary(hooks, net, it + 1, kCkptAlgo, ghash, encode);
     }

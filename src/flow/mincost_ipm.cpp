@@ -484,7 +484,9 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
     if (const char* reason = divergence()) return degrade(reason);
     // Boundary 0: the state after calibration, before any Progress step, so
     // even a run preempted inside its very first batch resumes instead of
-    // restarting.
+    // restarting.  Boundaries double as deadline-check points for the serve
+    // frontend, polled even when no checkpoint hooks are attached.
+    ckpt::poll_cancellation(0);
     if (boundaries) ckpt::boundary(hooks, net, 0, kCkptAlgo, ghash, encode);
   }
 
@@ -654,8 +656,9 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
     // written before the preempt check inside ckpt::boundary, so a preempted
     // run always leaves the snapshot it will resume from.  A finished iterate
     // (done) writes no boundary: resume always re-enters the loop live.
-    if (!done && boundaries) {
-      ckpt::boundary(hooks, net, t + 1, kCkptAlgo, ghash, encode);
+    if (!done) {
+      ckpt::poll_cancellation(t + 1);
+      if (boundaries) ckpt::boundary(hooks, net, t + 1, kCkptAlgo, ghash, encode);
     }
   }
   if (const char* reason = divergence()) return degrade(reason);

@@ -1,0 +1,213 @@
+#include "serve/frontend.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "exec/pool.hpp"
+#include "serve/protocol.hpp"
+#include "serve/socket_io.hpp"
+
+namespace lapclique::serve {
+
+namespace json = obs::json;
+
+namespace {
+
+/// Drain/readiness poll granularity: connections and the accept loop notice
+/// a drain within this many milliseconds of going idle.
+constexpr int kPollMs = 50;
+
+/// retry_after_ms hint for shed connections: a pure function of the queue
+/// depth observed at the shed decision (deterministic given the depth, and
+/// bounded so clients never back off absurdly).
+std::int64_t retry_after_ms(std::size_t depth) {
+  const std::int64_t hint = 25 * (static_cast<std::int64_t>(depth) + 1);
+  return hint < 1000 ? hint : 1000;
+}
+
+}  // namespace
+
+Frontend::Frontend(Server& server, FrontendOptions opt)
+    : server_(server), opt_(opt) {
+  if (opt_.workers < 1) opt_.workers = 1;
+}
+
+Frontend::~Frontend() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+int Frontend::listen() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opt_.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("bind(127.0.0.1:" + std::to_string(opt_.port) +
+                             "): " + err);
+  }
+  if (::listen(fd, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("listen(): " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("getsockname(): " + err);
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  return port_;
+}
+
+void Frontend::run() {
+  if (listen_fd_ < 0) throw std::runtime_error("Frontend::run before listen");
+  server_.set_workers(opt_.workers);
+  workers_ = std::make_unique<exec::WorkerSet>(opt_.workers);
+
+  while (!server_.draining()) {
+    pollfd p{};
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, kPollMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    server_.note_accepted();
+    // Admission control.  Only this thread enqueues, so the depth it reads
+    // is the depth the admitted connection will actually wait behind; a
+    // connection is shed only when every worker is occupied AND the queue is
+    // at capacity.
+    const std::size_t depth = workers_->pending();
+    if (depth >= opt_.max_pending && workers_->busy() >= workers_->workers()) {
+      shed(fd, depth);
+      continue;
+    }
+    workers_->submit([this, fd] {
+      server_.set_queue_depth(static_cast<std::int64_t>(workers_->pending()));
+      serve_connection(fd);
+    });
+    server_.set_queue_depth(static_cast<std::int64_t>(workers_->pending()));
+  }
+
+  // Drain: stop accepting (close the listening socket first so new
+  // connections are refused, not ignored), then let queued + in-flight
+  // connections finish.  Their loops observe draining() and exit once their
+  // buffered complete lines are answered.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  server_.begin_drain();
+  workers_->close();
+  workers_->join();
+  server_.set_queue_depth(0);
+}
+
+void Frontend::shed(int fd, std::size_t depth) {
+  server_.note_shed();
+  json::Object error_extra;
+  error_extra.emplace("retry_after_ms", retry_after_ms(depth));
+  std::string line = error_response(json::Value(), "overloaded",
+                                    "server at capacity",
+                                    std::move(error_extra), json::Object{});
+  line.push_back('\n');
+  // Best-effort: the response is far below any socket buffer, and a peer
+  // that already vanished just loses its hint.
+  (void)sock_write_all(fd, line.data(), line.size(), opt_.faults);
+  ::close(fd);
+}
+
+void Frontend::serve_connection(int fd) {
+  server_.note_connection_opened();
+  std::string buffer;
+  bool discarding = false;  // swallowing the tail of an over-limit line
+  bool alive = true;
+  while (alive) {
+    // Answer every complete line already buffered (during a drain these are
+    // the requests we still owe answers to).
+    std::size_t pos;
+    while (alive && (pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (discarding) {
+        // The newline ending the oversized request; it was already answered
+        // with a "limit" error when the cap tripped.
+        discarding = false;
+        continue;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = server_.handle(line);
+      response.push_back('\n');
+      const IoResult w =
+          sock_write_all(fd, response.data(), response.size(), opt_.faults);
+      if (!w.ok) alive = false;
+    }
+    if (!alive) break;
+
+    // The byte cap applies to the partial line too: a newline-free stream
+    // must not grow the buffer without bound.  One error, then discard until
+    // the line finally ends.
+    if (!discarding && buffer.size() > server_.options().max_request_bytes) {
+      std::string err = error_response(
+          json::Value(), "limit",
+          "request exceeds the limit of " +
+              std::to_string(server_.options().max_request_bytes) + " bytes");
+      err.push_back('\n');
+      const IoResult w = sock_write_all(fd, err.data(), err.size(), opt_.faults);
+      if (!w.ok) break;
+      buffer.clear();
+      discarding = true;
+    } else if (discarding) {
+      buffer.clear();
+    }
+
+    // During a drain, sweep only bytes ALREADY received (poll timeout 0):
+    // requests on the wire before the drain are still answered, but a client
+    // that keeps sending cannot hold the drain hostage.
+    const bool draining = server_.draining();
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, draining ? 0 : kPollMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) {
+      if (draining) break;  // nothing pending: this connection is drained
+      continue;
+    }
+    char chunk[4096];
+    const IoResult r = sock_read(fd, chunk, sizeof(chunk), opt_.faults);
+    if (!r.ok || r.n == 0) break;  // hard error, injected drop, or EOF
+    buffer.append(chunk, static_cast<std::size_t>(r.n));
+  }
+  ::close(fd);
+  server_.note_connection_closed();
+}
+
+}  // namespace lapclique::serve

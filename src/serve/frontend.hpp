@@ -1,0 +1,82 @@
+// The multi-client socket frontend of lapclique_serve.
+//
+// A Frontend owns a listening TCP socket (127.0.0.1) and an exec::WorkerSet
+// of connection workers.  The accept loop runs on the calling thread and
+// dispatches each accepted connection onto a worker, which owns it for its
+// whole lifetime (requests on one connection are answered in order; requests
+// on different connections interleave freely).  Response bodies remain pure
+// functions of the request — the Server's determinism contract — so any
+// interleaving yields the same bytes per request.
+//
+// Overload safety (docs/SERVING.md):
+//   * admission control — a connection arriving while every worker is busy
+//     AND the queue holds >= max_pending connections is shed on the accept
+//     thread: one "overloaded" error line (with a "retry_after_ms" hint
+//     derived deterministically from the queue depth), then close.
+//   * per-request deadlines — enforced inside Server::handle.
+//   * graceful drain — when Server::draining() flips (SIGTERM handler or the
+//     "shutdown" op), the accept loop stops, queued + in-flight connections
+//     finish answering the complete lines they have received (new reads
+//     stop), every response is flushed, and run() returns.
+//
+// Transport robustness: all socket I/O goes through serve/socket_io.hpp —
+// EINTR retried, short writes looped, MSG_NOSIGNAL — and an attached
+// fault::FaultPlan with sock-* clauses injects deterministic drops/partial
+// writes/stalls for the robustness suite.  A connection whose transport
+// fails is closed; the Server's state is untouched (clients reconnect and
+// resend — every op is idempotent).
+//
+// The per-connection byte cap: max_request_bytes applies to the ACCUMULATING
+// buffer, not just completed lines, so a peer streaming an endless newline-
+// free request gets one "limit" error and the rest of that line is discarded
+// as it arrives; the connection stays usable for the next line.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fault/fault_plan.hpp"
+#include "serve/server.hpp"
+
+namespace lapclique::exec {
+class WorkerSet;
+}
+
+namespace lapclique::serve {
+
+struct FrontendOptions {
+  int port = 0;                 ///< 0: kernel-assigned ephemeral port
+  int workers = 4;              ///< connection workers (>= 1)
+  std::size_t max_pending = 16; ///< queued connections tolerated while all
+                                ///< workers are busy; beyond this, shed
+  fault::FaultPlan* faults = nullptr;  ///< sock-* injection (not owned)
+};
+
+class Frontend {
+ public:
+  Frontend(Server& server, FrontendOptions opt);
+  ~Frontend();
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Bind + listen on 127.0.0.1; returns the bound port (the ephemeral
+  /// choice when opt.port == 0).  Throws std::runtime_error on failure.
+  int listen();
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Accept/dispatch loop; blocks until drain completes (all workers
+  /// joined, every accepted connection closed).  Call after listen().
+  void run();
+
+ private:
+  void shed(int fd, std::size_t depth);
+  void serve_connection(int fd);
+
+  Server& server_;
+  FrontendOptions opt_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::unique_ptr<exec::WorkerSet> workers_;
+};
+
+}  // namespace lapclique::serve

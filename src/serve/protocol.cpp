@@ -151,6 +151,19 @@ std::string error_response(const json::Value& id, const std::string& code,
   return json::Value(std::move(o)).dump();
 }
 
+std::string error_response(const json::Value& id, const std::string& code,
+                           const std::string& message, json::Object error_extra,
+                           json::Object top_extra) {
+  json::Object err = std::move(error_extra);
+  err.insert_or_assign("code", json::Value(code));
+  err.insert_or_assign("message", json::Value(message));
+  json::Object o = std::move(top_extra);
+  o.insert_or_assign("id", id);
+  o.insert_or_assign("ok", json::Value(false));
+  o.insert_or_assign("error", json::Value(std::move(err)));
+  return json::Value(std::move(o)).dump();
+}
+
 std::int64_t parse_error_offset(const std::string& what) {
   const std::string marker = "at offset ";
   const std::size_t pos = what.find(marker);

@@ -35,6 +35,13 @@ namespace lapclique::serve {
 ///   "unknown_op"    unrecognized "op"
 ///   "unknown_graph" graph name not in the registry
 ///   "internal"      unexpected failure inside an algorithm
+///
+/// Two more codes are produced by the Server directly (not via this class):
+///   "deadline_exceeded"  the request's deadline expired; error carries "at"
+///                        (where the check fired) and, when the abort landed
+///                        mid-solve, a top-level "run" with partial accounting
+///   "overloaded"         admission control shed the request; error carries
+///                        "retry_after_ms"
 class RequestError : public std::runtime_error {
  public:
   RequestError(std::string code, const std::string& message,
@@ -89,6 +96,15 @@ class RequestError : public std::runtime_error {
                                          const std::string& code,
                                          const std::string& message,
                                          std::int64_t offset = -1);
+
+/// error_response with extra members spliced in: `error_extra` merges into
+/// the "error" object (e.g. "at", "retry_after_ms"), `top_extra` into the
+/// top-level response (e.g. the partial "run" of a deadline abort).
+[[nodiscard]] std::string error_response(const obs::json::Value& id,
+                                         const std::string& code,
+                                         const std::string& message,
+                                         obs::json::Object error_extra,
+                                         obs::json::Object top_extra);
 
 /// Byte offset parsed from an obs::json parse-error message
 /// ("json parse error at offset N: ..."), or -1.

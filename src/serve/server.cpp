@@ -1,8 +1,10 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <utility>
 
@@ -100,6 +102,106 @@ void fill_telemetry(RequestTelemetry* telemetry, const obs::RoundLedger& ledger)
       telemetry->ledger_rounds["solver/range_estimation"];
 }
 
+// --- per-request deadlines -------------------------------------------------
+//
+// A Deadline is armed from the request's "deadline_ms" field (or the server
+// default) and checked cooperatively: at admission, between solver phases,
+// and — via ckpt::poll_cancellation — at every IPM batch boundary.  The
+// error MESSAGE is a pure function of the configured limit (never of elapsed
+// time), so "deadline_ms":0 aborts produce byte-deterministic responses; the
+// "at" location of a genuinely-racing timeout is the only timing-dependent
+// part, and it lives in the error object, which the determinism suite never
+// byte-compares across timings.
+
+class Deadline {
+ public:
+  static Deadline none() { return Deadline(); }
+  static Deadline after_ms(std::int64_t ms) {
+    Deadline d;
+    d.armed_ = true;
+    d.limit_ms_ = ms;
+    d.expires_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] std::int64_t limit_ms() const { return limit_ms_; }
+  [[nodiscard]] bool expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= expires_;
+  }
+
+ private:
+  bool armed_ = false;
+  std::int64_t limit_ms_ = 0;
+  std::chrono::steady_clock::time_point expires_{};
+};
+
+/// Thrown by deadline checks; caught only in Server::handle (and, in the
+/// flow handlers, briefly intercepted to attach the aborted run's partial
+/// accounting before rethrow).
+class DeadlineError : public std::runtime_error {
+ public:
+  DeadlineError(std::int64_t limit_ms, std::string at)
+      : std::runtime_error("deadline of " + std::to_string(limit_ms) +
+                           " ms exceeded"),
+        at_(std::move(at)) {}
+
+  [[nodiscard]] const std::string& at() const { return at_; }
+  void attach(const clique::Network& net) {
+    run_.emplace();
+    run_->capture(net);
+  }
+  [[nodiscard]] const std::optional<RunInfo>& run() const { return run_; }
+
+ private:
+  std::string at_;
+  std::optional<RunInfo> run_;
+};
+
+/// The request's deadline, visible to the handler methods without threading
+/// it through every signature.  Set for the duration of one handle() call on
+/// the handling thread (requests never migrate threads mid-handle).
+thread_local const Deadline* tls_deadline = nullptr;
+
+struct RequestDeadlineScope {
+  explicit RequestDeadlineScope(const Deadline* d) : prev(tls_deadline) {
+    tls_deadline = d;
+  }
+  ~RequestDeadlineScope() { tls_deadline = prev; }
+  RequestDeadlineScope(const RequestDeadlineScope&) = delete;
+  RequestDeadlineScope& operator=(const RequestDeadlineScope&) = delete;
+  const Deadline* prev;
+};
+
+/// Between-phase check: throws a located DeadlineError when expired.
+void check_deadline(const char* at) {
+  const Deadline* d = tls_deadline;
+  if (d != nullptr && d->expired()) throw DeadlineError(d->limit_ms(), at);
+}
+
+Deadline parse_deadline(const json::Value& req, std::int64_t default_ms) {
+  const std::optional<std::int64_t> ms = optional_int(req, "deadline_ms");
+  if (ms.has_value()) {
+    if (*ms < 0) {
+      throw RequestError("bad_request", "deadline_ms must be >= 0");
+    }
+    return Deadline::after_ms(*ms);
+  }
+  if (default_ms > 0) return Deadline::after_ms(default_ms);
+  return Deadline::none();
+}
+
+/// RAII gauge bump for handle()'s in-flight count.
+struct InFlightGuard {
+  explicit InFlightGuard(std::atomic<int>& g) : gauge(g) {
+    gauge.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InFlightGuard() { gauge.fetch_sub(1, std::memory_order_relaxed); }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+  std::atomic<int>& gauge;
+};
+
 }  // namespace
 
 Server::Server(ServerOptions opt)
@@ -117,6 +219,7 @@ std::shared_ptr<const Server::Slot> Server::find_graph(
 
 std::string Server::handle(const std::string& line, RequestTelemetry* telemetry) {
   if (telemetry != nullptr) *telemetry = {};
+  const InFlightGuard in_flight(in_flight_);
   json::Value id;  // null until the request yields one
   try {
     if (line.size() > opt_.max_request_bytes) {
@@ -136,14 +239,45 @@ std::string Server::handle(const std::string& line, RequestTelemetry* telemetry)
     }
     if (const json::Value* idf = find_field(req, "id")) id = *idf;
     const std::string op = require_string(req, "op");
-    return dispatch(req, id, op, telemetry);
+
+    const Deadline deadline = parse_deadline(req, opt_.default_deadline_ms);
+    const RequestDeadlineScope deadline_scope(deadline.armed() ? &deadline
+                                                               : nullptr);
+    check_deadline("admission");
+    // IPM batch boundaries double as deadline-check points: the flow ops'
+    // Θ(√m) iteration loops poll this on the handling thread.
+    ckpt::CancellationScope cancel(
+        deadline.armed()
+            ? ckpt::CancellationFn([&deadline](std::int64_t batch) {
+                if (deadline.expired()) {
+                  throw DeadlineError(deadline.limit_ms(),
+                                      "ipm batch " + std::to_string(batch));
+                }
+              })
+            : ckpt::CancellationFn());
+
+    std::string response = dispatch(req, id, op, telemetry);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  } catch (const DeadlineError& e) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    json::Object error_extra;
+    error_extra.emplace("at", e.at());
+    json::Object top_extra;
+    if (e.run().has_value()) top_extra.emplace("run", run_to_json(*e.run()));
+    return error_response(id, "deadline_exceeded", e.what(),
+                          std::move(error_extra), std::move(top_extra));
   } catch (const RequestError& e) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
     return error_response(id, e.code(), e.what(), e.offset());
   } catch (const std::invalid_argument& e) {
     // Validation inside an algorithm layer (graph construction, solver
     // preconditions) — a client error, reported as such.
+    completed_.fetch_add(1, std::memory_order_relaxed);
     return error_response(id, "bad_request", e.what());
   } catch (const std::exception& e) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
     return error_response(id, "internal", e.what());
   }
 }
@@ -160,8 +294,10 @@ std::string Server::dispatch(const json::Value& req, const json::Value& id,
   if (op == "flow.mincost") return handle_flow_mincost(req, id);
   if (op == "cache.stats") return handle_cache_stats(id);
   if (op == "cache.clear") return handle_cache_clear(id);
+  if (op == "health") return handle_health(id);
   if (op == "shutdown") {
     shutdown_.store(true, std::memory_order_relaxed);
+    begin_drain();  // socket frontends stop accepting, finish in-flight work
     json::Object result;
     result.emplace("stopping", true);
     json::Object extra;
@@ -372,6 +508,7 @@ std::string Server::handle_solve(const json::Value& req, const json::Value& id,
     telemetry->cache_lookup = true;
     telemetry->cache_hit = acq.hit;
   }
+  check_deadline("artifact construction");
 
   clique::Network net(std::max(n, 2));
   net.set_routing_mode(mode);
@@ -435,6 +572,7 @@ std::string Server::handle_resistance(const json::Value& req,
     telemetry->cache_lookup = true;
     telemetry->cache_hit = acq.hit;
   }
+  check_deadline("artifact construction");
 
   clique::Network net(std::max(n, 2));
   net.set_routing_mode(mode);
@@ -486,7 +624,14 @@ std::string Server::handle_flow_max(const json::Value& req,
   const exec::ThreadScope scope(parse_threads(req));
   clique::Network net(std::max(n, 2));
   net.set_routing_mode(mode);
-  const flow::MaxFlowIpmReport rep = flow::max_flow_clique(slot->dg, s, t, net, fopt);
+  const flow::MaxFlowIpmReport rep = [&] {
+    try {
+      return flow::max_flow_clique(slot->dg, s, t, net, fopt);
+    } catch (DeadlineError& e) {
+      e.attach(net);  // the aborted run's partial round/word accounting
+      throw;
+    }
+  }();
 
   json::Object result;
   result.emplace("finishing_augmenting_paths", rep.finishing_augmenting_paths);
@@ -537,8 +682,14 @@ std::string Server::handle_flow_mincost(const json::Value& req,
   const exec::ThreadScope scope(parse_threads(req));
   clique::Network net(std::max(n, 2));
   net.set_routing_mode(mode);
-  const flow::MinCostIpmReport rep =
-      flow::min_cost_flow_clique(slot->dg, sigma, net, fopt);
+  const flow::MinCostIpmReport rep = [&] {
+    try {
+      return flow::min_cost_flow_clique(slot->dg, sigma, net, fopt);
+    } catch (DeadlineError& e) {
+      e.attach(net);  // the aborted run's partial round/word accounting
+      throw;
+    }
+  }();
 
   json::Object result;
   result.emplace("cost", rep.cost);
@@ -572,12 +723,61 @@ std::string Server::handle_cache_clear(const json::Value& id) {
   return ok_response(id, "cache.clear", std::move(extra));
 }
 
+std::string Server::handle_health(const json::Value& id) {
+  const LoadSnapshot ld = load();
+  const CacheStats cs = cache_.stats();
+  json::Object cache;
+  cache.emplace("capacity", static_cast<std::int64_t>(cs.capacity));
+  cache.emplace("evictions", cs.evictions);
+  cache.emplace("hits", cs.hits);
+  cache.emplace("misses", cs.misses);
+  cache.emplace("size", static_cast<std::int64_t>(cs.size));
+  std::int64_t graphs = 0;
+  {
+    const std::lock_guard<std::mutex> lock(graphs_mu_);
+    graphs = static_cast<std::int64_t>(graphs_.size());
+  }
+  json::Object result;
+  result.emplace("accepted", ld.accepted);
+  result.emplace("active_connections", ld.active_connections);
+  result.emplace("cache", json::Value(std::move(cache)));
+  result.emplace("completed", ld.completed);
+  result.emplace("deadline_exceeded", ld.deadline_exceeded);
+  result.emplace("draining", ld.draining);
+  result.emplace("graphs", graphs);
+  result.emplace("in_flight", ld.in_flight);  // includes this health request
+  result.emplace("queue_depth", ld.queue_depth);
+  result.emplace("shed", ld.shed);
+  result.emplace("workers", ld.workers);
+  json::Object extra;
+  extra.emplace("result", json::Value(std::move(result)));
+  return ok_response(id, "health", std::move(extra));
+}
+
+LoadSnapshot Server::load() const {
+  LoadSnapshot ld;
+  ld.accepted = accepted_.load(std::memory_order_relaxed);
+  ld.completed = completed_.load(std::memory_order_relaxed);
+  ld.shed = shed_.load(std::memory_order_relaxed);
+  ld.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  ld.in_flight = in_flight_.load(std::memory_order_relaxed);
+  ld.active_connections = active_connections_.load(std::memory_order_relaxed);
+  ld.workers = workers_.load(std::memory_order_relaxed);
+  ld.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  ld.draining = draining();
+  return ld;
+}
+
 int Server::serve(std::istream& in, std::ostream& out) {
   int handled = 0;
   std::string line;
   while (!shutdown_requested() && std::getline(in, line)) {
     if (line.empty()) continue;
+    // Flush per response: a client waiting on this line must never block on
+    // the server's buffering.  A dead sink (closed pipe) ends the loop —
+    // responses after it could only be lost silently.
     out << handle(line) << '\n' << std::flush;
+    if (!out) break;
     ++handled;
   }
   return handled;

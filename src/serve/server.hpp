@@ -42,9 +42,30 @@ struct ServerOptions {
   /// Hard cap on one request line; longer lines get a "limit" error without
   /// being parsed.
   std::size_t max_request_bytes = 4u << 20u;
+  /// Deadline applied to requests that carry no "deadline_ms" field, in
+  /// milliseconds; 0 = no default deadline.  A request's own "deadline_ms"
+  /// always wins ("deadline_ms":0 is an already-expired deadline, useful for
+  /// deterministic abort testing).
+  std::int64_t default_deadline_ms = 0;
   /// Solver options shared by every cached artifact (part of no cache key:
   /// a server runs one configuration).
   solver::LaplacianSolverOptions solver;
+};
+
+/// Point-in-time load gauges, fed partly by handle() (in-flight, completions,
+/// deadline aborts) and partly by the socket frontend (connections, queue
+/// depth, sheds).  Reported by the "health" op — which is therefore the one
+/// op whose response body is deliberately NOT cache/interleaving-invariant.
+struct LoadSnapshot {
+  std::int64_t accepted = 0;           ///< connections accepted by the frontend
+  std::int64_t completed = 0;          ///< requests answered (ok or error)
+  std::int64_t shed = 0;               ///< requests refused by admission control
+  std::int64_t deadline_exceeded = 0;  ///< requests aborted by their deadline
+  int in_flight = 0;                   ///< handle() calls currently executing
+  int active_connections = 0;          ///< connections currently held by workers
+  int workers = 0;                     ///< frontend worker count (0: stdin mode)
+  std::int64_t queue_depth = 0;        ///< connections queued awaiting a worker
+  bool draining = false;
 };
 
 /// Out-of-band per-request observability for tests and benches: never enters
@@ -82,6 +103,35 @@ class Server {
   [[nodiscard]] bool shutdown_requested() const {
     return shutdown_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] const ServerOptions& options() const { return opt_; }
+
+  // --- load & drain state shared with the socket frontend -----------------
+  // begin_drain is async-signal-safe (one relaxed atomic store): the daemon's
+  // SIGTERM handler calls it directly.  Draining means "stop accepting new
+  // connections, finish what is in flight"; the frontend polls draining()
+  // in its accept and connection loops.  The "shutdown" op also drains.
+
+  void begin_drain() { draining_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed) || shutdown_requested();
+  }
+  [[nodiscard]] LoadSnapshot load() const;
+
+  // Frontend-fed gauges (no-ops in stdin mode, where the gauges stay 0).
+  void note_accepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void note_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void note_connection_opened() {
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_connection_closed() {
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  void set_queue_depth(std::int64_t depth) {
+    queue_depth_.store(depth, std::memory_order_relaxed);
+  }
+  void set_workers(int workers) {
+    workers_.store(workers, std::memory_order_relaxed);
+  }
 
  private:
   /// One resident graph: undirected (solve/resistance) or directed (flow).
@@ -106,12 +156,26 @@ class Server {
   std::string handle_flow_mincost(const obs::json::Value& req, const obs::json::Value& id);
   std::string handle_cache_stats(const obs::json::Value& id);
   std::string handle_cache_clear(const obs::json::Value& id);
+  std::string handle_health(const obs::json::Value& id);
 
   ServerOptions opt_;
   ArtifactCache cache_;
   mutable std::mutex graphs_mu_;
   std::map<std::string, std::shared_ptr<const Slot>> graphs_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> draining_{false};
+
+  // Load gauges (see LoadSnapshot).  Counters are monotone; gauges are
+  // instantaneous.  All relaxed: they feed observability, never control flow
+  // that could perturb response bytes.
+  std::atomic<std::int64_t> accepted_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> shed_{0};
+  std::atomic<std::int64_t> deadline_exceeded_{0};
+  std::atomic<int> in_flight_{0};
+  std::atomic<int> active_connections_{0};
+  std::atomic<int> workers_{0};
+  std::atomic<std::int64_t> queue_depth_{0};
 };
 
 }  // namespace lapclique::serve

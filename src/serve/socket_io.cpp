@@ -1,0 +1,76 @@
+#include "serve/socket_io.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace lapclique::serve {
+
+namespace {
+
+fault::SockFate draw(fault::FaultPlan* plan) {
+  return plan == nullptr ? fault::SockFate::kOk : plan->next_sock_fate();
+}
+
+void stall() { std::this_thread::sleep_for(std::chrono::milliseconds(2)); }
+
+}  // namespace
+
+IoResult sock_read(int fd, char* buf, std::size_t len, fault::FaultPlan* plan) {
+  std::size_t want = len;
+  switch (draw(plan)) {
+    case fault::SockFate::kDrop:
+      return {0, false, true};
+    case fault::SockFate::kPartial:
+      // A short read is legal transport behavior; halving the request just
+      // forces the caller's reassembly loop to run more often.
+      want = len / 2 > 0 ? len / 2 : 1;
+      break;
+    case fault::SockFate::kSlow:
+      stall();
+      break;
+    case fault::SockFate::kOk:
+      break;
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, want, 0);
+    if (n >= 0) return {static_cast<std::int64_t>(n), true, false};
+    if (errno == EINTR) continue;
+    return {0, false, false};
+  }
+}
+
+IoResult sock_write_all(int fd, const char* data, std::size_t len,
+                        fault::FaultPlan* plan) {
+  std::size_t limit = len;
+  bool fail_after_prefix = false;
+  switch (draw(plan)) {
+    case fault::SockFate::kDrop:
+      return {0, false, true};
+    case fault::SockFate::kPartial:
+      limit = len / 2;
+      fail_after_prefix = true;
+      break;
+    case fault::SockFate::kSlow:
+      stall();
+      break;
+    case fault::SockFate::kOk:
+      break;
+  }
+  std::size_t sent = 0;
+  while (sent < limit) {
+    const ssize_t n = ::send(fd, data + sent, limit - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return {static_cast<std::int64_t>(sent), false, false};
+  }
+  if (fail_after_prefix) return {static_cast<std::int64_t>(sent), false, true};
+  return {static_cast<std::int64_t>(sent), true, false};
+}
+
+}  // namespace lapclique::serve

@@ -1,0 +1,51 @@
+// EINTR-safe socket primitives with optional fault injection, shared by the
+// serving frontend (src/serve/frontend.*) and the retrying client
+// (src/serve/client.*).
+//
+// Both helpers retry EINTR transparently, and sock_write_all loops until
+// every byte is on the wire (kernel short writes are not errors).  Writes
+// use MSG_NOSIGNAL so a peer that closed mid-response surfaces as EPIPE, not
+// a process-killing SIGPIPE.
+//
+// Fault injection: when a fault::FaultPlan with sock-* clauses armed is
+// passed, each call first draws a SockFate from the plan's counter-based
+// deterministic stream (fault/fault_plan.hpp):
+//
+//   kDrop     the call fails as if the peer vanished (reads return failure,
+//             writes send nothing) — callers close the connection, clients
+//             reconnect and resend.
+//   kPartial  a write puts only a PREFIX on the wire then fails, leaving the
+//             peer a truncated line it must discard; a read returns at most
+//             half the requested bytes (a legal short read — exercises
+//             reassembly, needs no recovery).
+//   kSlow     a ~2ms stall before proceeding normally (exercises timeout
+//             paths without failing anything).
+//
+// Faults model TRANSPORT damage only: they never corrupt bytes that are
+// delivered, so any complete line a client assembles is authentic — the
+// invariant behind the "completed responses are byte-identical under faults"
+// acceptance test (tests/test_serve.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+
+namespace lapclique::serve {
+
+struct IoResult {
+  std::int64_t n = 0;    ///< bytes transferred (prefix length on kPartial write)
+  bool ok = false;       ///< false: hard error or injected drop/partial-write
+  bool injected = false; ///< the failure came from the fault plan, not errno
+};
+
+/// Read up to `len` bytes from a socket.  ok && n == 0 is clean EOF.
+[[nodiscard]] IoResult sock_read(int fd, char* buf, std::size_t len,
+                                 fault::FaultPlan* plan = nullptr);
+
+/// Write all `len` bytes to a socket (short writes looped, MSG_NOSIGNAL).
+[[nodiscard]] IoResult sock_write_all(int fd, const char* data, std::size_t len,
+                                      fault::FaultPlan* plan = nullptr);
+
+}  // namespace lapclique::serve

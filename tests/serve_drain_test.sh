@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Graceful-drain check against the real lapclique_serve daemon.
+#
+#   1. start the daemon on an ephemeral port (--port 0) and parse the bound
+#      port from its stderr banner;
+#   2. complete one request/response round trip over /dev/tcp;
+#   3. send another request and SIGTERM the daemon immediately after — the
+#      in-flight request must still be answered with a COMPLETE line (drain
+#      answers everything already received, flushes, then closes);
+#   4. require the daemon to exit with status 0, and a fresh connection after
+#      the drain to be refused.
+#
+# Registered by tests/CMakeLists.txt as `serve_drain`; argument 1 is the
+# daemon binary path.
+set -u
+
+BIN="${1:?usage: serve_drain_test.sh <lapclique_serve binary>}"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_drain_test: $*" >&2
+  echo "--- server stderr ---" >&2
+  cat "$TMP/err" >&2 || true
+  exit 1
+}
+
+"$BIN" --port 0 --serve-workers 2 --max-pending 4 >"$TMP/out" 2>"$TMP/err" &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$TMP/err" | head -n 1)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died before listening"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "daemon never reported its port"
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "connect failed"
+
+printf '{"op":"graph.load","id":1,"name":"g","edges":[[0,1],[1,2],[2,0]]}\n' >&3
+IFS= read -r RESP <&3 || fail "no response to graph.load"
+case "$RESP" in
+  *'"ok":true'*) ;;
+  *) fail "graph.load failed: $RESP" ;;
+esac
+
+# Fire a request, then SIGTERM while it is on the wire / in flight.
+printf '{"op":"solve","id":2,"graph":"g","eps":0.25,"b":[1,-1,0]}\n' >&3
+kill -TERM "$SERVER_PID"
+
+IFS= read -r RESP2 <&3 || fail "in-flight request lost during drain"
+case "$RESP2" in
+  *'"ok":true'*'}') ;;  # a complete, untruncated success line
+  *) fail "drained response malformed: $RESP2" ;;
+esac
+
+wait "$SERVER_PID"
+STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "daemon exited with status $STATUS after SIGTERM"
+SERVER_PID=""
+
+# The drained daemon is gone; a new connection must fail (subshell so a
+# redirection failure cannot take this shell down with it).
+if (exec 4<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+  fail "daemon still accepting connections after drain"
+fi
+
+echo "serve_drain_test: ok"

@@ -6,7 +6,14 @@
 // skip artifact construction (RoundLedger construction phases == 0).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -17,11 +24,14 @@
 #include <vector>
 
 #include "exec/pool.hpp"
+#include "fault/fault_plan.hpp"
 #include "flow/maxflow_ipm.hpp"
 #include "flow/mincost_ipm.hpp"
 #include "graph/generators.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/json.hpp"
+#include "serve/client.hpp"
+#include "serve/frontend.hpp"
 #include "serve/server.hpp"
 #include "solver/laplacian_solver.hpp"
 #include "test_seed.hpp"
@@ -685,6 +695,463 @@ TEST(Serve, GraphRegistryLifecycle) {
   expect_error(server.handle(solve_request("disc", linalg::Vec(4, 0.0), 1e-4,
                                            "x")),
                "bad_request");
+}
+
+// --- deadlines, health, load accounting -----------------------------------
+
+TEST(Serve, DeadlineZeroAbortsDeterministicallyAtAdmission) {
+  // "deadline_ms":0 is already expired when the admission check runs, so the
+  // abort point — and therefore the whole response body — is deterministic.
+  Server a;
+  Server b;
+  const graph::Graph g = test_graph(12, 28, 201);
+  for (Server* s : {&a, &b}) parse_ok(s->handle(load_request("g", g)));
+  std::string req = solve_request("g", random_b(12, 203), 1e-4, "dl");
+  req.insert(req.size() - 1, ",\"deadline_ms\":0");
+
+  const std::string body_a = a.handle(req);
+  const std::string body_b = b.handle(req);
+  EXPECT_EQ(body_a, body_b);
+  const json::Value v = json::parse(body_a);
+  ASSERT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("error").at("code").as_string(), "deadline_exceeded");
+  EXPECT_EQ(v.at("error").at("at").as_string(), "admission");
+  EXPECT_EQ(v.at("id").as_string(), "dl");
+  // The aborted request reached neither the cache nor the registry.
+  EXPECT_EQ(a.cache_stats().misses, 0);
+  EXPECT_EQ(a.load().deadline_exceeded, 1);
+}
+
+TEST(Serve, DeadlineNegativeIsRejected) {
+  Server server;
+  expect_error(server.handle("{\"op\":\"health\",\"id\":\"x\","
+                             "\"deadline_ms\":-5}"),
+               "bad_request");
+}
+
+TEST(Serve, DeadlineAbortsLongFlowAtBatchBoundaryWithPartialRun) {
+  // A 1ms deadline on a full-budget IPM run: admission passes (the check is
+  // microseconds after arming), then the cooperative poll at a checkpoint-
+  // batch boundary fires.  The error is located at an "ipm batch" and the
+  // response carries the aborted run's partial accounting.
+  Server server;
+  const graph::Graph base = test_graph(28, 90, 211);
+  graph::Digraph dg(base.num_vertices());
+  for (const graph::Edge& e : base.edges()) {
+    dg.add_arc(e.u, e.v, 2, 1);
+    dg.add_arc(e.v, e.u, 2, 1);
+  }
+  parse_ok(server.handle(load_arcs_request("net", dg)));
+
+  json::Object req;
+  req.emplace("op", "flow.max");
+  req.emplace("id", "slow");
+  req.emplace("graph", "net");
+  req.emplace("s", 0);
+  req.emplace("t", base.num_vertices() - 1);
+  req.emplace("deadline_ms", 1);
+  const json::Value v =
+      json::parse(server.handle(json::Value(std::move(req)).dump()));
+  ASSERT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("error").at("code").as_string(), "deadline_exceeded");
+  EXPECT_EQ(v.at("error").at("at").as_string().rfind("ipm batch", 0), 0u)
+      << v.at("error").at("at").as_string();
+  // Partial accounting of the run that was cut short.
+  ASSERT_NE(v.as_object().find("run"), v.as_object().end());
+  EXPECT_GE(v.at("run").at("rounds").as_int(), 0);
+  EXPECT_EQ(server.load().deadline_exceeded, 1);
+}
+
+TEST(Serve, GenerousDeadlineAndDefaultDeadlineDoNotPerturbBodies) {
+  // A deadline that never fires must leave response bytes untouched — both
+  // the per-request field and the server-wide default.
+  Server plain;
+  ServerOptions with_default;
+  with_default.default_deadline_ms = 600000;
+  Server defaulted(with_default);
+  const graph::Graph g = test_graph(14, 34, 221);
+  const linalg::Vec b = random_b(14, 223);
+  for (Server* s : {&plain, &defaulted}) {
+    parse_ok(s->handle(load_request("g", g)));
+  }
+  const std::string req = solve_request("g", b, 1e-5, "s");
+  std::string roomy = req;
+  roomy.insert(roomy.size() - 1, ",\"deadline_ms\":600000");
+
+  const std::string baseline = plain.handle(req);
+  EXPECT_EQ(plain.handle(roomy), baseline);
+  EXPECT_EQ(defaulted.handle(req), baseline);
+  EXPECT_EQ(plain.load().deadline_exceeded, 0);
+  EXPECT_EQ(defaulted.load().deadline_exceeded, 0);
+}
+
+TEST(Serve, HealthReportsLoadAndCacheState) {
+  Server server;
+  const json::Value h1 =
+      parse_ok(server.handle("{\"op\":\"health\",\"id\":\"h1\"}"));
+  const json::Value& r1 = h1.at("result");
+  EXPECT_EQ(r1.at("in_flight").as_int(), 1);  // this very request
+  EXPECT_FALSE(r1.at("draining").as_bool());
+  EXPECT_EQ(r1.at("queue_depth").as_int(), 0);
+  EXPECT_EQ(r1.at("active_connections").as_int(), 0);
+  EXPECT_EQ(r1.at("graphs").as_int(), 0);
+  EXPECT_EQ(r1.at("cache").at("size").as_int(), 0);
+  EXPECT_EQ(r1.at("shed").as_int(), 0);
+
+  const graph::Graph g = test_graph(12, 28, 231);
+  parse_ok(server.handle(load_request("g", g)));
+  parse_ok(server.handle(solve_request("g", random_b(12, 233), 1e-4, "s")));
+  const json::Value h2 =
+      parse_ok(server.handle("{\"op\":\"health\",\"id\":\"h2\"}"));
+  const json::Value& r2 = h2.at("result");
+  EXPECT_EQ(r2.at("completed").as_int(), 3);  // h1 + load + solve
+  EXPECT_EQ(r2.at("graphs").as_int(), 1);
+  EXPECT_EQ(r2.at("cache").at("misses").as_int(), 1);
+  EXPECT_EQ(r2.at("deadline_exceeded").as_int(), 0);
+}
+
+TEST(Serve, ShutdownOpBeginsDrain) {
+  Server server;
+  EXPECT_FALSE(server.draining());
+  parse_ok(server.handle("{\"op\":\"shutdown\",\"id\":\"bye\"}"));
+  EXPECT_TRUE(server.shutdown_requested());
+  EXPECT_TRUE(server.draining());
+}
+
+// --- the connection executor ----------------------------------------------
+
+TEST(WorkerSet, RunsAllTasksAndDrainsQueueOnClose) {
+  std::atomic<int> ran{0};
+  {
+    exec::WorkerSet ws(3);
+    EXPECT_EQ(ws.workers(), 3);
+    for (int i = 0; i < 50; ++i) {
+      ws.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    ws.close();
+    ws.join();
+    EXPECT_THROW(ws.submit([] {}), std::runtime_error);
+  }
+  EXPECT_EQ(ran.load(), 50);  // close() drains the queue, never discards
+}
+
+TEST(WorkerSet, SurvivesThrowingTasks) {
+  std::atomic<int> ran{0};
+  exec::WorkerSet ws(2);
+  for (int i = 0; i < 10; ++i) {
+    ws.submit([&ran, i] {
+      if (i % 2 == 0) throw std::runtime_error("task failure");
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  ws.close();
+  ws.join();
+  EXPECT_EQ(ran.load(), 5);  // odd tasks all ran despite even ones throwing
+}
+
+// --- the socket frontend ---------------------------------------------------
+
+/// A live daemon on an ephemeral loopback port, drained on destruction.
+struct TestDaemon {
+  Server server;
+  Frontend frontend;
+  std::thread runner;
+
+  explicit TestDaemon(ServerOptions sopt = {}, FrontendOptions fopt = {})
+      : server(sopt), frontend(server, fopt) {
+    frontend.listen();
+    runner = std::thread([this] { frontend.run(); });
+  }
+  ~TestDaemon() {
+    server.begin_drain();
+    if (runner.joinable()) runner.join();  // tests may have joined already
+  }
+  [[nodiscard]] int port() const { return frontend.port(); }
+};
+
+int raw_connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+void raw_send(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string raw_read_line(int fd) {
+  std::string line;
+  char c = 0;
+  while (::recv(fd, &c, 1, 0) == 1) {
+    if (c == '\n') return line;
+    line.push_back(c);
+  }
+  ADD_FAILURE() << "connection closed before a full line; got: " << line;
+  return line;
+}
+
+TEST(ServeFrontend, ConcurrentSoakMatchesSequentialBodies) {
+  // N concurrent clients x {well-formed, malformed, deadline-expiring}
+  // against the socket frontend; every response byte-equals the sequential
+  // twin's.  (Shed responses are covered by their own deterministic test —
+  // they depend on instantaneous load, not on the request.)
+  const graph::Graph g1 = test_graph(16, 42, 241);
+  const graph::Graph g2 = test_graph(13, 30, 243);
+  std::vector<std::string> requests;
+  for (int i = 0; i < 4; ++i) {
+    requests.push_back(solve_request(i % 2 == 0 ? "g1" : "g2",
+                                     random_b(i % 2 == 0 ? 16 : 13,
+                                              static_cast<std::uint64_t>(250 + i)),
+                                     1e-4, "q" + std::to_string(i)));
+  }
+  requests.push_back(batch_request("g2", {random_b(13, 261)}, 1e-4, "qb"));
+  requests.push_back("{\"op\":\"nope\",\"id\":\"bad-op\"}");
+  requests.push_back("{\"op\":\"solve\",\"id\":");  // malformed: parse error
+  std::string expired = solve_request("g1", random_b(16, 263), 1e-4, "qdl");
+  expired.insert(expired.size() - 1, ",\"deadline_ms\":0");
+  requests.push_back(expired);
+
+  Server sequential;
+  parse_ok(sequential.handle(load_request("g1", g1)));
+  parse_ok(sequential.handle(load_request("g2", g2)));
+  std::vector<std::string> expected;
+  for (const std::string& r : requests) expected.push_back(sequential.handle(r));
+
+  constexpr int kClients = 4;
+  FrontendOptions fopt;
+  fopt.workers = kClients;  // every persistent client gets a worker
+  TestDaemon daemon({}, fopt);
+  {
+    Client loader(daemon.port());
+    parse_ok(loader.call(load_request("g1", g1)));
+    parse_ok(loader.call(load_request("g2", g2)));
+  }
+
+  constexpr int kRepeats = 3;
+  std::vector<std::vector<std::string>> got(
+      kClients, std::vector<std::string>(requests.size() * kRepeats));
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(daemon.port());
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          const std::size_t j =
+              (i + static_cast<std::size_t>(c)) % requests.size();
+          got[static_cast<std::size_t>(c)]
+             [static_cast<std::size_t>(rep) * requests.size() + i] =
+                 client.call(requests[j]) + "\x1f" + std::to_string(j);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const auto& per_client : got) {
+    for (const std::string& tagged : per_client) {
+      const std::size_t sep = tagged.rfind('\x1f');
+      ASSERT_NE(sep, std::string::npos);
+      const std::size_t j = std::stoul(tagged.substr(sep + 1));
+      EXPECT_EQ(tagged.substr(0, sep), expected[j]) << "request " << j;
+    }
+  }
+  EXPECT_GE(daemon.server.load().accepted, kClients + 1);
+  EXPECT_EQ(daemon.server.load().shed, 0);
+}
+
+TEST(ServeFrontend, ShedsBeyondMaxPendingWithRetryHint) {
+  // One worker, zero queue: a connection arriving while the worker holds
+  // another connection is shed deterministically — an "overloaded" line with
+  // the depth-derived retry_after_ms, then close.
+  FrontendOptions fopt;
+  fopt.workers = 1;
+  fopt.max_pending = 0;
+  TestDaemon daemon({}, fopt);
+
+  Client holder(daemon.port());
+  // Completing a call proves the worker has claimed this connection (workers
+  // own connections for their lifetime), so the next accept must shed.
+  parse_ok(holder.call("{\"op\":\"health\",\"id\":\"h\"}"));
+
+  Client second(daemon.port(), ClientOptions{.max_attempts = 1});
+  const std::string body = second.call("{\"op\":\"health\",\"id\":\"h2\"}");
+  const json::Value v = json::parse(body);
+  ASSERT_FALSE(v.at("ok").as_bool()) << body;
+  EXPECT_EQ(v.at("error").at("code").as_string(), "overloaded");
+  EXPECT_EQ(v.at("error").at("retry_after_ms").as_int(), 25);  // depth 0
+  EXPECT_EQ(daemon.server.load().shed, 1);
+
+  // A second run of the same overload produces byte-identical shed lines.
+  Client third(daemon.port(), ClientOptions{.max_attempts = 1});
+  EXPECT_EQ(third.call("{\"op\":\"health\",\"id\":\"h3\"}"), body);
+}
+
+TEST(ServeFrontend, OversizedNewlineFreeStreamGetsLimitErrorAndRecovers) {
+  // The byte cap applies to the accumulating buffer: a newline-free stream
+  // past the cap gets one "limit" error, the rest of the line is discarded
+  // as it arrives, and the connection then serves the next request normally.
+  ServerOptions sopt;
+  sopt.max_request_bytes = 256;
+  TestDaemon daemon(sopt, {});
+
+  const int fd = raw_connect(daemon.port());
+  raw_send(fd, std::string(600, 'x'));  // no newline: oversized mid-line
+  const std::string limit_line = raw_read_line(fd);
+  const json::Value limit = json::parse(limit_line);
+  ASSERT_FALSE(limit.at("ok").as_bool());
+  EXPECT_EQ(limit.at("error").at("code").as_string(), "limit");
+
+  raw_send(fd, std::string(300, 'y'));  // more of the same doomed line
+  raw_send(fd, "\n");                   // finally ends — no second error
+  raw_send(fd, "{\"op\":\"health\",\"id\":\"after\"}\n");
+  const json::Value after = json::parse(raw_read_line(fd));
+  EXPECT_TRUE(after.at("ok").as_bool());
+  EXPECT_EQ(after.at("id").as_string(), "after");
+  ::close(fd);
+}
+
+TEST(ServeFrontend, SockFaultsPreserveCompletedResponseBytes) {
+  // The acceptance test: armed sock-drop/sock-partial/sock-slow plan,
+  // concurrent retrying clients — every COMPLETED response byte-equals the
+  // clean sequential run.  Retries make this sound because all ops are
+  // idempotent; truncated lines are discarded by the client, never returned.
+  const graph::Graph g = test_graph(14, 36, 271);
+  std::vector<std::string> requests;
+  for (int i = 0; i < 5; ++i) {
+    requests.push_back(solve_request(
+        "g", random_b(14, static_cast<std::uint64_t>(280 + i)), 1e-4,
+        "f" + std::to_string(i)));
+  }
+  requests.push_back("{\"op\":\"cache.stats\",\"id\":\"cs\"}");
+
+  Server sequential;
+  parse_ok(sequential.handle(load_request("g", g)));
+  std::map<std::string, std::string> expected;
+  for (const std::string& r : requests) {
+    const std::string body = sequential.handle(r);
+    expected[json::parse(body).at("id").as_string()] = body;
+  }
+
+  fault::FaultPlan plan(
+      fault::parse_fault_spec("sock-drop=0.1,sock-partial=0.1,sock-slow=0.05"),
+      test::base_seed());
+  constexpr int kClients = 4;
+  FrontendOptions fopt;
+  fopt.workers = kClients + 1;  // reconnecting clients briefly double up
+  fopt.max_pending = 64;        // never shed: this test is about transport
+  fopt.faults = &plan;
+  TestDaemon daemon({}, fopt);
+  {
+    Client loader(daemon.port(), ClientOptions{.max_attempts = 16});
+    parse_ok(loader.call(load_request("g", g)));
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::string>> got(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientOptions copt;
+      copt.max_attempts = 16;  // fault rate ~0.2/op: 16 tries is vanishing
+      copt.backoff_initial_ms = 1;
+      copt.backoff_max_ms = 20;
+      Client client(daemon.port(), copt);
+      for (int rep = 0; rep < 3; ++rep) {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          const std::size_t j =
+              (i + static_cast<std::size_t>(c)) % requests.size();
+          got[static_cast<std::size_t>(c)].push_back(client.call(requests[j]));
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (const auto& per_client : got) {
+    for (const std::string& body : per_client) {
+      const std::string rid = json::parse(body).at("id").as_string();
+      // cache.stats drifts with load (hit/miss counters are shared state);
+      // it participates to stress the transport, not the byte contract.
+      if (rid == "cs") continue;
+      ASSERT_TRUE(expected.count(rid)) << body;
+      EXPECT_EQ(body, expected.at(rid));
+    }
+  }
+  // The plan actually chewed on the transport.
+  const fault::SockStats fs = plan.sock_stats();
+  EXPECT_GT(fs.ops, 0);
+  EXPECT_GT(fs.drops + fs.partials + fs.slows, 0);
+}
+
+TEST(ServeFrontend, DrainUnderLoadLeavesNoTruncatedLines) {
+  // SIGTERM-equivalent (begin_drain) in the middle of a client storm: every
+  // response a client completes must be a full parseable line, the frontend
+  // must come to rest, and post-drain connections must be refused.
+  FrontendOptions fopt;
+  fopt.workers = 3;
+  TestDaemon daemon({}, fopt);
+
+  constexpr int kClients = 3;
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientOptions copt;
+      copt.max_attempts = 2;  // fail fast once the daemon is gone
+      copt.backoff_initial_ms = 1;
+      copt.backoff_max_ms = 5;
+      Client client(daemon.port(), copt);
+      for (int i = 0; i < 200; ++i) {
+        try {
+          const std::string body = client.call(
+              "{\"op\":\"health\",\"id\":\"c" + std::to_string(c) + "-" +
+              std::to_string(i) + "\"}");
+          const json::Value v = json::parse(body);  // full line or bust
+          EXPECT_TRUE(v.at("ok").as_bool());
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::runtime_error&) {
+          return;  // drained out from under us — expected
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  daemon.server.begin_drain();
+  for (std::thread& t : clients) t.join();
+  daemon.runner.join();  // run() must return once drained
+  EXPECT_GT(completed.load(), 0);
+
+  // The listener is gone: connecting now must fail.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(daemon.port()));
+  EXPECT_NE(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ::close(fd);
+}
+
+TEST(ServeFrontend, ShutdownOpDrainsTheFrontend) {
+  TestDaemon daemon;
+  Client client(daemon.port());
+  parse_ok(client.call("{\"op\":\"health\",\"id\":\"h\"}"));
+  const json::Value bye = parse_ok(client.call("{\"op\":\"shutdown\",\"id\":\"bye\"}"));
+  EXPECT_TRUE(bye.at("result").at("stopping").as_bool());
+  daemon.runner.join();  // the op alone must bring the accept loop down
+  EXPECT_TRUE(daemon.server.draining());
 }
 
 }  // namespace

@@ -5,122 +5,103 @@
 // requests and repeat-topology solves are answered from the deterministic
 // artifact cache, skipping sparsifier/factorization construction.
 //
+// The socket mode is the production-grade frontend (serve/frontend.hpp):
+// concurrent connections on a bounded worker set, per-request deadlines,
+// admission control with deterministic load shedding, and graceful drain on
+// SIGTERM/SIGINT or the "shutdown" op — in-flight requests finish, responses
+// flush, exit status 0.
+//
 // Usage:
 //   lapclique_serve [--cache-capacity N] [--max-request-bytes N]
-//                   [--threads N] [--port P]
+//                   [--threads N] [--default-deadline-ms N]
+//                   [--port P] [--serve-workers N] [--max-pending N]
+//                   [--faults SPEC] [--fault-seed N]
 //
-//   --cache-capacity N     artifacts kept before LRU eviction (default 16)
-//   --max-request-bytes N  per-line request cap (default 4194304)
-//   --threads N            default worker threads for requests that do not
-//                          pass their own "threads" field
-//   --port P               listen on 127.0.0.1:P instead of stdin; serves
-//                          one connection at a time, line-delimited as on
-//                          stdin, until a "shutdown" request
+//   --cache-capacity N       artifacts kept before LRU eviction (default 16)
+//   --max-request-bytes N    per-request byte cap, enforced on the stream
+//                            (default 4194304)
+//   --threads N              default worker threads for requests that do not
+//                            pass their own "threads" field
+//   --default-deadline-ms N  deadline for requests without "deadline_ms"
+//                            (default 0 = none)
+//   --port P                 listen on 127.0.0.1:P (0 = ephemeral; the bound
+//                            port is printed to stderr) instead of stdin
+//   --serve-workers N        concurrent connection workers (default 4)
+//   --max-pending N          queued connections tolerated while all workers
+//                            are busy; beyond this, shed with "overloaded"
+//                            (default 16)
+//   --faults SPEC            fault plan (fault/fault_plan.hpp grammar); the
+//                            sock-* clauses arm transport fault injection on
+//                            the socket frontend
+//   --fault-seed N           seed for the fault plan (default 1)
 //
 // Responses are identical in both transports: the socket path wraps the
 // same Server::handle the stdin loop and the test suite drive.
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include "exec/pool.hpp"
+#include "fault/fault_plan.hpp"
+#include "serve/frontend.hpp"
 #include "serve/server.hpp"
 
 namespace {
 
+lapclique::serve::Server* g_server = nullptr;
+
+/// SIGTERM/SIGINT: begin a graceful drain.  begin_drain is one relaxed
+/// atomic store — async-signal-safe; the accept and connection loops poll it.
+extern "C" void on_terminate(int) {
+  if (g_server != nullptr) g_server->begin_drain();
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--cache-capacity N] [--max-request-bytes N] [--threads N]"
-               " [--port P]\n";
+               " [--default-deadline-ms N] [--port P] [--serve-workers N]"
+               " [--max-pending N] [--faults SPEC] [--fault-seed N]\n";
   return 2;
-}
-
-/// Line loop over a connected socket: accumulate bytes, handle each
-/// '\n'-terminated request, write the response line back.
-void serve_connection(lapclique::serve::Server& server, int fd) {
-  std::string buffer;
-  char chunk[4096];
-  while (!server.shutdown_requested()) {
-    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
-    if (got <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(got));
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      const std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (line.empty()) continue;
-      const std::string response = server.handle(line) + "\n";
-      std::size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t w = ::write(fd, response.data() + sent, response.size() - sent);
-        if (w <= 0) return;
-        sent += static_cast<std::size_t>(w);
-      }
-      if (server.shutdown_requested()) break;
-    }
-    buffer.erase(0, start);
-  }
-}
-
-int serve_socket(lapclique::serve::Server& server, int port) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::cerr << "lapclique_serve: socket: " << std::strerror(errno) << "\n";
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 4) < 0) {
-    std::cerr << "lapclique_serve: bind/listen: " << std::strerror(errno) << "\n";
-    ::close(listener);
-    return 1;
-  }
-  std::cerr << "lapclique_serve: listening on 127.0.0.1:" << port << "\n";
-  while (!server.shutdown_requested()) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) break;
-    serve_connection(server, fd);
-    ::close(fd);
-  }
-  ::close(listener);
-  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   lapclique::serve::ServerOptions opt;
+  lapclique::serve::FrontendOptions fopt;
   int threads = 0;
   int port = -1;
+  std::string fault_spec;
+  std::uint64_t fault_seed = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    const auto next = [&]() -> long long {
+    const auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::exit(usage(argv[0]));
       }
-      return std::atoll(argv[++i]);
+      return argv[++i];
     };
     if (arg == "--cache-capacity") {
-      opt.cache_capacity = static_cast<std::size_t>(next());
+      opt.cache_capacity = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--max-request-bytes") {
-      opt.max_request_bytes = static_cast<std::size_t>(next());
+      opt.max_request_bytes = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--threads") {
-      threads = static_cast<int>(next());
+      threads = static_cast<int>(std::atoll(next()));
+    } else if (arg == "--default-deadline-ms") {
+      opt.default_deadline_ms = std::atoll(next());
     } else if (arg == "--port") {
-      port = static_cast<int>(next());
+      port = static_cast<int>(std::atoll(next()));
+    } else if (arg == "--serve-workers") {
+      fopt.workers = static_cast<int>(std::atoll(next()));
+    } else if (arg == "--max-pending") {
+      fopt.max_pending = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--faults") {
+      fault_spec = next();
+    } else if (arg == "--fault-seed") {
+      fault_seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -130,8 +111,39 @@ int main(int argc, char** argv) {
   }
   if (threads > 0) lapclique::exec::set_threads(threads);
 
+  std::optional<lapclique::fault::FaultPlan> faults;  // FaultPlan is immovable
+  if (!fault_spec.empty()) {
+    try {
+      faults.emplace(lapclique::fault::parse_fault_spec(fault_spec), fault_seed);
+      fopt.faults = &*faults;
+    } catch (const std::exception& e) {
+      std::cerr << "lapclique_serve: bad --faults spec: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   lapclique::serve::Server server(opt);
-  if (port >= 0) return serve_socket(server, port);
+  g_server = &server;
+  // A peer closing mid-response must surface as a write error on that one
+  // connection, never a process-wide SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, on_terminate);
+  std::signal(SIGINT, on_terminate);
+
+  if (port >= 0) {
+    fopt.port = port;
+    lapclique::serve::Frontend frontend(server, fopt);
+    try {
+      const int bound = frontend.listen();
+      std::cerr << "lapclique_serve: listening on 127.0.0.1:" << bound << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "lapclique_serve: " << e.what() << "\n";
+      return 1;
+    }
+    frontend.run();  // returns only after a completed drain
+    std::cerr << "lapclique_serve: drained, exiting\n";
+    return 0;
+  }
   server.serve(std::cin, std::cout);
   return 0;
 }
