@@ -9,6 +9,8 @@
 #include "bench_common.hpp"
 #include "core/api.hpp"
 #include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "linalg/backend.hpp"
 #include "obs/json.hpp"
 #include "solver/laplacian_solver.hpp"
 
@@ -62,62 +64,112 @@ int main(int argc, char** argv) {
                static_cast<double>(cheb) / n);
   }
 
-  bench::row("%-28s | %7s | %9s | %12s | %12s | %12s | %12s",
-             "sweep: threads (n=256)", "threads", "mode", "rounds", "words",
-             "wall ms", "");
+  bench::row("%-28s | %7s | %9s | %7s | %12s | %12s | %10s | %s",
+             "sweep: threads (n=256)", "threads", "mode", "backend", "rounds",
+             "words", "wall ms", "");
+  obs::json::Array sweep;
   {
     // Determinism on display: the round count (and the solution bits) must
     // not move as the wall clock drops with more worker threads — in either
-    // routing model.  With --json <path> this sweep is also written as the
-    // machine-readable BENCH_laplacian.json perf artifact.
+    // routing model, under either numerics backend.  Rounds are communication
+    // and factorization is node-local compute, so the backend column must
+    // leave rounds/words untouched.  With --json <path> this sweep is also
+    // written into the machine-readable BENCH_laplacian.json perf artifact.
     const Graph g = graph::random_connected_gnm(256, 1024, 29);
     std::vector<double> b(256, 0.0);
     b[0] = 1.0;
     b[255] = -1.0;
-    obs::json::Array sweep;
     std::int64_t rounds0 = -1;
     for (int t : bench::thread_sweep(argc, argv)) {
       for (const clique::RoutingMode mode :
            {clique::RoutingMode::kCharged, clique::RoutingMode::kBroadcast}) {
-        Runtime rt;
-        rt.threads = t;
-        rt.routing_mode = mode;
-        const double t0 = bench::now_ms();
-        const auto rep = solve_laplacian(g, b, 1e-6, {}, rt);
-        const double t1 = bench::now_ms();
-        if (rounds0 < 0) rounds0 = rep.run.rounds;
-        bench::row("%-28s | %7d | %9s | %12lld | %12lld | %12.1f | %s", "", t,
-                   clique::to_string(mode),
-                   static_cast<long long>(rep.run.rounds),
-                   static_cast<long long>(rep.run.words), t1 - t0,
-                   mode == clique::RoutingMode::kCharged &&
-                           rep.run.rounds != rounds0
-                       ? "[ROUNDS DIVERGED]"
-                       : "");
-        obs::json::Object row;
-        row["threads"] = t;
-        row["routing_mode"] = std::string(clique::to_string(mode));
-        row["rounds"] = rep.run.rounds;
-        row["words"] = rep.run.words;
-        row["wall_ms"] = t1 - t0;
-        sweep.push_back(obs::json::Value(std::move(row)));
+        for (const linalg::Backend backend :
+             {linalg::Backend::kDense, linalg::Backend::kSparse}) {
+          Runtime rt;
+          rt.threads = t;
+          rt.routing_mode = mode;
+          solver::LaplacianSolverOptions opt;
+          opt.backend = backend;
+          const double t0 = bench::now_ms();
+          const auto rep = solve_laplacian(g, b, 1e-6, opt, rt);
+          const double t1 = bench::now_ms();
+          if (rounds0 < 0) rounds0 = rep.run.rounds;
+          bench::row("%-28s | %7d | %9s | %7s | %12lld | %12lld | %10.1f | %s",
+                     "", t, clique::to_string(mode),
+                     linalg::to_string(backend),
+                     static_cast<long long>(rep.run.rounds),
+                     static_cast<long long>(rep.run.words), t1 - t0,
+                     mode == clique::RoutingMode::kCharged &&
+                             rep.run.rounds != rounds0
+                         ? "[ROUNDS DIVERGED]"
+                         : "");
+          obs::json::Object row;
+          row["threads"] = t;
+          row["routing_mode"] = std::string(clique::to_string(mode));
+          row["numerics"] = std::string(linalg::to_string(backend));
+          row["rounds"] = rep.run.rounds;
+          row["words"] = rep.run.words;
+          row["factor_fill"] = rep.run.factor_fill;
+          row["wall_ms"] = t1 - t0;
+          sweep.push_back(obs::json::Value(std::move(row)));
+        }
       }
     }
-    if (json_path != nullptr) {
-      obs::json::Object doc;
-      doc["schema"] = std::string("lapclique-bench-v1");
-      doc["bench"] = std::string("bench_laplacian");
-      obs::json::Object inst;
-      inst["family"] = std::string("random_connected_gnm");
-      inst["n"] = 256;
-      inst["m"] = 1024;
-      inst["seed"] = 29;
-      inst["eps"] = 1e-6;
-      doc["instance"] = obs::json::Value(std::move(inst));
-      doc["sweep"] = obs::json::Value(std::move(sweep));
-      std::ofstream out(json_path);
-      out << obs::json::Value(std::move(doc)).dump_pretty() << "\n";
+  }
+
+  bench::row("%-28s | %6s | %7s | %10s | %10s | %12s",
+             "sweep: crossover (m=4n)", "n", "backend", "factor ms", "solve ms",
+             "fill nnz");
+  obs::json::Array crossover;
+  {
+    // Node-local dense-vs-sparse crossover: rounds are backend-independent,
+    // so the honest comparison is wall time of the per-node factor + solve,
+    // measured directly on linalg::BackendLaplacianFactor.  On these sparse
+    // instances (m = 4n) the RCM-ordered sparse path must win from n >= 1024;
+    // the committed BENCH_laplacian.json records where the lines cross.
+    for (int n : {256, 512, 1024, 2048}) {
+      const Graph g = graph::random_connected_gnm(n, 4 * n, 41);
+      const linalg::CsrMatrix lap = graph::laplacian(g);
+      std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+      b[0] = 1.0;
+      b[static_cast<std::size_t>(n - 1)] = -1.0;
+      for (const linalg::Backend backend :
+           {linalg::Backend::kDense, linalg::Backend::kSparse}) {
+        const double t0 = bench::now_ms();
+        const auto factor = linalg::BackendLaplacianFactor::factor(lap, backend);
+        const double t1 = bench::now_ms();
+        (void)factor.solve(b);
+        const double t2 = bench::now_ms();
+        bench::row("%-28s | %6d | %7s | %10.2f | %10.3f | %12lld", "", n,
+                   linalg::to_string(backend), t1 - t0, t2 - t1,
+                   static_cast<long long>(factor.stats().fill_nnz));
+        obs::json::Object row;
+        row["n"] = n;
+        row["m"] = 4 * n;
+        row["numerics"] = std::string(linalg::to_string(backend));
+        row["factor_ms"] = t1 - t0;
+        row["solve_ms"] = t2 - t1;
+        row["fill_nnz"] = factor.stats().fill_nnz;
+        crossover.push_back(obs::json::Value(std::move(row)));
+      }
     }
+  }
+
+  if (json_path != nullptr) {
+    obs::json::Object doc;
+    doc["schema"] = std::string("lapclique-bench-v1");
+    doc["bench"] = std::string("bench_laplacian");
+    obs::json::Object inst;
+    inst["family"] = std::string("random_connected_gnm");
+    inst["n"] = 256;
+    inst["m"] = 1024;
+    inst["seed"] = 29;
+    inst["eps"] = 1e-6;
+    doc["instance"] = obs::json::Value(std::move(inst));
+    doc["sweep"] = obs::json::Value(std::move(sweep));
+    doc["crossover"] = obs::json::Value(std::move(crossover));
+    std::ofstream out(json_path);
+    out << obs::json::Value(std::move(doc)).dump_pretty() << "\n";
   }
 
   bench::row("%-28s | %6s | %12s", "sweep: U (n=96, eps=1e-6)", "U", "rounds");

@@ -28,17 +28,21 @@ constexpr std::int64_t kMsgGrain = 4096;
 /// merged in shard-index order (exact), multiplicity via a key sort (the max
 /// run length is order-independent).  Validation happens here, before any
 /// network state changes, so callers keep the strong exception guarantee.
+/// The histograms live in the caller's RoundArena (valid until the enclosing
+/// public operation returns); per-shard scratch stays on the regular heap
+/// because arena bumps are single-threaded.
 struct BatchTally {
-  std::vector<std::int64_t> sent;
-  std::vector<std::int64_t> recv;
+  std::span<std::int64_t> sent;
+  std::span<std::int64_t> recv;
   std::int64_t worst_mult = 0;
 };
 
-BatchTally tally_batch(int n, const std::vector<Msg>& msgs, bool want_mult) {
+BatchTally tally_batch(int n, const std::vector<Msg>& msgs, bool want_mult,
+                       RoundArena& arena) {
   const auto m = static_cast<std::int64_t>(msgs.size());
   BatchTally t;
-  t.sent.assign(static_cast<std::size_t>(n), 0);
-  t.recv.assign(static_cast<std::size_t>(n), 0);
+  t.sent = arena.alloc<std::int64_t>(static_cast<std::size_t>(n));
+  t.recv = arena.alloc<std::int64_t>(static_cast<std::size_t>(n));
 
   struct ShardHist {
     std::vector<std::int64_t> sent;
@@ -67,7 +71,8 @@ BatchTally tally_batch(int n, const std::vector<Msg>& msgs, bool want_mult) {
   }
 
   if (want_mult && m > 0) {
-    std::vector<std::int64_t> keys(static_cast<std::size_t>(m));
+    const std::span<std::int64_t> keys =
+        arena.alloc<std::int64_t>(static_cast<std::size_t>(m));
     exec::parallel_for(m, kMsgGrain, [n, &msgs, &keys](std::int64_t b, std::int64_t e) {
       for (std::int64_t i = b; i < e; ++i) {
         const Msg& msg = msgs[static_cast<std::size_t>(i)];
@@ -224,8 +229,8 @@ void Network::record(const char* primitive, std::int64_t rounds,
 }
 
 void Network::record(const char* primitive, std::int64_t rounds,
-                     std::int64_t words, const std::vector<std::int64_t>& sent,
-                     const std::vector<std::int64_t>& recv) {
+                     std::int64_t words, std::span<const std::int64_t> sent,
+                     std::span<const std::int64_t> recv) {
   std::int64_t max_load = 0;
   for (std::int64_t s : sent) max_load = std::max(max_load, s);
   for (std::int64_t r : recv) max_load = std::max(max_load, r);
@@ -246,21 +251,23 @@ void Network::deliver(const std::vector<Msg>& msgs) {
   // Slot-based parallel delivery.  A sequential pass fixes each message's
   // inbox slot in arrival order (so inbox contents are byte-identical to the
   // old push_back loop at every thread count); the message copies then fan
-  // out over the pool.
-  std::vector<std::int64_t> cnt(static_cast<std::size_t>(n_), 0);
+  // out over the pool.  Scratch rides the arena (reset at public-op entry).
+  const std::span<std::int64_t> cnt =
+      arena_.alloc<std::int64_t>(static_cast<std::size_t>(n_));
   for (const Msg& msg : msgs) {
     check_node(msg.src);
     check_node(msg.dst);
     ++cnt[static_cast<std::size_t>(msg.dst)];
   }
-  std::vector<Msg*> cursor(static_cast<std::size_t>(n_));
+  const std::span<Msg*> cursor =
+      arena_.alloc<Msg*>(static_cast<std::size_t>(n_));
   for (int v = 0; v < n_; ++v) {
     auto& box = inboxes_[static_cast<std::size_t>(v)];
     const std::size_t old = box.size();
     box.resize(old + static_cast<std::size_t>(cnt[static_cast<std::size_t>(v)]));
     cursor[static_cast<std::size_t>(v)] = box.data() + old;
   }
-  std::vector<Msg*> slot(static_cast<std::size_t>(m));
+  const std::span<Msg*> slot = arena_.alloc<Msg*>(static_cast<std::size_t>(m));
   for (std::int64_t i = 0; i < m; ++i) {
     slot[static_cast<std::size_t>(i)] =
         cursor[static_cast<std::size_t>(msgs[static_cast<std::size_t>(i)].dst)]++;
@@ -274,7 +281,8 @@ void Network::deliver(const std::vector<Msg>& msgs) {
 
 void Network::exchange(const std::vector<Msg>& msgs) {
   if (msgs.empty()) return;
-  BatchTally t = tally_batch(n_, msgs, /*want_mult=*/true);
+  arena_.reset();
+  BatchTally t = tally_batch(n_, msgs, /*want_mult=*/true, arena_);
   deliver(msgs);
   if (routing_mode_ == RoutingMode::kBroadcast) {
     // Each source broadcasts its queue one word per round; receivers filter.
@@ -294,8 +302,9 @@ void Network::exchange(const std::vector<Msg>& msgs) {
 void Network::transmit_subround(const std::vector<Msg>& msgs) {
   if (msgs.empty()) return;
   // Validate the whole batch before touching any state (strong guarantee):
-  // tally_batch only reads msgs.
-  BatchTally t = tally_batch(n_, msgs, /*want_mult=*/true);
+  // tally_batch only reads msgs (the arena is invisible scratch).
+  arena_.reset();
+  BatchTally t = tally_batch(n_, msgs, /*want_mult=*/true, arena_);
   if (routing_mode_ == RoutingMode::kBroadcast) {
     // One broadcast round carries one word per source, so the strict limit
     // is per source, not per ordered pair.
@@ -316,7 +325,8 @@ void Network::transmit_subround(const std::vector<Msg>& msgs) {
 
 void Network::lenzen_route(const std::vector<Msg>& msgs) {
   if (msgs.empty()) return;
-  BatchTally t = tally_batch(n_, msgs, /*want_mult=*/false);
+  arena_.reset();
+  BatchTally t = tally_batch(n_, msgs, /*want_mult=*/false, arena_);
   if (routing_mode_ == RoutingMode::kBroadcast) {
     // No routing needed: every broadcast is heard by all, so the batch takes
     // exactly max-words-per-source rounds regardless of the receive profile.

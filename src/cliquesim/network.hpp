@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cliquesim/arena.hpp"
 #include "cliquesim/message.hpp"
 #include "fault/fault_plan.hpp"
 #include "obs/round_ledger.hpp"
@@ -245,8 +246,8 @@ class Network {
   void record(const char* primitive, std::int64_t rounds, std::int64_t words,
               std::int64_t max_load);
   void record(const char* primitive, std::int64_t rounds, std::int64_t words,
-              const std::vector<std::int64_t>& sent,
-              const std::vector<std::int64_t>& recv);
+              std::span<const std::int64_t> sent,
+              std::span<const std::int64_t> recv);
   /// Executes the deterministic routing schedule; returns rounds used.
   std::int64_t execute_route(const std::vector<Msg>& msgs, std::int64_t c);
   [[noreturn]] void raise_violation(const char* primitive, std::int64_t offered,
@@ -273,6 +274,11 @@ class Network {
   PhaseLedger ledger_;
   std::vector<OpRecord> op_log_;
   std::vector<std::vector<Msg>> inboxes_;
+  /// Per-batch scratch (tallies, slot tables, sort keys), reset at the start
+  /// of every public batch operation — so each op's scratch stays valid for
+  /// the op's whole tally/record/recovery sequence while the memory itself
+  /// is recycled across the run (see cliquesim/arena.hpp).
+  RoundArena arena_;
 };
 
 }  // namespace lapclique::clique

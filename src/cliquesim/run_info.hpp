@@ -33,6 +33,15 @@ struct RunInfo {
   /// batches the checkpoint had already paid for (see docs/CHECKPOINT.md).
   bool used_warm_start = false;
   std::int64_t warm_saved_iterations = 0;
+  /// Numerics backend that produced this run's Laplacian factorizations
+  /// ("dense" / "sparse"; empty when the run factored nothing).  Set by the
+  /// solver/flow layers, not by capture() — backend choice is numerics
+  /// state, invisible to the network.  Round counts never depend on it
+  /// (charging is numerics-independent; the golden tests pin this).
+  std::string numerics;
+  /// Nonzeros in the preconditioner factor (diagonal included); 0 when the
+  /// run factored nothing.
+  std::int64_t factor_fill = 0;
 
   /// Snapshot the network's accounting.  Reports that measure a sub-run on a
   /// shared network pass the baseline counts observed before the run; the

@@ -40,6 +40,34 @@ struct CheckpointSession {
   }
 };
 
+/// The numerics-backend copy-in contract (see Runtime::numerics): the
+/// runtime's backend applies whenever the caller left the per-call option at
+/// kAuto; an explicit per-call choice wins.  Every facade that factors a
+/// Laplacian funnels its options through here.
+solver::LaplacianSolverOptions with_numerics(solver::LaplacianSolverOptions opt,
+                                             const Runtime& rt) {
+  if (opt.backend == linalg::Backend::kAuto) opt.backend = rt.numerics;
+  return opt;
+}
+
+flow::MaxFlowIpmOptions with_numerics(flow::MaxFlowIpmOptions opt,
+                                      const Runtime& rt) {
+  if (opt.numerics == linalg::Backend::kAuto) opt.numerics = rt.numerics;
+  return opt;
+}
+
+flow::MinCostIpmOptions with_numerics(flow::MinCostIpmOptions opt,
+                                      const Runtime& rt) {
+  if (opt.numerics == linalg::Backend::kAuto) opt.numerics = rt.numerics;
+  return opt;
+}
+
+flow::ApproxMaxFlowOptions with_numerics(flow::ApproxMaxFlowOptions opt,
+                                         const Runtime& rt) {
+  if (opt.numerics == linalg::Backend::kAuto) opt.numerics = rt.numerics;
+  return opt;
+}
+
 }  // namespace
 
 solver::CliqueSolveReport solve_laplacian(const Graph& g, std::span<const double> b,
@@ -54,7 +82,7 @@ solver::CliqueSolveReport solve_laplacian(const Graph& g, std::span<const double
                                           const Runtime& rt) {
   exec::ThreadScope scope(rt.resolved_threads());
   clique::Network net = make_network(g.num_vertices(), rt);
-  return solver::solve_laplacian_clique(g, b, eps, opt, net);
+  return solver::solve_laplacian_clique(g, b, eps, with_numerics(opt, rt), net);
 }
 
 BatchSolveReport solve_laplacian_batch(const Graph& g,
@@ -79,10 +107,14 @@ BatchSolveReport solve_laplacian_batch(const Graph& g,
         "solve_laplacian_batch: graph must be connected (solve components "
         "separately)");
   }
-  const solver::CliqueLaplacianSolver solver(g, opt, net);
+  const solver::CliqueLaplacianSolver solver(g, with_numerics(opt, rt), net);
   BatchSolveReport rep;
   rep.columns = solver.solve_block(bs, eps, &rep.stats);
   rep.run.capture(net);
+  if (!rep.stats.empty()) {
+    rep.run.numerics = linalg::to_string(rep.stats.front().factor.chosen);
+    rep.run.factor_fill = rep.stats.front().factor.fill_nnz;
+  }
   return rep;
 }
 
@@ -146,10 +178,10 @@ flow::MaxFlowIpmReport max_flow(const Digraph& g, int s, int t,
   exec::ThreadScope scope(rt.resolved_threads());
   clique::Network net = make_network(g.num_vertices(), rt);
   if (rt.checkpoint_path.empty()) {
-    return flow::max_flow_clique(g, s, t, net, opt);
+    return flow::max_flow_clique(g, s, t, net, with_numerics(opt, rt));
   }
   const CheckpointSession session(rt);
-  flow::MaxFlowIpmOptions copt = opt;
+  flow::MaxFlowIpmOptions copt = with_numerics(opt, rt);
   copt.checkpoint = session.hooks();
   return flow::max_flow_clique(g, s, t, net, copt);
 }
@@ -167,10 +199,10 @@ flow::MinCostIpmReport min_cost_flow(const Digraph& g,
   exec::ThreadScope scope(rt.resolved_threads());
   clique::Network net = make_network(g.num_vertices(), rt);
   if (rt.checkpoint_path.empty()) {
-    return flow::min_cost_flow_clique(g, sigma, net, opt);
+    return flow::min_cost_flow_clique(g, sigma, net, with_numerics(opt, rt));
   }
   const CheckpointSession session(rt);
-  flow::MinCostIpmOptions copt = opt;
+  flow::MinCostIpmOptions copt = with_numerics(opt, rt);
   copt.checkpoint = session.hooks();
   return flow::min_cost_flow_clique(g, sigma, net, copt);
 }
@@ -185,7 +217,7 @@ flow::MinCostMaxFlowReport min_cost_max_flow(const Digraph& g, int s, int t,
                                              const Runtime& rt) {
   exec::ThreadScope scope(rt.resolved_threads());
   clique::Network net = make_network(g.num_vertices(), rt);
-  return flow::min_cost_max_flow_clique(g, s, t, net, opt);
+  return flow::min_cost_max_flow_clique(g, s, t, net, with_numerics(opt, rt));
 }
 
 flow::ApproxMaxFlowReport approx_max_flow(const Graph& g, int s, int t,
@@ -198,7 +230,7 @@ flow::ApproxMaxFlowReport approx_max_flow(const Graph& g, int s, int t,
                                           const Runtime& rt) {
   exec::ThreadScope scope(rt.resolved_threads());
   clique::Network net = make_network(g.num_vertices(), rt);
-  return flow::approx_max_flow_undirected(g, s, t, net, opt);
+  return flow::approx_max_flow_undirected(g, s, t, net, with_numerics(opt, rt));
 }
 
 mst::MstResult minimum_spanning_forest(const Graph& g) {
@@ -220,7 +252,22 @@ solver::ResistanceReport effective_resistance(const Graph& g, int u, int v,
                                               double eps, const Runtime& rt) {
   exec::ThreadScope scope(rt.resolved_threads());
   clique::Network net = make_network(g.num_vertices(), rt);
-  return solver::effective_resistance_clique(g, u, v, eps, {}, net);
+  return solver::effective_resistance_clique(
+      g, u, v, eps, with_numerics(solver::LaplacianSolverOptions{}, rt), net);
+}
+
+solver::BatchResistanceReport effective_resistance_batch(
+    const Graph& g, std::span<const solver::PairQuery> pairs, double eps) {
+  return effective_resistance_batch(g, pairs, eps, default_runtime());
+}
+
+solver::BatchResistanceReport effective_resistance_batch(
+    const Graph& g, std::span<const solver::PairQuery> pairs, double eps,
+    const Runtime& rt) {
+  exec::ThreadScope scope(rt.resolved_threads());
+  clique::Network net = make_network(g.num_vertices(), rt);
+  return solver::query_pairs(
+      g, pairs, eps, with_numerics(solver::LaplacianSolverOptions{}, rt), net);
 }
 
 }  // namespace lapclique

@@ -105,4 +105,13 @@ solver::ResistanceReport effective_resistance(const Graph& g, int u, int v,
 solver::ResistanceReport effective_resistance(const Graph& g, int u, int v,
                                               double eps, const Runtime& rt);
 
+/// Batched pairwise effective resistances: k pairs against one construction
+/// and one blocked solve; resistances[i] is bit-identical to the scalar
+/// query for pairs[i] (see solver::query_pairs).
+solver::BatchResistanceReport effective_resistance_batch(
+    const Graph& g, std::span<const solver::PairQuery> pairs, double eps = 1e-8);
+solver::BatchResistanceReport effective_resistance_batch(
+    const Graph& g, std::span<const solver::PairQuery> pairs, double eps,
+    const Runtime& rt);
+
 }  // namespace lapclique

@@ -50,6 +50,7 @@ obs::json::Value runtime_to_json(const Runtime& rt) {
   // every mode that is neither kCharged nor the one hard-coded alternative.
   o["routing_mode"] = std::string(clique::to_string(rt.routing_mode));
   o["lenzen_constant"] = rt.lenzen_constant;
+  o["numerics"] = std::string(linalg::to_string(rt.numerics));
   // Deliberately no path or resume flag here: this object is embedded in
   // trace output, and a resumed run's trace must stay byte-equal to an
   // uninterrupted one regardless of where its checkpoint file lived.

@@ -21,6 +21,7 @@
 
 #include "cliquesim/network.hpp"
 #include "fault/fault_plan.hpp"
+#include "linalg/backend.hpp"
 #include "obs/round_ledger.hpp"
 
 namespace lapclique {
@@ -41,6 +42,14 @@ struct Runtime {
   clique::RoutingMode routing_mode = clique::default_routing_mode();
   /// Constant in the charged Lenzen bound (Theorem 1.4 uses 16).
   int lenzen_constant = 16;
+  /// Numerics backend for every Laplacian factorization in the run
+  /// (preconditioner, exact fallback, electrical solvers): dense LDL^T,
+  /// RCM-ordered sparse LDL^T, or kAuto resolved per instance by
+  /// linalg::resolve_backend.  Defaults to the LAPCLIQUE_NUMERICS
+  /// environment variable, else kAuto.  The facades copy this into solver
+  /// options whose own backend field is kAuto, so per-call options win only
+  /// when they hard-pick a backend (docs/PERFORMANCE.md migration notes).
+  linalg::Backend numerics = linalg::default_backend();
   /// When non-empty, the flow IPM entry points attach a ckpt::CheckpointWriter
   /// that atomically commits a resumable snapshot to this path at every
   /// `checkpoint_every`-th batch boundary (see docs/CHECKPOINT.md).

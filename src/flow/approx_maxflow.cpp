@@ -30,6 +30,7 @@ struct DecideResult {
   double routed_fraction = 0;
   std::vector<double> flow;
   int iterations = 0;
+  linalg::FactorStats factor;  ///< of the last solve (topology is fixed)
 };
 
 DecideResult decide(const Graph& g, int s, int t, double target_f,
@@ -61,7 +62,10 @@ DecideResult decide(const Graph& g, int s, int t, double target_f,
       const double r = (w[i] + opt.eps * total_w / md) / (e.w * e.w);
       ee.push_back(ElectricalEdge{e.u, e.v, r});
     }
-    ElectricalSolver solver(g.num_vertices(), std::move(ee), {});
+    ElectricalOptions eopt;
+    eopt.solver.backend = opt.numerics;
+    ElectricalSolver solver(g.num_vertices(), std::move(ee), eopt);
+    out.factor = solver.factor_stats();
     const linalg::Vec phi = solver.potentials(chi);
     const std::vector<double> f = solver.induced_flow(phi);
     net.charge(rounds_per_solve + 1);
@@ -115,6 +119,7 @@ ApproxMaxFlowReport approx_max_flow_undirected(const Graph& g, int s, int t,
     for (const graph::Edge& e : g.edges()) ee.push_back({e.u, e.v, 1.0 / e.w});
     ElectricalOptions eopt;
     eopt.mode = ElectricalMode::kSparsified;
+    eopt.solver.backend = opt.numerics;
     rep.rounds_per_solve =
         ElectricalSolver(g.num_vertices(), std::move(ee), eopt).calibrate(opt.solve_eps);
     net.charge(rep.rounds_per_solve);
@@ -134,6 +139,10 @@ ApproxMaxFlowReport approx_max_flow_undirected(const Graph& g, int s, int t,
     ++rep.probes;
     DecideResult d = decide(g, s, t, mid, opt, net, rep.rounds_per_solve);
     rep.iterations += d.iterations;
+    if (d.iterations > 0) {
+      rep.run.numerics = linalg::to_string(d.factor.chosen);
+      rep.run.factor_fill = d.factor.fill_nnz;
+    }
     const double achieved = d.routed_fraction * mid;
     if (achieved > rep.value) {
       rep.value = achieved;

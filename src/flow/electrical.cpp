@@ -18,7 +18,8 @@ ElectricalSolver::ElectricalSolver(int n, std::vector<ElectricalEdge> edges,
   }
   laplacian_ = graph::laplacian(conductance_graph_);
   if (opt_.mode == ElectricalMode::kDirect) {
-    factor_ = linalg::LaplacianFactor::factor(laplacian_);
+    factor_ = linalg::BackendLaplacianFactor::factor(laplacian_,
+                                                     opt_.solver.backend);
   } else {
     solver_ = std::make_unique<solver::LaplacianSolver>(conductance_graph_,
                                                         opt_.solver);

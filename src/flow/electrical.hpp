@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "cliquesim/network.hpp"
-#include "linalg/cholesky.hpp"
+#include "linalg/backend.hpp"
 #include "solver/laplacian_solver.hpp"
 
 namespace lapclique::flow {
@@ -34,6 +34,9 @@ struct ElectricalEdge {
 struct ElectricalOptions {
   ElectricalMode mode = ElectricalMode::kDirect;
   double eps = 1e-10;  ///< for the sparsified mode
+  /// Both modes take their numerics backend from solver.backend — one knob,
+  /// so a Direct-mode factor and a Sparsified-mode preconditioner can never
+  /// disagree about the backend within one IPM run.
   solver::LaplacianSolverOptions solver;
 };
 
@@ -56,13 +59,19 @@ class ElectricalSolver {
   /// (available after the first potentials() call in Sparsified mode, or via
   /// calibrate()).
   [[nodiscard]] std::int64_t calibrate(double eps) const;
+  /// Factorization stats of whichever factor this mode built (the direct
+  /// factor, or the sparsified solver's preconditioner factor).
+  [[nodiscard]] const linalg::FactorStats& factor_stats() const {
+    return opt_.mode == ElectricalMode::kDirect ? factor_.stats()
+                                                : solver_->factor_stats();
+  }
 
  private:
   int n_;
   std::vector<ElectricalEdge> edges_;
   ElectricalOptions opt_;
   linalg::CsrMatrix laplacian_;
-  linalg::LaplacianFactor factor_;          // Direct mode
+  linalg::BackendLaplacianFactor factor_;   // Direct mode
   std::unique_ptr<solver::LaplacianSolver> solver_;  // Sparsified mode
   graph::Graph conductance_graph_;
 };

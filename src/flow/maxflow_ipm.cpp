@@ -84,7 +84,8 @@ double min_residual(const TEdge& e) { return std::min(e.up - e.f, e.um + e.f); }
 /// One electrical-flow solve on the current resistances.  Returns potentials.
 linalg::Vec solve_potentials(const Transformed& tr, std::span<const double> chi,
                              const MaxFlowIpmOptions& opt, clique::Network& net,
-                             std::int64_t rounds_per_solve, int* solves) {
+                             std::int64_t rounds_per_solve, int* solves,
+                             linalg::FactorStats* fstats) {
   std::vector<ElectricalEdge> ee;
   ee.reserve(tr.edges.size());
   for (const TEdge& e : tr.edges) {
@@ -93,7 +94,9 @@ linalg::Vec solve_potentials(const Transformed& tr, std::span<const double> chi,
   ElectricalOptions eopt;
   eopt.mode = opt.electrical_mode;
   eopt.eps = opt.solve_eps;
+  eopt.solver.backend = opt.numerics;
   ElectricalSolver solver(tr.nv, std::move(ee), eopt);
+  if (fstats != nullptr) *fstats = solver.factor_stats();
   ++*solves;
   if (opt.electrical_mode == ElectricalMode::kDirect) {
     LAPCLIQUE_TRACE_SPAN(net.tracer(), "electrical_solve");
@@ -136,12 +139,12 @@ double safe_step(const Transformed& tr, const std::vector<double>& dir, double d
 std::vector<double> augmentation(Transformed& tr, int s, int t, double target_f,
                                  double delta, const MaxFlowIpmOptions& opt,
                                  clique::Network& net, std::int64_t rps,
-                                 int* solves) {
+                                 int* solves, linalg::FactorStats* fstats) {
   LAPCLIQUE_TRACE_SPAN(net.tracer(), "augmentation");
   linalg::Vec chi(static_cast<std::size_t>(tr.nv), 0.0);
   chi[static_cast<std::size_t>(s)] = -target_f;
   chi[static_cast<std::size_t>(t)] = target_f;
-  const linalg::Vec phi = solve_potentials(tr, chi, opt, net, rps, solves);
+  const linalg::Vec phi = solve_potentials(tr, chi, opt, net, rps, solves, fstats);
   const std::vector<double> ftilde = induced_flow(tr, phi);
 
   const double step = safe_step(tr, ftilde, delta);
@@ -165,7 +168,7 @@ std::vector<double> augmentation(Transformed& tr, int s, int t, double target_f,
 /// Algorithm 4 (Fixing): local correction + one electrical solve to cancel
 /// the correction's residue.
 void fixing(Transformed& tr, const MaxFlowIpmOptions& opt, clique::Network& net,
-            std::int64_t rps, int* solves) {
+            std::int64_t rps, int* solves, linalg::FactorStats* fstats) {
   LAPCLIQUE_TRACE_SPAN(net.tracer(), "fixing");
   const std::size_t m = tr.edges.size();
   std::vector<double> theta(m);
@@ -188,7 +191,8 @@ void fixing(Transformed& tr, const MaxFlowIpmOptions& opt, clique::Network& net,
     residue[static_cast<std::size_t>(e.u)] -= step1 * theta[i];
   }
   for (double& r : residue) r = -r;
-  const linalg::Vec phi = solve_potentials(tr, residue, opt, net, rps, solves);
+  const linalg::Vec phi =
+      solve_potentials(tr, residue, opt, net, rps, solves, fstats);
   const std::vector<double> thetap = induced_flow(tr, phi);
   const double step2 = safe_step(tr, thetap, 1.0);
   for (std::size_t i = 0; i < m; ++i) tr.edges[i].f += step2 * thetap[i];
@@ -636,6 +640,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
       for (const TEdge& e : st.tr.edges) cal.push_back({e.u, e.v, resistance(e)});
       ElectricalOptions eopt;
       eopt.mode = ElectricalMode::kSparsified;
+      eopt.solver.backend = opt.numerics;
       rep.rounds_per_solve =
           ElectricalSolver(st.tr.nv, std::move(cal), eopt).calibrate(opt.solve_eps);
       {
@@ -646,6 +651,15 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   }
 
   Transformed& tr = st.tr;
+  // Stats of the most recent Laplacian factorization; every iteration factors
+  // the same topology, so "last" is also "all" for the backend choice.
+  linalg::FactorStats fstats;
+  const auto record_numerics = [&] {
+    if (rep.laplacian_solves > 0) {
+      rep.run.numerics = linalg::to_string(fstats.chosen);
+      rep.run.factor_fill = fstats.fill_nnz;
+    }
+  };
   const double m = static_cast<double>(st.m0);
   const double target_f = st.target_f;
   const std::int64_t rounds_before = st.rounds_before;
@@ -692,6 +706,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
     rep.value = exact.value;
     rep.flow = exact.flow;
     rep.run.capture(net, rounds_before, words_before);
+    record_numerics();
     return rep;
   };
   const double delta0 = 1.0 / std::pow(m, 0.5 - opt.eta);
@@ -704,8 +719,8 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   if (hooks.resume == nullptr) {
     net.set_phase("maxflow/ipm");
     st.rho = augmentation(tr, s, t, target_f, delta0, opt, net,
-                          rep.rounds_per_solve, &rep.laplacian_solves);
-    fixing(tr, opt, net, rep.rounds_per_solve, &rep.laplacian_solves);
+                          rep.rounds_per_solve, &rep.laplacian_solves, &fstats);
+    fixing(tr, opt, net, rep.rounds_per_solve, &rep.laplacian_solves, &fstats);
     ++rep.augmentation_steps;
     if (const char* reason = divergence()) return degrade(reason);
     // Boundary 0: the state after initial augmentation, so even a run
@@ -729,9 +744,9 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
     if (rho3 <= rho_threshold || st.boosts >= 60 || !opt.enable_boosting) {
       const double delta =
           std::min(delta0, 1.0 / (33.0 * (1.0 - opt.alpha) * std::max(rho3, 1e-9)));
-      st.rho = augmentation(tr, s, t, target_f, delta, opt, net, rep.rounds_per_solve,
-                            &rep.laplacian_solves);
-      fixing(tr, opt, net, rep.rounds_per_solve, &rep.laplacian_solves);
+      st.rho = augmentation(tr, s, t, target_f, delta, opt, net,
+                            rep.rounds_per_solve, &rep.laplacian_solves, &fstats);
+      fixing(tr, opt, net, rep.rounds_per_solve, &rep.laplacian_solves, &fstats);
       ++rep.augmentation_steps;
     } else {
       boosting(tr, st.rho, max_cap, opt, net);
@@ -819,6 +834,7 @@ MaxFlowIpmReport max_flow_clique(const Digraph& g, int s, int t,
   for (int a : g.out_arcs(s)) rep.value += rep.flow[static_cast<std::size_t>(a)];
   for (int a : g.in_arcs(s)) rep.value -= rep.flow[static_cast<std::size_t>(a)];
   rep.run.capture(net, rounds_before, words_before);
+  record_numerics();
   return rep;
 }
 

@@ -50,6 +50,10 @@ struct MaxFlowIpmOptions {
   /// back to (smaller-step) augmentation instead of arc surgery.
   bool enable_boosting = true;
   ElectricalMode electrical_mode = ElectricalMode::kDirect;
+  /// Numerics backend for every Laplacian factorization this run performs
+  /// (both modes).  kAuto resolves per instance; the facade copies
+  /// Runtime::numerics in here when left at kAuto.
+  linalg::Backend numerics = linalg::Backend::kAuto;
   double solve_eps = 1e-10;
   SsspOptions sssp;
   /// Stop augmenting once the routed value is within this of the target.

@@ -402,6 +402,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
     BipartiteElectrical be = make_electrical(lf, r0);
     ElectricalOptions eopt;
     eopt.mode = ElectricalMode::kSparsified;
+    eopt.solver.backend = opt.numerics;
     rep.rounds_per_solve =
         ElectricalSolver(be.nv, std::move(be.edges), eopt).calibrate(opt.solve_eps);
     // The calibration solve itself (broadcast rounds, like every solve).
@@ -414,6 +415,16 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
   const bool boundaries = hooks.writer != nullptr || plan != nullptr;
   const std::int64_t rounds_before = st.rounds_before;
   const std::int64_t words_before = st.words_before;
+  // Stats of the most recent Laplacian factorization; every Progress step
+  // factors the same bipartite topology, so "last" is also "all" for the
+  // backend choice.
+  linalg::FactorStats fstats;
+  const auto record_numerics = [&] {
+    if (rep.laplacian_solves > 0) {
+      rep.run.numerics = linalg::to_string(fstats.chosen);
+      rep.run.factor_fill = fstats.fill_nnz;
+    }
+  };
   // Guard rail: a diverging electrical-flow step leaves NaN/inf in the
   // central-path state.  Detect it after every Progress step and degrade to
   // the exact sequential SSP baseline.
@@ -454,6 +465,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
     rep.cost = exact.feasible ? exact.cost : 0;
     if (exact.feasible) rep.flow = exact.flow;
     rep.run.capture(net, rounds_before, words_before);
+    record_numerics();
     return rep;
   };
   const double eta = opt.eta;
@@ -548,7 +560,9 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
       ElectricalOptions eopt;
       eopt.mode = opt.electrical_mode;
       eopt.eps = opt.solve_eps;
+      eopt.solver.backend = opt.numerics;
       ElectricalSolver solver1(be.nv, be.edges, eopt);
+      fstats = solver1.factor_stats();
       ++rep.laplacian_solves;
       linalg::Vec phi;
       if (opt.electrical_mode == ElectricalMode::kDirect) {
@@ -883,6 +897,7 @@ MinCostIpmReport min_cost_flow_clique(const Digraph& g,
     }
   }
   rep.run.capture(net, rounds_before, words_before);
+  record_numerics();
   return rep;
 }
 

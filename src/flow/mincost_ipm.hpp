@@ -43,6 +43,10 @@ struct MinCostIpmOptions {
   double iteration_scale = 1.0;
   std::int64_t max_iterations = 200000;
   ElectricalMode electrical_mode = ElectricalMode::kDirect;
+  /// Numerics backend for every Laplacian factorization this run performs
+  /// (both modes).  kAuto resolves per instance; the facade copies
+  /// Runtime::numerics in here when left at kAuto.
+  linalg::Backend numerics = linalg::Backend::kAuto;
   double solve_eps = 1e-10;
   SsspOptions sssp;
   /// Guard rail: when the central-path state goes non-finite (solver

@@ -1,0 +1,84 @@
+#include "linalg/backend.hpp"
+
+#include <cstdlib>
+
+namespace lapclique::linalg {
+
+namespace {
+
+/// kAuto thresholds.  Pure constants: the resolution must be a deterministic
+/// function of (n, nnz) so reruns, threads, and routing modes all see the
+/// same factorization.  Below kSparseMinN the dense factor wins outright
+/// (and the golden instances at n <= 256 stay on the historical dense bits);
+/// above it, sparse takes over unless the matrix is dense enough
+/// (nnz > n^2/kSparseDensityDivisor) that fill-in would eat the win.
+constexpr int kSparseMinN = 512;
+constexpr std::int64_t kSparseDensityDivisor = 16;
+
+}  // namespace
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kAuto:
+      return "auto";
+    case Backend::kDense:
+      return "dense";
+    case Backend::kSparse:
+      return "sparse";
+  }
+  return "auto";
+}
+
+std::optional<Backend> backend_from_string(std::string_view s) {
+  if (s == "auto") return Backend::kAuto;
+  if (s == "dense") return Backend::kDense;
+  if (s == "sparse") return Backend::kSparse;
+  return std::nullopt;
+}
+
+Backend default_backend() {
+  static const Backend env_default = [] {
+    const char* e = std::getenv("LAPCLIQUE_NUMERICS");
+    if (e == nullptr) return Backend::kAuto;
+    return backend_from_string(e).value_or(Backend::kAuto);
+  }();
+  return env_default;
+}
+
+Backend resolve_backend(Backend requested, int n, std::int64_t nnz) {
+  if (requested != Backend::kAuto) return requested;
+  if (n < kSparseMinN) return Backend::kDense;
+  const std::int64_t cells = static_cast<std::int64_t>(n) * n;
+  return nnz * kSparseDensityDivisor <= cells ? Backend::kSparse : Backend::kDense;
+}
+
+BackendLaplacianFactor BackendLaplacianFactor::factor(const CsrMatrix& laplacian,
+                                                      Backend requested) {
+  BackendLaplacianFactor f;
+  f.n_ = laplacian.size();
+  f.stats_.requested = requested;
+  f.stats_.chosen = resolve_backend(requested, laplacian.size(), laplacian.nnz());
+  f.stats_.n = laplacian.size();
+  f.stats_.nnz = laplacian.nnz();
+  if (f.stats_.chosen == Backend::kSparse) {
+    f.sparse_ = SparseLaplacianFactor::factor(laplacian);
+    f.stats_.fill_nnz = f.sparse_.fill_nnz();
+  } else {
+    f.dense_ = LaplacianFactor::factor(laplacian);
+    // The dense factor stores the full triangle; report its logical fill.
+    const std::int64_t n = laplacian.size();
+    f.stats_.fill_nnz = n * (n + 1) / 2;
+  }
+  return f;
+}
+
+Vec BackendLaplacianFactor::solve(std::span<const double> b) const {
+  return stats_.chosen == Backend::kSparse ? sparse_.solve(b) : dense_.solve(b);
+}
+
+std::vector<Vec> BackendLaplacianFactor::solve_block(std::span<const Vec> b) const {
+  return stats_.chosen == Backend::kSparse ? sparse_.solve_block(b)
+                                           : dense_.solve_block(b);
+}
+
+}  // namespace lapclique::linalg

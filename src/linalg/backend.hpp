@@ -1,0 +1,90 @@
+// The linalg::Backend seam: one switch (`auto | dense | sparse`) deciding
+// which LDL^T path factors a Laplacian, selected per run via
+// Runtime::numerics (core/runtime.hpp) and reported back through
+// FactorStats → LaplacianSolveStats / RunInfo so traces, benches, and golden
+// tests can pin which kernel actually ran.
+//
+// Resolution contract:
+//   * kDense / kSparse are explicit and always honored.
+//   * kAuto resolves from (n, nnz) alone — a pure function, so the choice is
+//     deterministic and, crucially, environment-free at this layer.  The
+//     LAPCLIQUE_NUMERICS environment variable enters only through
+//     default_backend(), which seeds Runtime::numerics — mirroring how
+//     LAPCLIQUE_ROUTING seeds Runtime::routing_mode while direct Network
+//     construction stays env-independent.  The serve daemon therefore never
+//     inherits a backend from its environment (docs/SERVING.md contract);
+//     it takes one from --numerics or per-request fields.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/sparse_cholesky.hpp"
+
+namespace lapclique::linalg {
+
+enum class Backend {
+  kAuto = 0,   ///< resolve from instance size/sparsity (resolve_backend)
+  kDense = 1,  ///< dense LDL^T (linalg/cholesky)
+  kSparse = 2  ///< RCM-ordered sparse LDL^T (linalg/sparse_cholesky)
+};
+
+[[nodiscard]] const char* to_string(Backend b);
+
+/// Parses "auto" | "dense" | "sparse"; std::nullopt on anything else.
+[[nodiscard]] std::optional<Backend> backend_from_string(std::string_view s);
+
+/// Process default: the LAPCLIQUE_NUMERICS environment variable (read once),
+/// else kAuto.  Seeds Runtime::numerics only — factorization call sites must
+/// not consult this directly (see the header comment).
+[[nodiscard]] Backend default_backend();
+
+/// Resolves kAuto for an n-vertex Laplacian with nnz stored entries: sparse
+/// once the instance is big enough that the O(n^3) dense factor loses and
+/// sparse enough that fill-in stays bounded.  Explicit requests pass through.
+[[nodiscard]] Backend resolve_backend(Backend requested, int n, std::int64_t nnz);
+
+/// What a factorization did, surfaced through solver stats and RunInfo.
+struct FactorStats {
+  Backend requested = Backend::kAuto;  ///< what the caller asked for
+  Backend chosen = Backend::kDense;    ///< what actually ran
+  int n = 0;                           ///< matrix dimension
+  std::int64_t nnz = 0;                ///< stored entries of the Laplacian
+  std::int64_t fill_nnz = 0;           ///< nonzeros in the factor (diag incl.)
+};
+
+/// The pluggable Laplacian pseudoinverse factor: dispatches between
+/// linalg::LaplacianFactor (dense) and linalg::SparseLaplacianFactor by the
+/// resolved backend.  Both wrappers share the grounding/projection
+/// arithmetic, so swapping backends changes substitution bits only — round
+/// counts stay pinned by the golden tests under either choice.
+class BackendLaplacianFactor {
+ public:
+  BackendLaplacianFactor() = default;
+
+  static BackendLaplacianFactor factor(const CsrMatrix& laplacian,
+                                       Backend requested = Backend::kAuto);
+
+  [[nodiscard]] int size() const { return n_; }
+  [[nodiscard]] const FactorStats& stats() const { return stats_; }
+  [[nodiscard]] Backend chosen() const { return stats_.chosen; }
+
+  /// x = L^+ b.
+  [[nodiscard]] Vec solve(std::span<const double> b) const;
+
+  /// Multi-RHS pseudoinverse action; column c bit-identical to solve(b[c]).
+  [[nodiscard]] std::vector<Vec> solve_block(std::span<const Vec> b) const;
+
+ private:
+  int n_ = 0;
+  FactorStats stats_;
+  // Exactly one is populated (the other stays empty); dispatch is a branch
+  // on stats_.chosen, fixed at factor time.
+  LaplacianFactor dense_;
+  SparseLaplacianFactor sparse_;
+};
+
+}  // namespace lapclique::linalg

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "linalg/csr.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/round_ledger.hpp"
 
@@ -37,6 +38,13 @@ struct ChebyshevOptions {
   /// Observability: iteration counts are reported here when attached (each
   /// iteration is one model broadcast round in the clique accounting).
   obs::RoundLedger* ledger = nullptr;
+  /// Fused-triad fast path.  When non-null, `apply_a` MUST be exactly
+  /// "multiply by *a_matrix" (it is then never called): each iteration runs
+  /// one fused p/x update pass plus CsrMatrix::multiply_axpy_into instead of
+  /// four separate vector sweeps.  Every per-element arithmetic sequence is
+  /// unchanged, so the fused iterate is bit-identical to the unfused twin —
+  /// tests/test_backend.cpp pins that equality.
+  const CsrMatrix* a_matrix = nullptr;
 };
 
 /// PreconCheby(A, B, b, kappa, eps): returns x ~= A^+ b.

@@ -6,6 +6,14 @@
 // *sparsifier* L_H internally at every node; since H is globally known and
 // has O(n log n) edges this dense factorization is the "internal computation"
 // the model charges zero rounds for.
+//
+// MIGRATION (sparse-first numerics): constructing LaplacianFactor directly is
+// deprecated for solver code.  Factor through linalg::BackendLaplacianFactor
+// (linalg/backend.hpp), which picks dense LDL^T or the RCM-ordered sparse
+// LDL^T per the Runtime::numerics / LaplacianSolverOptions::backend request
+// and reports FactorStats.  This header stays as the dense backend's
+// implementation and as a compat shim for existing callers; see
+// docs/PERFORMANCE.md ("Numerics backends") for the migration contract.
 #pragma once
 
 #include <optional>

@@ -12,6 +12,10 @@ namespace {
 /// sequentially in column order, so sharding rows is bit-identical to the
 /// sequential kernel; the grain only has to amortize dispatch.
 constexpr std::int64_t kRowGrain = 512;
+/// Slices per shard for the SELL kernels — kRowGrain rows' worth of slices,
+/// keeping the shard geometry (a pure function of n) aligned with the old
+/// row-sharded kernels.
+constexpr std::int64_t kSliceGrain = kRowGrain / CsrMatrix::kSellSlice;
 }  // namespace
 
 CsrMatrix CsrMatrix::from_triplets(int n, std::span<const Triplet> triplets) {
@@ -43,7 +47,44 @@ CsrMatrix CsrMatrix::from_triplets(int n, std::span<const Triplet> triplets) {
     }
   }
   m.rowptr_[static_cast<std::size_t>(n)] = static_cast<int>(m.colidx_.size());
+  m.build_sell();
   return m;
+}
+
+void CsrMatrix::build_sell() {
+  constexpr int C = kSellSlice;
+  const std::int64_t slices = (static_cast<std::int64_t>(n_) + C - 1) / C;
+  sell_ptr_.assign(static_cast<std::size_t>(slices) + 1, 0);
+  for (std::int64_t s = 0; s < slices; ++s) {
+    int width = 0;
+    const int r0 = static_cast<int>(s) * C;
+    const int r1 = std::min(n_, r0 + C);
+    for (int r = r0; r < r1; ++r) {
+      width = std::max(width, rowptr_[static_cast<std::size_t>(r) + 1] -
+                                  rowptr_[static_cast<std::size_t>(r)]);
+    }
+    sell_ptr_[static_cast<std::size_t>(s) + 1] =
+        sell_ptr_[static_cast<std::size_t>(s)] + static_cast<std::int64_t>(width) * C;
+  }
+  const auto total = static_cast<std::size_t>(sell_ptr_[static_cast<std::size_t>(slices)]);
+  sell_cols_.assign(total, 0);
+  sell_vals_.assign(total, 0.0);
+  for (std::int64_t s = 0; s < slices; ++s) {
+    const int r0 = static_cast<int>(s) * C;
+    const int r1 = std::min(n_, r0 + C);
+    const std::int64_t base = sell_ptr_[static_cast<std::size_t>(s)];
+    for (int r = r0; r < r1; ++r) {
+      const int lane = r - r0;
+      const int kb = rowptr_[static_cast<std::size_t>(r)];
+      const int ke = rowptr_[static_cast<std::size_t>(r) + 1];
+      for (int k = kb; k < ke; ++k) {
+        const auto slot =
+            static_cast<std::size_t>(base + static_cast<std::int64_t>(k - kb) * C + lane);
+        sell_cols_[slot] = colidx_[static_cast<std::size_t>(k)];
+        sell_vals_[slot] = vals_[static_cast<std::size_t>(k)];
+      }
+    }
+  }
 }
 
 Vec CsrMatrix::multiply(std::span<const double> x) const {
@@ -56,15 +97,75 @@ void CsrMatrix::multiply_into(std::span<const double> x, std::span<double> y) co
   if (static_cast<int>(x.size()) != n_ || static_cast<int>(y.size()) != n_) {
     throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
   }
-  exec::parallel_for(n_, kRowGrain, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t r = lo; r < hi; ++r) {
-      double s = 0;
-      for (int k = rowptr_[static_cast<std::size_t>(r)];
-           k < rowptr_[static_cast<std::size_t>(r) + 1]; ++k) {
-        s += vals_[static_cast<std::size_t>(k)] *
-             x[static_cast<std::size_t>(colidx_[static_cast<std::size_t>(k)])];
+  // SELL kernel: lanes of a slice advance in lockstep over entry index j;
+  // lane l's accumulator sees row (slice*C+l)'s entries in ascending column
+  // order — the exact per-row sequence of the scalar CSR loop, so the result
+  // is bit-identical at every thread count.  Short lanes are guarded by
+  // len[l]; padded slots never reach the arithmetic.
+  constexpr int C = kSellSlice;
+  const std::int64_t slices = (static_cast<std::int64_t>(n_) + C - 1) / C;
+  exec::parallel_for(slices, kSliceGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t s = lo; s < hi; ++s) {
+      const int r0 = static_cast<int>(s) * C;
+      const int lanes = std::min(C, n_ - r0);
+      const std::int64_t base = sell_ptr_[static_cast<std::size_t>(s)];
+      const std::int64_t width = (sell_ptr_[static_cast<std::size_t>(s) + 1] - base) / C;
+      double acc[C] = {};
+      int len[C] = {};
+      for (int l = 0; l < lanes; ++l) {
+        len[l] = rowptr_[static_cast<std::size_t>(r0 + l) + 1] -
+                 rowptr_[static_cast<std::size_t>(r0 + l)];
       }
-      y[static_cast<std::size_t>(r)] = s;
+      for (std::int64_t j = 0; j < width; ++j) {
+        const auto slot = static_cast<std::size_t>(base + j * C);
+        for (int l = 0; l < lanes; ++l) {
+          if (j < len[l]) {
+            acc[l] += sell_vals_[slot + static_cast<std::size_t>(l)] *
+                      x[static_cast<std::size_t>(
+                          sell_cols_[slot + static_cast<std::size_t>(l)])];
+          }
+        }
+      }
+      for (int l = 0; l < lanes; ++l) y[static_cast<std::size_t>(r0 + l)] = acc[l];
+    }
+  });
+}
+
+void CsrMatrix::multiply_axpy_into(double coef, std::span<const double> x,
+                                   std::span<double> y) const {
+  if (static_cast<int>(x.size()) != n_ || static_cast<int>(y.size()) != n_) {
+    throw std::invalid_argument("CsrMatrix::multiply_axpy: size mismatch");
+  }
+  // multiply_into's SELL walk with a fused epilogue: the row product s lands
+  // as y[r] += coef*s, the same multiply-add the separate axpy pass performs
+  // on the stored ap[r] — so fusing cannot change a single bit.
+  constexpr int C = kSellSlice;
+  const std::int64_t slices = (static_cast<std::int64_t>(n_) + C - 1) / C;
+  exec::parallel_for(slices, kSliceGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t s = lo; s < hi; ++s) {
+      const int r0 = static_cast<int>(s) * C;
+      const int lanes = std::min(C, n_ - r0);
+      const std::int64_t base = sell_ptr_[static_cast<std::size_t>(s)];
+      const std::int64_t width = (sell_ptr_[static_cast<std::size_t>(s) + 1] - base) / C;
+      double acc[C] = {};
+      int len[C] = {};
+      for (int l = 0; l < lanes; ++l) {
+        len[l] = rowptr_[static_cast<std::size_t>(r0 + l) + 1] -
+                 rowptr_[static_cast<std::size_t>(r0 + l)];
+      }
+      for (std::int64_t j = 0; j < width; ++j) {
+        const auto slot = static_cast<std::size_t>(base + j * C);
+        for (int l = 0; l < lanes; ++l) {
+          if (j < len[l]) {
+            acc[l] += sell_vals_[slot + static_cast<std::size_t>(l)] *
+                      x[static_cast<std::size_t>(
+                          sell_cols_[slot + static_cast<std::size_t>(l)])];
+          }
+        }
+      }
+      for (int l = 0; l < lanes; ++l) {
+        y[static_cast<std::size_t>(r0 + l)] += coef * acc[l];
+      }
     }
   });
 }
@@ -86,20 +187,90 @@ void CsrMatrix::multiply_block_into(std::span<const Vec> x, std::span<Vec> y) co
     }
   }
   if (k == 0) return;
-  exec::parallel_for(n_, kRowGrain, [&](std::int64_t lo, std::int64_t hi) {
-    // Per row, every nonzero is read once and applied to all k columns;
-    // each column's accumulator sees the row's entries in ascending column
-    // order, exactly as multiply_into's scalar loop does.
-    std::vector<double> acc(k);
-    for (std::int64_t r = lo; r < hi; ++r) {
+  // SELL kernel over RHS columns: per slice, every nonzero is read once and
+  // applied to all k columns; lane l's accumulators see row (slice*C+l)'s
+  // entries in ascending column order, exactly as multiply_into does — so
+  // column c of the block product is bit-identical to multiply(x[c]).
+  constexpr int C = kSellSlice;
+  const std::int64_t slices = (static_cast<std::int64_t>(n_) + C - 1) / C;
+  exec::parallel_for(slices, kSliceGrain, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<double> acc(static_cast<std::size_t>(C) * k);
+    for (std::int64_t s = lo; s < hi; ++s) {
+      const int r0 = static_cast<int>(s) * C;
+      const int lanes = std::min(C, n_ - r0);
+      const std::int64_t base = sell_ptr_[static_cast<std::size_t>(s)];
+      const std::int64_t width = (sell_ptr_[static_cast<std::size_t>(s) + 1] - base) / C;
       std::fill(acc.begin(), acc.end(), 0.0);
-      for (int e = rowptr_[static_cast<std::size_t>(r)];
-           e < rowptr_[static_cast<std::size_t>(r) + 1]; ++e) {
-        const double v = vals_[static_cast<std::size_t>(e)];
-        const auto col = static_cast<std::size_t>(colidx_[static_cast<std::size_t>(e)]);
-        for (std::size_t c = 0; c < k; ++c) acc[c] += v * x[c][col];
+      int len[C] = {};
+      for (int l = 0; l < lanes; ++l) {
+        len[l] = rowptr_[static_cast<std::size_t>(r0 + l) + 1] -
+                 rowptr_[static_cast<std::size_t>(r0 + l)];
       }
-      for (std::size_t c = 0; c < k; ++c) y[c][static_cast<std::size_t>(r)] = acc[c];
+      for (std::int64_t j = 0; j < width; ++j) {
+        const auto slot = static_cast<std::size_t>(base + j * C);
+        for (int l = 0; l < lanes; ++l) {
+          if (j >= len[l]) continue;
+          const double v = sell_vals_[slot + static_cast<std::size_t>(l)];
+          const auto col = static_cast<std::size_t>(
+              sell_cols_[slot + static_cast<std::size_t>(l)]);
+          double* a = acc.data() + static_cast<std::size_t>(l) * k;
+          for (std::size_t c = 0; c < k; ++c) a[c] += v * x[c][col];
+        }
+      }
+      for (int l = 0; l < lanes; ++l) {
+        const double* a = acc.data() + static_cast<std::size_t>(l) * k;
+        for (std::size_t c = 0; c < k; ++c) y[c][static_cast<std::size_t>(r0 + l)] = a[c];
+      }
+    }
+  });
+}
+
+void CsrMatrix::multiply_block_axpy_into(double coef, std::span<const Vec> x,
+                                         std::span<Vec> y) const {
+  const std::size_t k = x.size();
+  if (y.size() != k) {
+    throw std::invalid_argument("CsrMatrix::multiply_block_axpy: column count mismatch");
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (static_cast<int>(x[c].size()) != n_ || static_cast<int>(y[c].size()) != n_) {
+      throw std::invalid_argument("CsrMatrix::multiply_block_axpy: size mismatch");
+    }
+  }
+  if (k == 0) return;
+  // multiply_block_into's SELL walk with the fused y[c][r] += coef*s
+  // epilogue — see multiply_axpy_into for the bit-identity argument.
+  constexpr int C = kSellSlice;
+  const std::int64_t slices = (static_cast<std::int64_t>(n_) + C - 1) / C;
+  exec::parallel_for(slices, kSliceGrain, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<double> acc(static_cast<std::size_t>(C) * k);
+    for (std::int64_t s = lo; s < hi; ++s) {
+      const int r0 = static_cast<int>(s) * C;
+      const int lanes = std::min(C, n_ - r0);
+      const std::int64_t base = sell_ptr_[static_cast<std::size_t>(s)];
+      const std::int64_t width = (sell_ptr_[static_cast<std::size_t>(s) + 1] - base) / C;
+      std::fill(acc.begin(), acc.end(), 0.0);
+      int len[C] = {};
+      for (int l = 0; l < lanes; ++l) {
+        len[l] = rowptr_[static_cast<std::size_t>(r0 + l) + 1] -
+                 rowptr_[static_cast<std::size_t>(r0 + l)];
+      }
+      for (std::int64_t j = 0; j < width; ++j) {
+        const auto slot = static_cast<std::size_t>(base + j * C);
+        for (int l = 0; l < lanes; ++l) {
+          if (j >= len[l]) continue;
+          const double v = sell_vals_[slot + static_cast<std::size_t>(l)];
+          const auto col = static_cast<std::size_t>(
+              sell_cols_[slot + static_cast<std::size_t>(l)]);
+          double* a = acc.data() + static_cast<std::size_t>(l) * k;
+          for (std::size_t c = 0; c < k; ++c) a[c] += v * x[c][col];
+        }
+      }
+      for (int l = 0; l < lanes; ++l) {
+        const double* a = acc.data() + static_cast<std::size_t>(l) * k;
+        for (std::size_t c = 0; c < k; ++c) {
+          y[c][static_cast<std::size_t>(r0 + l)] += coef * a[c];
+        }
+      }
     }
   });
 }
@@ -166,6 +337,9 @@ CsrMatrix CsrMatrix::plus(const CsrMatrix& other) const {
 CsrMatrix CsrMatrix::scaled(double alpha) const {
   CsrMatrix m = *this;
   for (double& v : m.vals_) v *= alpha;
+  // The sliced layout mirrors vals_ — scale it in place rather than
+  // rebuilding (padding slots stay 0*alpha = ±0, never read anyway).
+  for (double& v : m.sell_vals_) v *= alpha;
   return m;
 }
 

@@ -26,7 +26,7 @@ ArtifactCache::Acquired ArtifactCache::acquire(
     const graph::Graph& g, std::uint64_t graph_hash, double eps,
     clique::RoutingMode mode, const solver::LaplacianSolverOptions& opt,
     obs::RoundLedger* request_ledger) {
-  const ArtifactKey key{graph_hash, eps_bit_pattern(eps), mode};
+  const ArtifactKey key{graph_hash, eps_bit_pattern(eps), mode, opt.backend};
   {
     const std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);

@@ -119,6 +119,10 @@ json::Value run_to_json(const RunInfo& run) {
   o.emplace("phases", json::Value(std::move(phases)));
   o.emplace("used_fallback", run.used_fallback);
   o.emplace("fallback_reason", run.fallback_reason);
+  // Numerics-backend accounting (empty/zero when the op factored nothing —
+  // solve ops report theirs in the artifact block instead).
+  o.emplace("numerics", run.numerics);
+  o.emplace("factor_fill", run.factor_fill);
   return {std::move(o)};
 }
 

@@ -47,12 +47,19 @@ json::Value stats_to_json(const solver::LaplacianSolveStats& st) {
 /// The artifact block is a deterministic function of the cache key, echoed
 /// identically whether this request built the artifact or an earlier one
 /// did — the load-bearing piece of the hit==cold response-byte contract.
+/// ("numerics" is the requested backend — the key component; "numerics_chosen"
+/// and "factor_fill" are deterministic functions of key + graph content.)
 json::Value artifact_to_json(const Artifact& artifact, std::uint64_t hash,
-                             double eps, clique::RoutingMode mode) {
+                             double eps, clique::RoutingMode mode,
+                             linalg::Backend backend) {
   json::Object o;
   o.emplace("construction", run_to_json(artifact.construction));
   o.emplace("eps", eps);
+  o.emplace("factor_fill", artifact.solver->factor_stats().fill_nnz);
   o.emplace("graph", hash_to_string(hash));
+  o.emplace("numerics", std::string(linalg::to_string(backend)));
+  o.emplace("numerics_chosen",
+            std::string(linalg::to_string(artifact.solver->backend())));
   o.emplace("routing", clique::to_string(mode));
   return {std::move(o)};
 }
@@ -69,6 +76,21 @@ clique::RoutingMode parse_routing(const json::Value& req) {
                                           "\" (charged | executed | broadcast)");
   }
   return *mode;
+}
+
+/// Per-request numerics backend; the fallback is the server's configured
+/// solver.backend.  Like parse_routing, deliberately NOT defaulted from
+/// LAPCLIQUE_NUMERICS: a server's responses must not depend on its
+/// environment.
+linalg::Backend parse_numerics(const json::Value& req, linalg::Backend fallback) {
+  const std::optional<std::string> name = optional_string(req, "numerics");
+  if (!name.has_value()) return fallback;
+  const std::optional<linalg::Backend> backend = linalg::backend_from_string(*name);
+  if (!backend.has_value()) {
+    throw RequestError("bad_request", "unknown numerics backend \"" + *name +
+                                          "\" (auto | dense | sparse)");
+  }
+  return *backend;
 }
 
 double parse_eps(const json::Value& req) {
@@ -290,6 +312,7 @@ std::string Server::dispatch(const json::Value& req, const json::Value& id,
   if (op == "solve") return handle_solve(req, id, /*batch=*/false, telemetry);
   if (op == "solve_batch") return handle_solve(req, id, /*batch=*/true, telemetry);
   if (op == "resistance") return handle_resistance(req, id, telemetry);
+  if (op == "resistance_batch") return handle_resistance_batch(req, id, telemetry);
   if (op == "flow.max") return handle_flow_max(req, id);
   if (op == "flow.mincost") return handle_flow_mincost(req, id);
   if (op == "cache.stats") return handle_cache_stats(id);
@@ -500,10 +523,13 @@ std::string Server::handle_solve(const json::Value& req, const json::Value& id,
     bs.push_back(std::move(b));
   }
 
+  solver::LaplacianSolverOptions sopt = opt_.solver;
+  sopt.backend = parse_numerics(req, opt_.solver.backend);
+
   const exec::ThreadScope scope(parse_threads(req));
   obs::RoundLedger ledger;
   const ArtifactCache::Acquired acq =
-      cache_.acquire(slot->g, slot->hash, eps, mode, opt_.solver, &ledger);
+      cache_.acquire(slot->g, slot->hash, eps, mode, sopt, &ledger);
   if (telemetry != nullptr) {
     telemetry->cache_lookup = true;
     telemetry->cache_hit = acq.hit;
@@ -540,7 +566,8 @@ std::string Server::handle_solve(const json::Value& req, const json::Value& id,
   fill_telemetry(telemetry, ledger);
 
   json::Object extra;
-  extra.emplace("artifact", artifact_to_json(*acq.artifact, slot->hash, eps, mode));
+  extra.emplace("artifact", artifact_to_json(*acq.artifact, slot->hash, eps,
+                                             mode, sopt.backend));
   extra.emplace("result", json::Value(std::move(result)));
   extra.emplace("run", run_to_json(run));
   return ok_response(id, batch ? "solve_batch" : "solve", std::move(extra));
@@ -564,10 +591,13 @@ std::string Server::handle_resistance(const json::Value& req,
   const int v = checked_vertex(require_int(req, "v"), n, "vertex v");
   if (u == v) throw RequestError("bad_request", "u and v must differ");
 
+  solver::LaplacianSolverOptions sopt = opt_.solver;
+  sopt.backend = parse_numerics(req, opt_.solver.backend);
+
   const exec::ThreadScope scope(parse_threads(req));
   obs::RoundLedger ledger;
   const ArtifactCache::Acquired acq =
-      cache_.acquire(slot->g, slot->hash, eps, mode, opt_.solver, &ledger);
+      cache_.acquire(slot->g, slot->hash, eps, mode, sopt, &ledger);
   if (telemetry != nullptr) {
     telemetry->cache_lookup = true;
     telemetry->cache_hit = acq.hit;
@@ -592,10 +622,113 @@ std::string Server::handle_resistance(const json::Value& req,
   result.emplace("resistance", linalg::dot(chi, x));
   result.emplace("stats", stats_to_json(st));
   json::Object extra;
-  extra.emplace("artifact", artifact_to_json(*acq.artifact, slot->hash, eps, mode));
+  extra.emplace("artifact", artifact_to_json(*acq.artifact, slot->hash, eps,
+                                             mode, sopt.backend));
   extra.emplace("result", json::Value(std::move(result)));
   extra.emplace("run", run_to_json(run));
   return ok_response(id, "resistance", std::move(extra));
+}
+
+std::string Server::handle_resistance_batch(const json::Value& req,
+                                            const json::Value& id,
+                                            RequestTelemetry* telemetry) {
+  const std::shared_ptr<const Slot> slot = find_graph(require_string(req, "graph"));
+  if (slot->directed) {
+    throw RequestError("bad_request",
+                       "resistance_batch requires an undirected graph");
+  }
+  const double eps = parse_eps(req);
+  const clique::RoutingMode mode = parse_routing(req);
+  const int n = slot->g.num_vertices();
+  if (n < 2) {
+    throw RequestError("bad_request", "resistance_batch requires n >= 2");
+  }
+  if (!graph::is_connected(slot->g)) {
+    throw RequestError("bad_request", "graph must be connected");
+  }
+
+  const json::Value* pairs_v = find_field(req, "pairs");
+  if (pairs_v == nullptr || pairs_v->kind() != json::Value::Kind::kArray) {
+    throw RequestError("bad_request",
+                       "field \"pairs\" must be an array of [u, v] pairs");
+  }
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(pairs_v->as_array().size());
+  for (const json::Value& row_v : pairs_v->as_array()) {
+    if (row_v.kind() != json::Value::Kind::kArray ||
+        row_v.as_array().size() != 2 ||
+        row_v.as_array()[0].kind() != json::Value::Kind::kInt ||
+        row_v.as_array()[1].kind() != json::Value::Kind::kInt) {
+      throw RequestError("bad_request",
+                         "field \"pairs\" must be an array of [u, v] pairs");
+    }
+    const int u = checked_vertex(row_v.as_array()[0].as_int(), n, "pair vertex");
+    const int v = checked_vertex(row_v.as_array()[1].as_int(), n, "pair vertex");
+    if (u == v) {
+      throw RequestError("bad_request", "pair endpoints must differ");
+    }
+    pairs.emplace_back(u, v);
+  }
+  if (pairs.empty()) {
+    throw RequestError("bad_request", "\"pairs\" must be non-empty");
+  }
+
+  solver::LaplacianSolverOptions sopt = opt_.solver;
+  sopt.backend = parse_numerics(req, opt_.solver.backend);
+
+  const exec::ThreadScope scope(parse_threads(req));
+  obs::RoundLedger ledger;
+  const ArtifactCache::Acquired acq =
+      cache_.acquire(slot->g, slot->hash, eps, mode, sopt, &ledger);
+  if (telemetry != nullptr) {
+    telemetry->cache_lookup = true;
+    telemetry->cache_hit = acq.hit;
+  }
+  check_deadline("artifact construction");
+
+  clique::Network net(std::max(n, 2));
+  net.set_routing_mode(mode);
+  net.set_tracer(&ledger);
+
+  // One blocked solve over all k demand vectors against the cached artifact:
+  // resistances[i] is bit-identical to the scalar "resistance" op for
+  // pairs[i] (the block solve replays each column's solve exactly).
+  std::vector<linalg::Vec> bs;
+  bs.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) {
+    linalg::Vec chi(static_cast<std::size_t>(n), 0.0);
+    chi[static_cast<std::size_t>(u)] = 1.0;
+    chi[static_cast<std::size_t>(v)] = -1.0;
+    bs.push_back(std::move(chi));
+  }
+  std::vector<solver::LaplacianSolveStats> stats;
+  const std::vector<linalg::Vec> xs =
+      acq.artifact->solver->solve_block(bs, eps, &stats, &net);
+  RunInfo run;
+  run.capture(net);
+  // + one broadcast of the two potentials per pair, matching "resistance".
+  run.rounds += static_cast<std::int64_t>(pairs.size());
+  fill_telemetry(telemetry, ledger);
+
+  json::Array resistances;
+  resistances.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    resistances.emplace_back(linalg::dot(bs[i], xs[i]));
+  }
+  json::Array stats_json;
+  stats_json.reserve(stats.size());
+  for (const solver::LaplacianSolveStats& st : stats) {
+    stats_json.push_back(stats_to_json(st));
+  }
+  json::Object result;
+  result.emplace("resistances", json::Value(std::move(resistances)));
+  result.emplace("stats", json::Value(std::move(stats_json)));
+  json::Object extra;
+  extra.emplace("artifact", artifact_to_json(*acq.artifact, slot->hash, eps,
+                                             mode, sopt.backend));
+  extra.emplace("result", json::Value(std::move(result)));
+  extra.emplace("run", run_to_json(run));
+  return ok_response(id, "resistance_batch", std::move(extra));
 }
 
 std::string Server::handle_flow_max(const json::Value& req,

@@ -47,8 +47,13 @@ struct ServerOptions {
   /// always wins ("deadline_ms":0 is an already-expired deadline, useful for
   /// deterministic abort testing).
   std::int64_t default_deadline_ms = 0;
-  /// Solver options shared by every cached artifact (part of no cache key:
-  /// a server runs one configuration).
+  /// Solver options shared by cached artifacts.  One field IS part of the
+  /// cache key: the numerics backend (solver.backend), which a request may
+  /// override per call with its "numerics" field — the server's value is
+  /// only the default.  Every other field is server-wide configuration (a
+  /// server runs one configuration) and enters no key.  The default is
+  /// never read from LAPCLIQUE_NUMERICS: a server's responses must not
+  /// depend on its environment (set it via --numerics / this struct).
   solver::LaplacianSolverOptions solver;
 };
 
@@ -152,6 +157,9 @@ class Server {
                            bool batch, RequestTelemetry* telemetry);
   std::string handle_resistance(const obs::json::Value& req, const obs::json::Value& id,
                                 RequestTelemetry* telemetry);
+  std::string handle_resistance_batch(const obs::json::Value& req,
+                                      const obs::json::Value& id,
+                                      RequestTelemetry* telemetry);
   std::string handle_flow_max(const obs::json::Value& req, const obs::json::Value& id);
   std::string handle_flow_mincost(const obs::json::Value& req, const obs::json::Value& id);
   std::string handle_cache_stats(const obs::json::Value& id);

@@ -31,6 +31,8 @@ CliqueSolveReport solve_laplacian_clique(const graph::Graph& g,
   CliqueSolveReport rep;
   rep.x = solver.solve(b, eps, &rep.stats);
   rep.run.capture(net);
+  rep.run.numerics = linalg::to_string(rep.stats.factor.chosen);
+  rep.run.factor_fill = rep.stats.factor.fill_nnz;
   return rep;
 }
 

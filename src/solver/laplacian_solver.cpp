@@ -54,7 +54,7 @@ void LaplacianSolver::init_from_sparsifier(const graph::Graph& g,
   }
   lg_ = graph::laplacian(g);
   lh_ = graph::laplacian(h_);
-  lh_factor_ = linalg::LaplacianFactor::factor(lh_);
+  lh_factor_ = linalg::BackendLaplacianFactor::factor(lh_, opt_.backend);
 
   // Deterministic power iteration for the spectral range of M = L_H^+ L_G.
   const int n = g.num_vertices();
@@ -178,6 +178,8 @@ Vec LaplacianSolver::solve(std::span<const double> b, double eps,
     copt.eps = eps;
     copt.kappa = kappa;
     copt.ledger = net != nullptr ? net->tracer() : nullptr;
+    // apply_a is exactly "multiply by lg_", so the fused triad applies.
+    copt.a_matrix = &lg_;
     linalg::ChebyshevStats cstats;
     x = linalg::preconditioned_chebyshev(apply_a, solve_b, rhs, copt, &cstats);
     total_iters += cstats.iterations;
@@ -204,7 +206,7 @@ Vec LaplacianSolver::solve(std::span<const double> b, double eps,
     // Guard rail: every Chebyshev budget was exhausted without a certified
     // residual (or the iterate went non-finite).  Degrade to the exact
     // direct factorization of L_G — slower, but always correct.
-    const std::shared_ptr<const linalg::LaplacianFactor> lg_factor =
+    const std::shared_ptr<const linalg::BackendLaplacianFactor> lg_factor =
         lg_factor_or_build();
     x = lg_factor->solve(rhs);
     linalg::project_out_ones(x);
@@ -242,16 +244,17 @@ Vec LaplacianSolver::solve(std::span<const double> b, double eps,
     stats->relative_residual = rel;
     stats->sparsify_stats = sparsify_stats_;
     stats->sparsifier_edges = h_.num_edges();
+    stats->factor = lh_factor_.stats();
   }
   return x;
 }
 
-std::shared_ptr<const linalg::LaplacianFactor>
+std::shared_ptr<const linalg::BackendLaplacianFactor>
 LaplacianSolver::lg_factor_or_build() const {
   const std::lock_guard<std::mutex> lock(*lg_factor_mu_);
   if (lg_factor_ == nullptr) {
-    lg_factor_ = std::make_shared<const linalg::LaplacianFactor>(
-        linalg::LaplacianFactor::factor(lg_));
+    lg_factor_ = std::make_shared<const linalg::BackendLaplacianFactor>(
+        linalg::BackendLaplacianFactor::factor(lg_, opt_.backend));
   }
   return lg_factor_;
 }
@@ -337,6 +340,7 @@ std::vector<Vec> LaplacianSolver::solve_block(
     // The ledger counter is replayed per column below, in column order, so
     // attached tracers see exactly what sequential scalar solves report.
     copt.ledger = nullptr;
+    copt.a_matrix = &lg_;
 
     std::vector<Vec> brhs;
     brhs.reserve(active.size());
@@ -371,7 +375,7 @@ std::vector<Vec> LaplacianSolver::solve_block(
     }
     if (healthy) continue;
     fell[c] = 1;
-    const std::shared_ptr<const linalg::LaplacianFactor> lg_factor =
+    const std::shared_ptr<const linalg::BackendLaplacianFactor> lg_factor =
         lg_factor_or_build();
     x[c] = lg_factor->solve(rhs[c]);
     linalg::project_out_ones(x[c]);
@@ -416,6 +420,7 @@ std::vector<Vec> LaplacianSolver::solve_block(
       st.relative_residual = rel[c];
       st.sparsify_stats = sparsify_stats_;
       st.sparsifier_edges = h_.num_edges();
+      st.factor = lh_factor_.stats();
     }
   }
   return x;

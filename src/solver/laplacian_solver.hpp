@@ -10,6 +10,7 @@
 #include "cliquesim/network.hpp"
 #include "graph/graph.hpp"
 #include "graph/laplacian.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/chebyshev.hpp"
 #include "linalg/cholesky.hpp"
 #include "spectral/sparsify.hpp"
@@ -30,6 +31,13 @@ struct LaplacianSolverOptions {
   /// Skip sparsification and precondition with G itself (then every "solve
   /// involving L_H" is an exact solve; 1 iteration).  For testing.
   bool identity_preconditioner = false;
+  /// Numerics backend for the preconditioner factorization and the exact
+  /// fallback factor.  The canonical way to pick a backend is
+  /// Runtime::numerics — the facade entry points copy it in here when this
+  /// field is kAuto, so per-call options win only when they hard-pick dense
+  /// or sparse (the compatibility-shim contract, docs/PERFORMANCE.md).
+  /// kAuto resolves by instance size/sparsity (linalg::resolve_backend).
+  linalg::Backend backend = linalg::Backend::kAuto;
 };
 
 struct LaplacianSolveStats {
@@ -44,6 +52,9 @@ struct LaplacianSolveStats {
   /// degraded to an exact direct factorization of L_G, charged under the
   /// "solver/fallback" phase.
   bool exact_fallback = false;
+  /// What the preconditioner factorization did: requested/chosen backend,
+  /// instance size, and factor fill (linalg::Backend seam).
+  linalg::FactorStats factor;
 };
 
 /// Reusable solver: the sparsifier and its factorization are built once at
@@ -108,6 +119,12 @@ class LaplacianSolver {
   /// After the edit-repair constructor: true if the incremental repair fell
   /// back to a full re-sparsification.  Always false for the plain ctor.
   [[nodiscard]] bool sparsifier_rebuilt() const { return sparsifier_rebuilt_; }
+  /// The numerics backend that factored the preconditioner (kAuto resolved).
+  [[nodiscard]] linalg::Backend backend() const { return lh_factor_.chosen(); }
+  /// Requested/chosen backend and fill of the preconditioner factorization.
+  [[nodiscard]] const linalg::FactorStats& factor_stats() const {
+    return lh_factor_.stats();
+  }
 
  private:
   /// Shared ctor tail: gather H, factor, estimate the spectral range.
@@ -117,15 +134,15 @@ class LaplacianSolver {
   linalg::CsrMatrix lg_;
   linalg::CsrMatrix lh_;
   /// Returns the exact L_G factor, building it under the mutex on first use.
-  std::shared_ptr<const linalg::LaplacianFactor> lg_factor_or_build() const;
+  std::shared_ptr<const linalg::BackendLaplacianFactor> lg_factor_or_build() const;
 
-  linalg::LaplacianFactor lh_factor_;
+  linalg::BackendLaplacianFactor lh_factor_;
   /// Exact factorization of L_G itself, built lazily the first time the
   /// residual guard rail trips (see LaplacianSolveStats::exact_fallback).
   /// Shared-pointer + shared mutex so concurrent solves on one solver (the
   /// serve daemon's cache-hit path) stay race-free; copies of the solver
   /// share the cache, which is sound because they share the graph.
-  mutable std::shared_ptr<const linalg::LaplacianFactor> lg_factor_;
+  mutable std::shared_ptr<const linalg::BackendLaplacianFactor> lg_factor_;
   mutable std::shared_ptr<std::mutex> lg_factor_mu_ =
       std::make_shared<std::mutex>();
   spectral::SparsifyStats sparsify_stats_;

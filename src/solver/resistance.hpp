@@ -32,6 +32,41 @@ ResistanceReport effective_resistance_clique(const graph::Graph& g, int u, int v
                                              const LaplacianSolverOptions& opt,
                                              clique::Network& net);
 
+/// A batched pairwise query.
+struct PairQuery {
+  int u = 0;
+  int v = 0;
+};
+
+struct BatchResistanceReport {
+  /// resistances[i] corresponds to pairs[i].
+  std::vector<double> resistances;
+  /// One construction + one batched solve + one broadcast round per pair.
+  RunInfo run;
+  /// Per-pair solver stats (restart schedule, residual, backend).
+  std::vector<LaplacianSolveStats> stats;
+};
+
+/// Batched pairwise resistances over k pairs riding one
+/// LaplacianSolver::solve_block pass: the sparsifier and factorization are
+/// built once, every Chebyshev iteration's matvec and preconditioner solve
+/// is shared across all pairs, and resistances[i] is BIT-IDENTICAL to
+/// effective_resistance_clique(g, pairs[i]) on a fresh network (per-column
+/// bit-identity of the block kernels + the same dot in pair order).  Charged
+/// rounds equal k sequential queries' solve rounds against one shared
+/// construction, plus one broadcast round per pair for the potentials.
+BatchResistanceReport query_pairs(const graph::Graph& g,
+                                  std::span<const PairQuery> pairs,
+                                  double eps = 1e-8,
+                                  const LaplacianSolverOptions& opt = {});
+
+/// As above on a caller-configured Network (the Runtime entry points and the
+/// serve daemon's `resistance_batch` op).
+BatchResistanceReport query_pairs(const graph::Graph& g,
+                                  std::span<const PairQuery> pairs, double eps,
+                                  const LaplacianSolverOptions& opt,
+                                  clique::Network& net);
+
 /// All-pairs-to-one resistances: R_eff(u, v) for a fixed u against every v,
 /// from a single solve (the potential vector gives them all at once up to
 /// the diagonal correction, which needs one solve per v in general; this

@@ -1,0 +1,356 @@
+// Backend differential suite for the linalg::Backend seam.
+//
+// What the sparse-first numerics layer must guarantee (docs/PERFORMANCE.md):
+//   * resolve_backend is a pure function of (requested, n, nnz) — explicit
+//     requests always honored, kAuto deterministic and environment-free;
+//   * the sparse RCM-ordered LDL^T factors the same Laplacians the dense
+//     path does, to the same answers (up to fp error of a different but
+//     exact elimination order), with per-column block bit-identity;
+//   * each backend is individually bit-stable across thread counts AND
+//     routing modes (outputs are a pure function of the backend choice);
+//   * the fused Chebyshev triad is bitwise the unfused iteration;
+//   * the golden round counts (EXPERIMENTS.md) are backend-independent:
+//     factorization is node-local compute, rounds are communication.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/api.hpp"
+#include "euler/euler_orient.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "graph/rng.hpp"
+#include "linalg/backend.hpp"
+#include "linalg/chebyshev.hpp"
+#include "linalg/sparse_cholesky.hpp"
+#include "solver/laplacian_solver.hpp"
+#include "solver/resistance.hpp"
+#include "test_seed.hpp"
+
+namespace {
+
+using namespace lapclique;
+using linalg::Backend;
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+linalg::Vec random_vec(int n, std::uint64_t salt) {
+  std::mt19937_64 rng(test::base_seed() + salt);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  linalg::Vec b(static_cast<std::size_t>(n));
+  for (double& x : b) x = dist(rng);
+  return b;
+}
+
+linalg::Vec mean_zero(linalg::Vec b) {
+  double mean = 0;
+  for (double x : b) mean += x;
+  mean /= static_cast<double>(b.size());
+  for (double& x : b) x -= mean;
+  return b;
+}
+
+// --- the resolution contract ------------------------------------------------
+
+TEST(Backend, ExplicitRequestsAlwaysHonored) {
+  EXPECT_EQ(linalg::resolve_backend(Backend::kDense, 100000, 10), Backend::kDense);
+  EXPECT_EQ(linalg::resolve_backend(Backend::kSparse, 4, 16), Backend::kSparse);
+}
+
+TEST(Backend, AutoResolvesBySizeAndSparsity) {
+  // Below the size floor: dense, no matter how sparse.
+  EXPECT_EQ(linalg::resolve_backend(Backend::kAuto, 511, 511), Backend::kDense);
+  // At the floor and sparse enough (nnz * 16 <= n^2): sparse.
+  EXPECT_EQ(linalg::resolve_backend(Backend::kAuto, 512, (512LL * 512) / 16),
+            Backend::kSparse);
+  // At the floor but too dense: dense.
+  EXPECT_EQ(linalg::resolve_backend(Backend::kAuto, 512, (512LL * 512) / 16 + 1),
+            Backend::kDense);
+  // The golden instances (n <= 256) always resolve dense, preserving their
+  // historical bits under kAuto.
+  EXPECT_EQ(linalg::resolve_backend(Backend::kAuto, 96, 384 * 2 + 96),
+            Backend::kDense);
+  EXPECT_EQ(linalg::resolve_backend(Backend::kAuto, 256, 512), Backend::kDense);
+}
+
+TEST(Backend, StringRoundTrip) {
+  for (const Backend b : {Backend::kAuto, Backend::kDense, Backend::kSparse}) {
+    const auto parsed = linalg::backend_from_string(linalg::to_string(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(linalg::backend_from_string("psychic").has_value());
+  EXPECT_FALSE(linalg::backend_from_string("").has_value());
+  EXPECT_FALSE(linalg::backend_from_string("Dense").has_value());
+}
+
+// --- the RCM ordering -------------------------------------------------------
+
+TEST(Backend, RcmOrderingIsDeterministicPermutation) {
+  const Graph g = graph::random_connected_gnm(80, 240, test::base_seed() + 301);
+  const linalg::CsrMatrix lap = graph::laplacian(g);
+  const std::vector<int> perm = linalg::rcm_ordering(lap);
+  ASSERT_EQ(perm.size(), 80u);
+  std::vector<bool> seen(80, false);
+  for (const int p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 80);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p)]) << "duplicate " << p;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  // Pure function of the pattern: a second call returns the same ordering.
+  EXPECT_EQ(linalg::rcm_ordering(lap), perm);
+}
+
+// --- the sparse factor against the dense oracle -----------------------------
+
+TEST(Backend, SparseFactorMatchesDenseOnConnectedGraph) {
+  const Graph g = graph::random_connected_gnm(60, 180, test::base_seed() + 311);
+  const linalg::CsrMatrix lap = graph::laplacian(g);
+  const auto dense = linalg::BackendLaplacianFactor::factor(lap, Backend::kDense);
+  const auto sparse = linalg::BackendLaplacianFactor::factor(lap, Backend::kSparse);
+  EXPECT_EQ(dense.chosen(), Backend::kDense);
+  EXPECT_EQ(sparse.chosen(), Backend::kSparse);
+  EXPECT_EQ(sparse.stats().requested, Backend::kSparse);
+  EXPECT_EQ(sparse.stats().n, 60);
+  EXPECT_GT(sparse.stats().fill_nnz, 0);
+  // The RCM-ordered factor of an O(n log n)-edge Laplacian carries far less
+  // fill than the dense triangle — the whole point of the sparse path.
+  EXPECT_LT(sparse.stats().fill_nnz, dense.stats().fill_nnz);
+
+  const linalg::Vec b = mean_zero(random_vec(60, 313));
+  const linalg::Vec xd = dense.solve(b);
+  const linalg::Vec xs = sparse.solve(b);
+  ASSERT_EQ(xs.size(), b.size());
+  // Both are exact solves (different elimination order, so not bitwise):
+  // residuals vanish and the pseudoinverse normalization holds.
+  const linalg::Vec rd = lap.multiply(xd);
+  const linalg::Vec rs = lap.multiply(xs);
+  double sum = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(rd[i], b[i], 1e-9) << i;
+    EXPECT_NEAR(rs[i], b[i], 1e-9) << i;
+    EXPECT_NEAR(xs[i], xd[i], 1e-8) << i;
+    sum += xs[i];
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(Backend, SparseFactorHandlesMultipleComponents) {
+  // Two triangles: per-component grounding and normalization.
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 0, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 5, 3.0);
+  g.add_edge(5, 3, 1.0);
+  const linalg::CsrMatrix lap = graph::laplacian(g);
+  const auto dense = linalg::BackendLaplacianFactor::factor(lap, Backend::kDense);
+  const auto sparse = linalg::BackendLaplacianFactor::factor(lap, Backend::kSparse);
+  // Per-component mean-zero RHS.
+  linalg::Vec b = {1.0, -0.5, -0.5, 2.0, -1.0, -1.0};
+  const linalg::Vec xd = dense.solve(b);
+  const linalg::Vec xs = sparse.solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(xs[i], xd[i], 1e-12) << i;
+  }
+}
+
+TEST(Backend, SolveBlockColumnsBitIdenticalToScalarSolves) {
+  const Graph g = graph::random_connected_gnm(50, 140, test::base_seed() + 321);
+  const linalg::CsrMatrix lap = graph::laplacian(g);
+  for (const Backend backend : {Backend::kDense, Backend::kSparse}) {
+    const auto factor = linalg::BackendLaplacianFactor::factor(lap, backend);
+    const std::vector<linalg::Vec> bs = {mean_zero(random_vec(50, 322)),
+                                         mean_zero(random_vec(50, 323)),
+                                         mean_zero(random_vec(50, 324))};
+    const std::vector<linalg::Vec> block = factor.solve_block(bs);
+    ASSERT_EQ(block.size(), bs.size());
+    for (std::size_t c = 0; c < bs.size(); ++c) {
+      const linalg::Vec single = factor.solve(bs[c]);
+      ASSERT_EQ(block[c].size(), single.size());
+      for (std::size_t i = 0; i < single.size(); ++i) {
+        EXPECT_EQ(bits_of(block[c][i]), bits_of(single[i]))
+            << linalg::to_string(backend) << " col " << c << " row " << i;
+      }
+    }
+  }
+}
+
+// --- the fused Chebyshev triad ----------------------------------------------
+
+TEST(Backend, FusedChebyshevBitwiseEqualsUnfused) {
+  const Graph g = graph::random_connected_gnm(64, 200, test::base_seed() + 331);
+  const linalg::CsrMatrix lap = graph::laplacian(g);
+  // A = L + I is SPD; B = diag(A) (Jacobi) exercises a nontrivial solve_b.
+  std::vector<linalg::Triplet> eye;
+  for (int i = 0; i < 64; ++i) eye.push_back({i, i, 1.0});
+  const linalg::CsrMatrix a = lap.plus(linalg::CsrMatrix::from_triplets(64, eye));
+  std::vector<double> diag(64);
+  for (int i = 0; i < 64; ++i) diag[static_cast<std::size_t>(i)] = a.at(i, i);
+
+  const linalg::ApplyFn apply_a = [&](std::span<const double> v) {
+    return a.multiply(v);
+  };
+  const linalg::ApplyFn jacobi = [&](std::span<const double> v) {
+    linalg::Vec x(v.begin(), v.end());
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] /= diag[i];
+    return x;
+  };
+  const linalg::Vec b = random_vec(64, 333);
+
+  linalg::ChebyshevOptions opt;
+  opt.eps = 1e-10;
+  opt.kappa = 16.0;
+  linalg::ChebyshevStats unfused_stats;
+  const linalg::Vec unfused =
+      linalg::preconditioned_chebyshev(apply_a, jacobi, b, opt, &unfused_stats);
+  opt.a_matrix = &a;  // arm the fused triad
+  linalg::ChebyshevStats fused_stats;
+  const linalg::Vec fused =
+      linalg::preconditioned_chebyshev(apply_a, jacobi, b, opt, &fused_stats);
+
+  EXPECT_EQ(fused_stats.iterations, unfused_stats.iterations);
+  ASSERT_EQ(fused.size(), unfused.size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(bits_of(fused[i]), bits_of(unfused[i])) << i;
+  }
+}
+
+// --- per-backend bit-stability across threads x routing modes ---------------
+
+TEST(BackendDifferential, PerBackendBitStabilityAcrossThreadsAndRouting) {
+  const Graph g = graph::with_random_weights(
+      graph::random_connected_gnm(40, 120, test::base_seed() + 341), 8.0,
+      test::base_seed() + 342);
+  std::vector<double> b(40, 0.0);
+  b[0] = 1.0;
+  b[39] = -1.0;
+
+  for (const Backend backend : {Backend::kDense, Backend::kSparse}) {
+    std::vector<std::vector<double>> outputs;
+    for (const int threads : {1, 8}) {
+      for (const clique::RoutingMode mode :
+           {clique::RoutingMode::kCharged, clique::RoutingMode::kExecuted,
+            clique::RoutingMode::kBroadcast}) {
+        Runtime rt;
+        rt.threads = threads;
+        rt.routing_mode = mode;
+        rt.numerics = backend;
+        const auto rep = solve_laplacian(g, b, 1e-8, {}, rt);
+        EXPECT_EQ(rep.run.numerics, linalg::to_string(backend));
+        EXPECT_GT(rep.run.factor_fill, 0);
+        outputs.push_back(rep.x);
+      }
+    }
+    for (std::size_t k = 1; k < outputs.size(); ++k) {
+      ASSERT_EQ(outputs[k].size(), outputs[0].size());
+      for (std::size_t i = 0; i < outputs[k].size(); ++i) {
+        EXPECT_EQ(bits_of(outputs[k][i]), bits_of(outputs[0][i]))
+            << linalg::to_string(backend) << " config " << k << " entry " << i;
+      }
+    }
+  }
+}
+
+TEST(BackendDifferential, RuntimeBackendAppliesOnlyWhenOptionIsAuto) {
+  // The compatibility-shim contract: the per-call option wins when it
+  // hard-picks a backend; Runtime::numerics fills in only kAuto.
+  const Graph g = graph::random_connected_gnm(30, 80, test::base_seed() + 351);
+  std::vector<double> b(30, 0.0);
+  b[0] = 1.0;
+  b[29] = -1.0;
+  Runtime rt;
+  rt.numerics = Backend::kSparse;
+  solver::LaplacianSolverOptions explicit_dense;
+  explicit_dense.backend = Backend::kDense;
+  const auto rep = solve_laplacian(g, b, 1e-8, explicit_dense, rt);
+  EXPECT_EQ(rep.run.numerics, "dense");  // explicit choice beat the runtime
+  const auto rep_auto = solve_laplacian(g, b, 1e-8, {}, rt);
+  EXPECT_EQ(rep_auto.run.numerics, "sparse");  // kAuto picked up rt.numerics
+}
+
+// --- batched resistances ride solve_block bit-identically -------------------
+
+TEST(BackendDifferential, BatchResistanceBitIdenticalToScalarQueries) {
+  const Graph g = graph::random_connected_gnm(30, 85, test::base_seed() + 361);
+  const std::vector<solver::PairQuery> pairs = {{0, 29}, {3, 7}, {12, 20}};
+  for (const Backend backend : {Backend::kDense, Backend::kSparse}) {
+    Runtime rt;
+    rt.numerics = backend;
+    const auto batch = effective_resistance_batch(g, pairs, 1e-8, rt);
+    ASSERT_EQ(batch.resistances.size(), pairs.size());
+    ASSERT_EQ(batch.stats.size(), pairs.size());
+    EXPECT_EQ(batch.run.numerics, linalg::to_string(backend));
+    EXPECT_GT(batch.run.rounds, 0);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto single =
+          effective_resistance(g, pairs[i].u, pairs[i].v, 1e-8, rt);
+      EXPECT_EQ(bits_of(batch.resistances[i]), bits_of(single.resistance))
+          << linalg::to_string(backend) << " pair " << i;
+      EXPECT_GT(batch.resistances[i], 0.0);
+    }
+  }
+}
+
+// --- golden round counts are backend-independent ----------------------------
+// Factorization is node-local compute; the congested-clique round counts of
+// EXPERIMENTS.md are communication.  Swapping the backend must not move them.
+
+TEST(GoldenRoundsSparse, E1LaplacianEpsSweepUnchangedUnderSparse) {
+  const Graph g = graph::random_connected_gnm(96, 384, 11);
+  clique::Network net(96);
+  solver::LaplacianSolverOptions opt;
+  opt.backend = Backend::kSparse;
+  const solver::CliqueLaplacianSolver solver(g, opt, net);
+  std::vector<double> b(96, 0.0);
+  b[0] = 1.0;
+  b[95] = -1.0;
+
+  const std::vector<std::pair<double, std::int64_t>> golden = {
+      {1e-1, 12}, {1e-2, 20}, {1e-4, 35}, {1e-6, 49}, {1e-8, 64}, {1e-10, 79},
+  };
+  for (const auto& [eps, rounds] : golden) {
+    net.reset_accounting();
+    (void)solver.solve(b, eps);
+    EXPECT_EQ(net.rounds(), rounds) << "eps=" << eps;
+  }
+}
+
+TEST(GoldenRoundsSparse, E3E4UnchangedUnderSparseRuntime) {
+  Runtime rt;
+  rt.numerics = Backend::kSparse;
+
+  // E3: Eulerian orientation of the 16-cycle.
+  const auto orient = eulerian_orientation(graph::cycle(16), rt);
+  EXPECT_EQ(orient.run.rounds, 715);
+  EXPECT_EQ(orient.levels, 4);
+
+  // E4: flow rounding on bench_rounding's parallel-arc instance.
+  const int k = 2;
+  Digraph g(2);
+  graph::SplitMix64 rng(99);
+  graph::Flow f;
+  const double delta = 1.0 / static_cast<double>(1LL << k);
+  for (int j = 0; j < 48; ++j) {
+    g.add_arc(0, 1, 1 << 21, static_cast<std::int64_t>(j % 7));
+    f.push_back(static_cast<double>(rng.next_below(1ULL << k)) * delta);
+  }
+  euler::FlowRoundingOptions opt;
+  opt.delta = delta;
+  opt.use_costs = true;
+  const auto rounded = round_flow(g, f, 0, 1, opt, rt);
+  EXPECT_EQ(rounded.phases, 2);
+  EXPECT_EQ(rounded.run.rounds, 1788);
+}
+
+}  // namespace

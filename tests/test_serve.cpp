@@ -449,6 +449,116 @@ TEST(Serve, RoutingModeIsPartOfTheCacheKey) {
   }
 }
 
+TEST(Serve, NumericsBackendIsPartOfTheCacheKey) {
+  // The same graph under "auto" / "dense" / "sparse" must be three distinct
+  // artifacts: switching the numerics field on an otherwise identical
+  // request misses the cache.  (The key holds the REQUESTED backend, so
+  // "auto" never aliases an explicit choice even when it resolves the same.)
+  Server server;
+  const graph::Graph g = test_graph(20, 56, 401);
+  const linalg::Vec b = random_b(20, 403);
+  parse_ok(server.handle(load_request("g", g)));
+
+  const auto solve_with = [&](const std::string& numerics, const char* id) {
+    std::string req = solve_request("g", b, 1e-6, id);
+    if (!numerics.empty()) {
+      req.insert(req.size() - 1, ",\"numerics\":\"" + numerics + "\"");
+    }
+    return req;
+  };
+
+  RequestTelemetry t;
+  parse_ok(server.handle(solve_with("", "auto1"), &t));
+  EXPECT_FALSE(t.cache_hit);
+  const json::Value dense1 = parse_ok(server.handle(solve_with("dense", "d1"), &t));
+  EXPECT_FALSE(t.cache_hit);  // the switch missed
+  parse_ok(server.handle(solve_with("sparse", "sp1"), &t));
+  EXPECT_FALSE(t.cache_hit);  // and again
+  EXPECT_EQ(server.cache_stats().misses, 3);
+  EXPECT_EQ(server.cache_stats().size, 3u);
+
+  // Repeating a backend hits its own artifact.
+  const json::Value dense2 = parse_ok(server.handle(solve_with("dense", "d1"), &t));
+  EXPECT_TRUE(t.cache_hit);
+  EXPECT_EQ(server.cache_stats().hits, 1);
+
+  // The artifact block records both the key component and the resolution.
+  EXPECT_EQ(dense1.at("artifact").at("numerics").as_string(), "dense");
+  EXPECT_EQ(dense1.at("artifact").at("numerics_chosen").as_string(), "dense");
+  EXPECT_GT(dense1.at("artifact").at("factor_fill").as_int(), 0);
+  // Hit and cold bodies agree byte-for-byte, per the serving contract.
+  EXPECT_EQ(json::Value(dense2).dump(), json::Value(dense1).dump());
+
+  // An unknown backend is a client error that touches no state.
+  expect_error(server.handle(solve_with("psychic", "bad")), "bad_request");
+  EXPECT_EQ(server.cache_stats().misses, 3);
+}
+
+TEST(Serve, ResistanceBatchMatchesScalarResistanceBitwise) {
+  Server server;
+  const graph::Graph g = test_graph(16, 44, 411);
+  parse_ok(server.handle(load_request("g", g)));
+
+  const std::vector<std::pair<int, int>> pairs = {{0, 15}, {2, 9}, {5, 11}};
+  json::Object req;
+  req.emplace("op", "resistance_batch");
+  req.emplace("id", "rb");
+  req.emplace("graph", "g");
+  req.emplace("eps", 1e-8);
+  json::Array pairs_json;
+  for (const auto& [u, v] : pairs) {
+    json::Array row;
+    row.push_back(u);
+    row.push_back(v);
+    pairs_json.push_back(json::Value(std::move(row)));
+  }
+  req.emplace("pairs", json::Value(std::move(pairs_json)));
+  RequestTelemetry t;
+  const json::Value batch =
+      parse_ok(server.handle(json::Value(std::move(req)).dump(), &t));
+  EXPECT_TRUE(t.cache_lookup);
+  const json::Array& rs = batch.at("result").at("resistances").as_array();
+  ASSERT_EQ(rs.size(), pairs.size());
+  ASSERT_EQ(batch.at("result").at("stats").as_array().size(), pairs.size());
+
+  // Each entry bit-equals the scalar "resistance" op for that pair (which
+  // also proves the batch rode the SAME cached artifact: second lookup hits).
+  std::int64_t scalar_rounds = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    json::Object sreq;
+    sreq.emplace("op", "resistance");
+    sreq.emplace("id", "r" + std::to_string(i));
+    sreq.emplace("graph", "g");
+    sreq.emplace("eps", 1e-8);
+    sreq.emplace("u", pairs[i].first);
+    sreq.emplace("v", pairs[i].second);
+    RequestTelemetry st;
+    const json::Value scalar =
+        parse_ok(server.handle(json::Value(std::move(sreq)).dump(), &st));
+    EXPECT_TRUE(st.cache_hit) << i;  // shared artifact
+    EXPECT_EQ(bits_of(num(rs[i])), bits_of(num(scalar.at("result").at("resistance"))))
+        << "pair " << i;
+    scalar_rounds += scalar.at("run").at("rounds").as_int();
+  }
+  // Charge replay: the batch accrues exactly the k scalar queries' rounds
+  // (shared construction; one broadcast per pair in both accountings).
+  EXPECT_EQ(batch.at("run").at("rounds").as_int(), scalar_rounds);
+
+  // Malformed pair lists are client errors.
+  expect_error(server.handle("{\"op\":\"resistance_batch\",\"graph\":\"g\","
+                             "\"eps\":0.001,\"pairs\":[],\"id\":\"e\"}"),
+               "bad_request");
+  expect_error(server.handle("{\"op\":\"resistance_batch\",\"graph\":\"g\","
+                             "\"eps\":0.001,\"pairs\":[[0,0]],\"id\":\"e\"}"),
+               "bad_request");
+  expect_error(server.handle("{\"op\":\"resistance_batch\",\"graph\":\"g\","
+                             "\"eps\":0.001,\"pairs\":[[0,99]],\"id\":\"e\"}"),
+               "bad_request");
+  expect_error(server.handle("{\"op\":\"resistance_batch\",\"graph\":\"g\","
+                             "\"eps\":0.001,\"pairs\":[[0]],\"id\":\"e\"}"),
+               "bad_request");
+}
+
 TEST(Serve, MalformedRequestsGetLocatedErrorsAndLeaveStateIntact) {
   Server server;
   const graph::Graph g = test_graph(14, 34, 91);

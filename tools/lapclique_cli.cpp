@@ -25,6 +25,12 @@
 //                          (docs/MODELS.md); default LAPCLIQUE_ROUTING or
 //                          charged.  Outputs are bit-identical across modes;
 //                          only the round/word accounting changes
+//   --numerics <backend>   auto | dense | sparse — numerics backend for
+//                          Laplacian factorizations (preconditioner + exact
+//                          fallback); default LAPCLIQUE_NUMERICS or auto
+//                          (auto picks sparse for large sparse instances;
+//                          docs/PERFORMANCE.md).  Outputs are bit-identical
+//                          per backend across threads and routing modes
 //   --fault-seed <n>       seed for the fault plan (default 1)
 //   --fault-report <path>  write the machine-readable recovery summary JSON
 //                          to <path> ("-" for stdout; default: stderr)
@@ -256,6 +262,7 @@ int main(int argc, char** argv) {
   // Peel off the global flags before command dispatch.
   int threads = 0;  // 0 = exec::default_threads() (LAPCLIQUE_THREADS or 1)
   clique::RoutingMode routing = clique::default_routing_mode();
+  linalg::Backend numerics = linalg::default_backend();
   const char* trace_path = nullptr;
   const char* fault_spec = nullptr;
   const char* fault_report = nullptr;
@@ -290,6 +297,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       routing = *parsed;
+    } else if (std::strcmp(argv[i], "--numerics") == 0) {
+      const char* v = flag_value(i, "--numerics");
+      const auto parsed = linalg::backend_from_string(v);
+      if (!parsed.has_value()) {
+        std::cerr << "--numerics: expected auto|dense|sparse, got '" << v
+                  << "'\n";
+        return 2;
+      }
+      numerics = *parsed;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace_path = flag_value(i, "--trace");
     } else if (std::strcmp(argv[i], "--faults") == 0) {
@@ -348,6 +364,7 @@ int main(int argc, char** argv) {
   Runtime rt;
   rt.threads = threads;
   rt.routing_mode = routing;
+  rt.numerics = numerics;
   if (checkpoint_path != nullptr) rt.checkpoint_path = checkpoint_path;
   rt.checkpoint_every = checkpoint_every;
   rt.resume = resume;

@@ -13,11 +13,18 @@
 //
 // Usage:
 //   lapclique_serve [--cache-capacity N] [--max-request-bytes N]
-//                   [--threads N] [--default-deadline-ms N]
+//                   [--threads N] [--numerics auto|dense|sparse]
+//                   [--default-deadline-ms N]
 //                   [--port P] [--serve-workers N] [--max-pending N]
 //                   [--faults SPEC] [--fault-seed N]
 //
 //   --cache-capacity N       artifacts kept before LRU eviction (default 16)
+//   --numerics B             default numerics backend for cached artifacts
+//                            (auto | dense | sparse, default auto); requests
+//                            override per call with their "numerics" field.
+//                            Deliberately not read from LAPCLIQUE_NUMERICS:
+//                            a server's responses must not depend on its
+//                            environment.
 //   --max-request-bytes N    per-request byte cap, enforced on the stream
 //                            (default 4194304)
 //   --threads N              default worker threads for requests that do not
@@ -46,6 +53,7 @@
 
 #include "exec/pool.hpp"
 #include "fault/fault_plan.hpp"
+#include "linalg/backend.hpp"
 #include "serve/frontend.hpp"
 #include "serve/server.hpp"
 
@@ -62,7 +70,8 @@ extern "C" void on_terminate(int) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--cache-capacity N] [--max-request-bytes N] [--threads N]"
-               " [--default-deadline-ms N] [--port P] [--serve-workers N]"
+               " [--numerics auto|dense|sparse] [--default-deadline-ms N]"
+               " [--port P] [--serve-workers N]"
                " [--max-pending N] [--faults SPEC] [--fault-seed N]\n";
   return 2;
 }
@@ -90,6 +99,16 @@ int main(int argc, char** argv) {
       opt.max_request_bytes = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--threads") {
       threads = static_cast<int>(std::atoll(next()));
+    } else if (arg == "--numerics") {
+      const char* name = next();
+      const std::optional<lapclique::linalg::Backend> backend =
+          lapclique::linalg::backend_from_string(name);
+      if (!backend.has_value()) {
+        std::cerr << "lapclique_serve: bad --numerics \"" << name
+                  << "\" (auto | dense | sparse)\n";
+        return 2;
+      }
+      opt.solver.backend = *backend;
     } else if (arg == "--default-deadline-ms") {
       opt.default_deadline_ms = std::atoll(next());
     } else if (arg == "--port") {
